@@ -1,0 +1,235 @@
+(* chess — fair stateless model checker CLI.
+
+   `chess list` enumerates the built-in benchmark programs;
+   `chess check <program>` explores one with a configurable strategy. *)
+
+open Cmdliner
+open Fairmc_core
+module W = Fairmc_workloads
+module D = Fairmc_dsl
+
+let strategy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "dfs" -> Ok Search_config.Dfs
+    | "rr" | "round-robin" -> Ok Search_config.Round_robin
+    | s when String.length s > 3 && String.sub s 0 3 = "cb:" ->
+      (try Ok (Search_config.Context_bounded (int_of_string (String.sub s 3 (String.length s - 3))))
+       with _ -> Error (`Msg "cb:<n> expects an integer"))
+    | s when String.length s > 7 && String.sub s 0 7 = "random:" ->
+      (try Ok (Search_config.Random_walk (int_of_string (String.sub s 7 (String.length s - 7))))
+       with _ -> Error (`Msg "random:<n> expects an integer"))
+    | s when String.length s > 5 && String.sub s 0 5 = "prio:" ->
+      (try Ok (Search_config.Priority_random (int_of_string (String.sub s 5 (String.length s - 5))))
+       with _ -> Error (`Msg "prio:<n> expects an integer"))
+    | _ -> Error (`Msg "strategy is dfs | cb:<n> | random:<n> | prio:<n> | rr")
+  in
+  let print ppf m = Format.pp_print_string ppf (Search_config.describe { Search_config.default with mode = m }) in
+  Arg.conv (parse, print)
+
+let strategy =
+  Arg.(value & opt strategy_conv Search_config.Dfs
+       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Search strategy: dfs, cb:<n> (context bound), random:<n>, prio:<n>, rr.")
+
+let no_fair =
+  Arg.(value & flag & info [ "no-fair" ] ~doc:"Disable the fair scheduler (paper baseline).")
+
+let fair_k =
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Process every K-th yield (Section 3).")
+
+let depth_bound =
+  Arg.(value & opt (some int) None
+       & info [ "d"; "depth-bound" ] ~docv:"N"
+           ~doc:"Systematic depth bound for unfair searches (then random tail).")
+
+let max_steps =
+  Arg.(value & opt int 20_000
+       & info [ "max-steps" ] ~docv:"N" ~doc:"Hard per-execution step cap.")
+
+let livelock_bound =
+  Arg.(value & opt (some int) None
+       & info [ "livelock-bound" ] ~docv:"N"
+           ~doc:"Fair executions reaching N steps are reported as divergences.")
+
+let max_execs =
+  Arg.(value & opt (some int) None
+       & info [ "max-execs" ] ~docv:"N" ~doc:"Stop after N executions.")
+
+let time_limit =
+  Arg.(value & opt (some float) None
+       & info [ "time-limit" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the search.")
+
+let seed =
+  Arg.(value & opt int 24141 & info [ "seed" ] ~docv:"N" ~doc:"Random seed (reproducible).")
+
+let sleep_sets =
+  Arg.(value & flag & info [ "sleep-sets" ] ~doc:"Enable sleep-set partial-order reduction.")
+
+let coverage =
+  Arg.(value & flag & info [ "coverage" ] ~doc:"Count distinct state signatures.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the one-line summary.")
+
+let save_repro =
+  Arg.(value & opt (some string) None
+       & info [ "save-repro" ] ~docv:"FILE"
+           ~doc:"When an error is found, save its schedule to FILE for $(b,chess replay).")
+
+let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound max_execs
+    time_limit seed sleep_sets coverage =
+  { Search_config.default with
+    mode = strategy;
+    fair = not no_fair;
+    fair_k;
+    depth_bound;
+    max_steps;
+    livelock_bound =
+      (match livelock_bound with
+       | Some _ as l -> l
+       | None -> Search_config.default.livelock_bound);
+    max_executions = max_execs;
+    time_limit;
+    seed = Int64.of_int seed;
+    sleep_sets;
+    coverage }
+
+let config_term =
+  Term.(const build_config $ strategy $ no_fair $ fair_k $ depth_bound $ max_steps
+        $ livelock_bound $ max_execs $ time_limit $ seed $ sleep_sets $ coverage)
+
+let list_cmd =
+  let doc = "List the built-in benchmark programs." in
+  let run () =
+    List.iter
+      (fun (e : W.Registry.entry) ->
+        Format.printf "%-28s %-14s %s@." e.name e.expected e.description)
+      (W.Registry.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let check_cmd =
+  let doc = "Model-check a program." in
+  let prog_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM"
+             ~doc:"Built-in program name (see $(b,chess list)) or a ChessLang $(i,file.chess).")
+  in
+  let run name cfg quiet save_repro =
+    let program =
+      if Filename.check_suffix name ".chess" then begin
+        match D.load_file name with
+        | prog -> prog
+        | exception D.Parser.Error (msg, pos) ->
+          Format.eprintf "%s: syntax error: %s (%a)@." name msg D.Ast.pp_pos pos;
+          exit 2
+        | exception D.Lexer.Error (msg, pos) ->
+          Format.eprintf "%s: lexical error: %s (%a)@." name msg D.Ast.pp_pos pos;
+          exit 2
+        | exception D.Sema.Error (msg, pos) ->
+          Format.eprintf "%s: error: %s (%a)@." name msg D.Ast.pp_pos pos;
+          exit 2
+        | exception Sys_error e ->
+          Format.eprintf "%s@." e;
+          exit 2
+      end
+      else
+        match W.Registry.find name with
+        | Some e -> e.program
+        | None ->
+          Format.eprintf "unknown program %S; try `chess list`@." name;
+          exit 2
+    in
+    Format.printf "checking %s [%s]@." program.Program.name (Search_config.describe cfg);
+    let report = Checker.check ~config:cfg program in
+    if quiet then Format.printf "%a@." Report.pp_summary report
+    else Format.printf "%a@." Report.pp report;
+    (match (save_repro, report.Report.verdict) with
+     | Some file, (Report.Safety_violation { cex; _ } | Report.Deadlock { cex }
+                  | Report.Divergence { cex; _ }) ->
+       Repro.save file { Repro.program = name; decisions = cex.decisions };
+       Format.printf "repro saved to %s@." file
+     | Some _, _ -> Format.printf "no error found; no repro written@."
+     | None, _ -> ());
+    if Report.found_error report then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ prog_arg $ config_term $ quiet $ save_repro)
+
+let load_program name =
+  if Filename.check_suffix name ".chess" then
+    match D.load_file name with
+    | prog -> Some prog
+    | exception _ -> None
+  else Option.map (fun (e : W.Registry.entry) -> e.program) (W.Registry.find name)
+
+let replay_cmd =
+  let doc = "Replay a saved counterexample schedule deterministically." in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Repro file written by $(b,chess check --save-repro).")
+  in
+  let run file =
+    match Repro.load file with
+    | Error e ->
+      Format.eprintf "%s: %s@." file e;
+      exit 2
+    | Ok { Repro.program = name; decisions } ->
+      (match load_program name with
+       | None ->
+         Format.eprintf "cannot resolve program %S from the repro file@." name;
+         exit 2
+       | Some prog ->
+         Format.printf "replaying %d decisions against %s@." (List.length decisions)
+           prog.Program.name;
+         (match Search.replay prog decisions (fun _ -> ()) with
+          | Some cex ->
+            Format.printf "failure reproduced after %d steps:@.%s@." cex.length cex.rendered;
+            exit 1
+          | None ->
+            Format.printf "schedule replayed without reproducing a failure@."))
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg)
+
+let sweep_cmd =
+  let doc = "Run every built-in program with its recommended strategy and compare verdicts." in
+  let run () =
+    let failures = ref 0 in
+    List.iter
+      (fun (e : W.Registry.entry) ->
+        let cfg =
+          { Search_config.default with
+            livelock_bound = Some 2_000;
+            max_executions = Some 20_000;
+            time_limit = Some 30.0;
+            mode =
+              (* The paper finds the seeded bugs with a context bound of 2
+                 (Table 3); unguided fair DFS can wander for a long time. *)
+              (if e.expected = "safety" then Search_config.Context_bounded 2
+               else Search_config.Dfs) }
+        in
+        let report = Checker.check ~config:cfg e.program in
+        let got =
+          match report.verdict with
+          | Verified | Limits_reached -> "verified"
+          | Safety_violation _ -> "safety"
+          | Deadlock _ -> "deadlock"
+          | Divergence { kind = Fair_nontermination; _ } -> "livelock"
+          | Divergence { kind = Good_samaritan_violation _; _ } -> "good-samaritan"
+        in
+        let ok = got = e.expected in
+        if not ok then incr failures;
+        Format.printf "%-28s expected %-14s got %-14s %s (%a)@." e.name e.expected got
+          (if ok then "ok" else "MISMATCH")
+          Report.pp_summary report)
+      (W.Registry.all ());
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "fair stateless model checking (Musuvathi & Qadeer, PLDI 2008)" in
+  Cmd.group (Cmd.info "chess" ~doc ~version:"1.0.0")
+    [ list_cmd; check_cmd; replay_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/dining_livelock.ml: Checker Fairmc_core Fairmc_workloads Format List Program Report Search_config String

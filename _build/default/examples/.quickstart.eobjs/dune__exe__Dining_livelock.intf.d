@@ -1,0 +1,1 @@
+examples/dining_livelock.mli:

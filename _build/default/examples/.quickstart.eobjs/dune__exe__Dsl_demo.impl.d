@@ -1,0 +1,1 @@
+examples/dsl_demo.ml: Array Checker Fairmc_core Fairmc_dsl Filename Format List Report Search_config Sys

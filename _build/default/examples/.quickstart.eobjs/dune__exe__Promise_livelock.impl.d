@@ -1,0 +1,1 @@
+examples/promise_livelock.ml: Checker Fairmc_core Fairmc_workloads Format List Program Report Search_config String

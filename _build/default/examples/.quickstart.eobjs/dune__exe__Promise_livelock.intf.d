@@ -1,0 +1,1 @@
+examples/promise_livelock.mli:

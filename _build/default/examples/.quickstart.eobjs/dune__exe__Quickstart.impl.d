@@ -1,0 +1,1 @@
+examples/quickstart.ml: Checker Fairmc_core Format Program Report Search_config Sync

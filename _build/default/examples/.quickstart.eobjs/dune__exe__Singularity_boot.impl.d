@@ -1,0 +1,1 @@
+examples/singularity_boot.ml: Checker Fairmc_core Fairmc_workloads Format Program Report Search_config

@@ -1,0 +1,1 @@
+examples/singularity_boot.mli:

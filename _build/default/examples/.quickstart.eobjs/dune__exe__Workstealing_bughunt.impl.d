@@ -1,0 +1,1 @@
+examples/workstealing_bughunt.ml: Checker Engine Fairmc_core Fairmc_workloads Format Program Report Search Search_config

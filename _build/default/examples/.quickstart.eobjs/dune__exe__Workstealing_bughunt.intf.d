@@ -1,0 +1,1 @@
+examples/workstealing_bughunt.mli:

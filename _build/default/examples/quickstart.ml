@@ -1,0 +1,31 @@
+(* Quickstart: the paper's Figure 3 — a two-thread spin loop.
+
+   Thread t sets x := 1; thread u spins (with a yield, as a good samaritan
+   should) until it observes the write. The program is nonterminating under
+   the unfair schedule that never runs t, so a plain stateless model checker
+   cannot handle it without a depth bound; the fair scheduler explores it
+   completely.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Fairmc_core
+
+let fig3 =
+  Program.of_threads ~name:"fig3-spinloop" (fun () ->
+      let x = Sync.int_var ~name:"x" 0 in
+      [ (fun () -> Sync.Svar.set x 1);
+        (fun () ->
+          while Sync.Svar.get x <> 1 do
+            Sync.yield ()
+          done) ])
+
+let () =
+  Format.printf "Checking %s with the fair scheduler (DFS):@." "fig3-spinloop";
+  let report = Checker.check ~config:{ Search_config.default with coverage = true } fig3 in
+  Format.printf "%a@.@." Report.pp report;
+
+  Format.printf "Same program, unfair DFS with depth bound 20:@.";
+  let report =
+    Checker.check ~config:{ (Search_config.unfair_dfs ~depth_bound:20) with coverage = true } fig3
+  in
+  Format.printf "%a@." Report.pp report

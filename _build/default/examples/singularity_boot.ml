@@ -1,0 +1,34 @@
+(* "We have successfully booted the Singularity operating system under the
+   control of CHESS" — the paper's headline applicability result. This
+   example boots Singularity-lite (a kernel thread that dynamically spawns a
+   nameserver, system services, drivers and applications connected by
+   message channels, then performs an orderly shutdown) under the fair
+   checker: 14 threads, hundreds of synchronization operations per
+   execution, every boot driven to completion by fairness despite the
+   nonterminating service loops.
+
+   Run with: dune exec examples/singularity_boot.exe *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+
+let () =
+  let prog = W.Singularity.program ~services:8 ~apps:4 ~requests:1 () in
+  Format.printf "booting %s under the fair checker (cb=1, 1000 schedules)...@."
+    prog.Program.name;
+  let report =
+    Checker.check
+      ~config:
+        { Search_config.default with
+          mode = Search_config.Context_bounded 1;
+          max_executions = Some 1_000;
+          livelock_bound = Some 50_000;
+          max_steps = 100_000 }
+      prog
+  in
+  Format.printf "%a@." Report.pp_summary report;
+  Format.printf "threads: %d, sync ops per boot: %d@." report.stats.max_threads
+    report.stats.sync_ops_per_exec;
+  if not (Report.found_error report) then
+    Format.printf "no safety violations, deadlocks, or livelocks across %d boots@."
+      report.stats.executions

@@ -1,0 +1,1 @@
+lib/core/fairmc_core.ml: Checker Engine Fair_sched Indep Objects Op Program Report Repro Runtime Search Search_config Sync Sync_extras Trace

@@ -1,0 +1,1 @@
+lib/core/checker.ml: List Option Printf Report Search Search_config

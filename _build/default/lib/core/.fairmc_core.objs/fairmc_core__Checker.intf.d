@@ -1,0 +1,1 @@
+lib/core/checker.mli: Program Report Search_config

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Effect Fairmc_util Format Hashtbl Int64 List Objects Op Option Printexc Program Runtime Trace

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Fairmc_util Format Objects Op Program Trace

@@ -1,0 +1,1 @@
+lib/core/fair_sched.ml: Array Fairmc_util Format List

@@ -1,0 +1,1 @@
+lib/core/fair_sched.mli: Fairmc_util Format

@@ -1,0 +1,1 @@
+lib/core/objects.ml: Array Fairmc_util Format Op Printf

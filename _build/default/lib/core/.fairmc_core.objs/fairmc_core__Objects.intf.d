@@ -1,0 +1,1 @@
+lib/core/objects.mli: Fairmc_util Format Op

@@ -1,0 +1,1 @@
+lib/core/program.mli: Fairmc_util

@@ -1,0 +1,1 @@
+lib/core/repro.ml: Buffer Fun List Printf String

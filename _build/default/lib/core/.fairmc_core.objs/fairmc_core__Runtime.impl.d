@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Effect Fairmc_util Hashtbl Objects Op

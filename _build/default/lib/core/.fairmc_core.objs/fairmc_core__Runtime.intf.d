@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Effect Fairmc_util Hashtbl Objects Op

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Engine Fair_sched Fairmc_util Format Fun Hashtbl Indep List Objects Option Program Report Search_config String Sys Trace Unix

@@ -1,0 +1,1 @@
+lib/core/search.mli: Engine Program Report Search_config

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Bool Effect Fairmc_util Hashtbl Objects Op Printf Runtime

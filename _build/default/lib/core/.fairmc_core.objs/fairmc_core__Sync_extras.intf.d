@@ -1,0 +1,1 @@
+lib/core/sync_extras.mli: Sync

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Fairmc_util Format List Op Printf String

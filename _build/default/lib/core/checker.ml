@@ -1,0 +1,22 @@
+let check ?(config = Search_config.default) prog = Search.run config prog
+
+let check_all ~configs prog =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (name, cfg) :: rest ->
+      let report = Search.run cfg prog in
+      let acc = (name, report) :: acc in
+      if Report.found_error report then List.rev acc else go acc rest
+  in
+  go [] configs
+
+let iterative_context_bound ?(fair = true) ?(max_bound = 2) ?base prog =
+  let base = Option.value base ~default:Search_config.default in
+  let configs =
+    List.init (max_bound + 1) (fun c ->
+        (Printf.sprintf "cb=%d" c, { base with fair; mode = Search_config.Context_bounded c }))
+  in
+  let reports = check_all ~configs prog in
+  match List.rev reports with
+  | (_, last) :: _ -> last
+  | [] -> invalid_arg "iterative_context_bound"

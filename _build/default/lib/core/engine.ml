@@ -1,0 +1,271 @@
+module B = Fairmc_util.Bitset
+module Fnv = Fairmc_util.Fnv
+
+type failure =
+  | Assertion of string
+  | Sync_misuse of string
+  | Uncaught of string
+
+let pp_failure ppf = function
+  | Assertion m -> Format.fprintf ppf "assertion failure: %s" m
+  | Sync_misuse m -> Format.fprintf ppf "synchronization misuse: %s" m
+  | Uncaught m -> Format.fprintf ppf "uncaught exception: %s" m
+
+type parked = {
+  op : Op.t;
+  k : (int, unit) Effect.Deep.continuation;
+  payload : (unit -> unit) option;  (* body captured at a [Spawn] park *)
+}
+
+type tstate =
+  | Parked of parked
+  | Running  (* transient, while its continuation executes *)
+  | Finished
+
+type t = {
+  prog_store : Objects.t;
+  mutable threads : tstate array;
+  mutable prev_op : Op.t option array;
+  mutable op_repeat : int array;
+      (* Control abstraction for state signatures: the pending operation
+         alone does not identify a thread's control point when two identical
+         operations are adjacent (e.g. two reads of the same variable), which
+         would merge a state with its own successor and cut off stateful
+         exploration. Counting consecutive identical pending operations
+         restores (enough) injectivity; loops whose bodies contain more than
+         one distinct operation still converge. *)
+  mutable nthreads : int;
+  mutable failure : (int * failure) option;
+  trace : Trace.t;
+  mutable steps : int;
+  snapshot : (unit -> Fnv.t) option;
+  snapshotters : (Fnv.t -> Fnv.t) list;
+  mutable sync_ops : int;
+  mutable var_ops : int;
+  mutable live : bool;
+}
+
+let active : t option ref = ref None
+
+let record_failure t tid f = if t.failure = None then t.failure <- Some (tid, f)
+
+(* Run [body] as thread [tid] until its first scheduling point (or
+   completion). The deep handler stays installed for the thread's lifetime:
+   subsequent parks happen during [Effect.Deep.continue] in [step]. *)
+let start_thread t tid body =
+  let note_park t tid op =
+    (* Saturate the counter: straight-line runs of identical operations are
+       short (that is all the disambiguation needs), while an unbounded
+       counter would make single-operation spin loops produce infinitely
+       many signatures, breaking cycle detection. *)
+    (match t.prev_op.(tid) with
+     | Some prev when prev = op -> t.op_repeat.(tid) <- min (t.op_repeat.(tid) + 1) 4
+     | Some _ | None -> t.op_repeat.(tid) <- 0);
+    t.prev_op.(tid) <- Some op
+  in
+  let handler : (unit, unit) Effect.Deep.handler =
+    { retc = (fun () -> t.threads.(tid) <- Finished);
+      exnc =
+        (fun exn ->
+          t.threads.(tid) <- Finished;
+          match exn with
+          | Runtime.Assertion_failure m -> record_failure t tid (Assertion m)
+          | Objects.Sync_error m -> record_failure t tid (Sync_misuse m)
+          | e -> record_failure t tid (Uncaught (Printexc.to_string e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Runtime.Sched op ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let payload =
+                  match op with
+                  | Op.Spawn ->
+                    let b = !Runtime.spawn_body in
+                    Runtime.spawn_body := None;
+                    b
+                  | _ -> None
+                in
+                note_park t tid op;
+                t.threads.(tid) <- Parked { op; k; payload })
+          | _ -> None) }
+  in
+  let saved_tid = !Runtime.current_tid in
+  let saved_in = !Runtime.in_thread in
+  Runtime.current_tid := tid;
+  Runtime.in_thread := true;
+  Effect.Deep.match_with body () handler;
+  Runtime.current_tid := saved_tid;
+  Runtime.in_thread := saved_in
+
+let add_thread t body =
+  if t.nthreads > B.max_capacity then failwith "Engine: too many threads";
+  if t.nthreads = Array.length t.threads then begin
+    let a = Array.make (2 * t.nthreads) Finished in
+    Array.blit t.threads 0 a 0 t.nthreads;
+    t.threads <- a;
+    let p = Array.make (2 * t.nthreads) None in
+    Array.blit t.prev_op 0 p 0 t.nthreads;
+    t.prev_op <- p;
+    let rep = Array.make (2 * t.nthreads) 0 in
+    Array.blit t.op_repeat 0 rep 0 t.nthreads;
+    t.op_repeat <- rep
+  end;
+  let tid = t.nthreads in
+  t.threads.(tid) <- Running;
+  t.nthreads <- tid + 1;
+  start_thread t tid body;
+  tid
+
+let start (prog : Program.t) =
+  (match !active with
+   | Some prev when prev.live ->
+     (* A previous run that was not [stop]ped; take over, runs do not nest. *)
+     prev.live <- false
+   | _ -> ());
+  let store = Objects.create () in
+  Runtime.reset store;
+  let booted = prog.Program.boot () in
+  let t =
+    { prog_store = store;
+      threads = Array.make 8 Finished;
+      prev_op = Array.make 8 None;
+      op_repeat = Array.make 8 0;
+      nthreads = 0;
+      failure = None;
+      trace = Trace.create ();
+      steps = 0;
+      snapshot = booted.Program.snapshot;
+      snapshotters = !Runtime.snapshotters;
+      sync_ops = 0;
+      var_ops = 0;
+      live = true }
+  in
+  active := Some t;
+  List.iter (fun body -> ignore (add_thread t body)) booted.Program.threads;
+  t
+
+let nthreads t = t.nthreads
+let steps t = t.steps
+
+(* A join target outside the allocated range is treated as not finished:
+   tids are dense and may be created later by spawns, so joining one that
+   never materializes is a deadlock, not a no-op. *)
+let finished t tid = tid >= 0 && tid < t.nthreads && t.threads.(tid) = Finished
+
+let pending t tid =
+  if tid < 0 || tid >= t.nthreads then invalid_arg "Engine.pending";
+  match t.threads.(tid) with
+  | Parked p -> Some p.op
+  | Running | Finished -> None
+
+let enabled t tid =
+  match t.threads.(tid) with
+  | Parked p -> Objects.enabled t.prog_store ~finished:(finished t) p.op
+  | Running | Finished -> false
+
+let enabled_set t =
+  let rec go tid acc =
+    if tid >= t.nthreads then acc
+    else go (tid + 1) (if enabled t tid then B.add tid acc else acc)
+  in
+  go 0 B.empty
+
+let would_yield t tid =
+  match t.threads.(tid) with
+  | Parked p -> Objects.would_yield t.prog_store p.op
+  | Running | Finished -> false
+
+let alternatives t tid =
+  match t.threads.(tid) with
+  | Parked p -> Op.alternatives p.op
+  | Running | Finished -> 1
+
+let count_op t (op : Op.t) =
+  match op with
+  | Var_read _ | Var_write _ | Var_rmw _ -> t.var_ops <- t.var_ops + 1
+  | Choose _ -> ()
+  | _ -> t.sync_ops <- t.sync_ops + 1
+
+let step t ~tid ~alt =
+  if t.failure <> None then invalid_arg "Engine.step: execution already failed";
+  match t.threads.(tid) with
+  | Running | Finished -> invalid_arg "Engine.step: thread not parked"
+  | Parked p ->
+    if not (Objects.enabled t.prog_store ~finished:(finished t) p.op) then
+      invalid_arg "Engine.step: thread not enabled";
+    let yielded = Objects.would_yield t.prog_store p.op in
+    let enabled_before = enabled_set t in
+    let result =
+      match p.op with
+      | Op.Spawn ->
+        let body =
+          match p.payload with
+          | Some b -> b
+          | None -> failwith "Engine: spawn without a body"
+        in
+        let child = add_thread t body in
+        Runtime.spawn_result := child;
+        1
+      | Op.Choose n ->
+        if alt < 0 || alt >= n then invalid_arg "Engine.step: bad alternative";
+        alt
+      | op ->
+        (match Objects.execute t.prog_store ~self:tid op with
+         | true -> 1
+         | false -> 0
+         | exception Objects.Sync_error m ->
+           record_failure t tid (Sync_misuse m);
+           0)
+    in
+    count_op t p.op;
+    Trace.push t.trace
+      { Trace.step = t.steps; tid; op = p.op; alt;
+        result = result <> 0; yielded; enabled = enabled_before };
+    t.steps <- t.steps + 1;
+    if t.failure = None then begin
+      t.threads.(tid) <- Running;
+      let saved_tid = !Runtime.current_tid in
+      let saved_in = !Runtime.in_thread in
+      Runtime.current_tid := tid;
+      Runtime.in_thread := true;
+      Effect.Deep.continue p.k result;
+      Runtime.current_tid := saved_tid;
+      Runtime.in_thread := saved_in
+    end
+
+let failure t = t.failure
+
+let all_finished t =
+  let rec go tid = tid >= t.nthreads || (t.threads.(tid) = Finished && go (tid + 1)) in
+  go 0
+
+let deadlocked t =
+  (not (all_finished t)) && B.is_empty (enabled_set t) && t.failure = None
+
+let trace t = t.trace
+let store t = t.prog_store
+
+let state_signature t =
+  let h = Objects.signature t.prog_store Fnv.init in
+  let h = ref (Fnv.int h t.nthreads) in
+  for tid = 0 to t.nthreads - 1 do
+    (match t.threads.(tid) with
+     | Finished -> h := Fnv.int !h (-1)
+     | Running -> h := Fnv.int !h (-2)
+     | Parked p ->
+       h := Fnv.string (Fnv.int !h tid) (Op.to_string p.op);
+       h := Fnv.int !h t.op_repeat.(tid);
+       h := Fnv.int !h (Option.value ~default:0 (Hashtbl.find_opt Runtime.regions tid)))
+  done;
+  let h = List.fold_left (fun acc f -> f acc) !h t.snapshotters in
+  match t.snapshot with None -> h | Some f -> Fnv.int h (Int64.to_int (f ()))
+
+let sync_ops t = t.sync_ops
+let var_ops t = t.var_ops
+
+let stop t =
+  t.live <- false;
+  match !active with
+  | Some a when a == t -> active := None
+  | _ -> ()

@@ -1,0 +1,79 @@
+(** One controlled execution of a program.
+
+    The engine is the stateless-model-checking substrate: it boots the
+    program fresh, runs every thread inside an effect handler, and exposes
+    the scheduler-facing view of the current state — the enabled set, each
+    thread's pending operation, and [yield(t)]. The search layer (which owns
+    the fair scheduler and the exploration strategy) decides which thread to
+    [step] next; backtracking is performed by discarding the run and starting
+    a new one ([start] is cheap relative to path length).
+
+    Exactly one run may be active at a time (the engine is single-domain and
+    uses ambient per-run context); this is asserted. *)
+
+module B := Fairmc_util.Bitset
+
+type failure =
+  | Assertion of string  (** [Sync.check]/[Sync.fail] *)
+  | Sync_misuse of string  (** unlock of an unheld mutex, kind confusion, ... *)
+  | Uncaught of string  (** any other exception escaping a thread body *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type t
+
+val start : Program.t -> t
+(** Boot the program: run [boot], create the initial threads, and advance
+    each to its first scheduling point. *)
+
+val nthreads : t -> int
+val steps : t -> int
+
+val enabled_set : t -> B.t
+(** Threads whose pending operation is currently enabled. *)
+
+val pending : t -> int -> Op.t option
+(** Pending operation of a live thread; [None] once finished. *)
+
+val would_yield : t -> int -> bool
+(** [yield(t)] of the paper for the current state. *)
+
+val alternatives : t -> int -> int
+(** Branching factor of the thread's pending operation ([Choose]). *)
+
+val step : t -> tid:int -> alt:int -> unit
+(** Execute one transition of [tid] (which must be enabled): apply its
+    pending operation and run it to its next scheduling point. Newly spawned
+    threads are advanced to their first scheduling point as part of the
+    transition. *)
+
+val failure : t -> (int * failure) option
+(** Safety violation encountered so far, with the offending thread. *)
+
+val all_finished : t -> bool
+
+val deadlocked : t -> bool
+(** No thread is enabled, yet not all have finished. Under the fair scheduler
+    this is a true deadlock (Theorem 3: the schedulable set is empty iff the
+    enabled set is). *)
+
+val trace : t -> Trace.t
+val store : t -> Objects.t
+
+val state_signature : t -> Fairmc_util.Fnv.t
+(** Signature of the current state: sync-object state, per-thread control
+    information (pending operation, consecutive-op counter, [Sync.at]
+    region), registered [Svar] values, and the program's optional snapshot
+    function. Used for coverage measurement and by the stateful ground-truth
+    search. Must be called while this run is the active one (before any
+    subsequent [start]). *)
+
+val sync_ops : t -> int
+(** Synchronization operations executed (Table 1 accounting: everything
+    except shared-variable accesses and data choices). *)
+
+val var_ops : t -> int
+
+val stop : t -> unit
+(** Mark the run as abandoned; parked continuations are dropped (they are
+    garbage-collected; threads under test must not rely on finalizers). *)

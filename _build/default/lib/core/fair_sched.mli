@@ -1,0 +1,76 @@
+(** The fair demonic scheduler of Musuvathi & Qadeer (PLDI 2008), Algorithm 1.
+
+    The scheduler maintains, per state, a priority relation [P] over threads
+    and three window-tracking sets per thread:
+
+    - [S t]: threads scheduled since the last yield of [t];
+    - [E t]: threads continuously enabled since the last yield of [t];
+    - [D t]: threads disabled by a transition of [t] since its last yield.
+
+    An edge [(t, u) ∈ P] means [t] may be scheduled only when [u] is
+    disabled. The relation starts empty, grows only when a thread yields
+    (penalizing the yielding thread against threads it starved or disabled in
+    the closing window — the set [H] of line 24), and edges into the thread
+    just scheduled are removed (line 13). Theorem 1 shows every infinite
+    execution that satisfies the good-samaritan property is fair; Theorem 3
+    shows the schedulable set is empty only at real deadlocks, which rests on
+    [P] remaining acyclic.
+
+    Values of this type are immutable; [step] returns an updated scheduler.
+    The stateless search re-executes from the initial state on every
+    backtrack, so it simply recomputes the scheduler state along the replay.
+
+    The [k] parameter implements the paper's final remark in Section 3:
+    process only every [k]-th yield of each thread, which extends soundness
+    to programs whose states need executions with yield count up to [k-1]. *)
+
+type t
+
+val create : nthreads:int -> ?k:int -> unit -> t
+(** Initial scheduler state for threads [0 .. nthreads-1]: [P] empty and each
+    window initialized per the paper ([E(u) = {}], [D(u) = S(u) = Tid]) so
+    that the first yield of any thread leaves [P] unchanged.
+    @param k process every [k]-th yield; default 1. *)
+
+val nthreads : t -> int
+
+val add_thread : t -> t
+(** Account for a dynamically spawned thread (CHESS supports programs that
+    create threads mid-execution). The new thread's window is initialized
+    exactly like at [create]; it does not appear in the windows of existing
+    threads, which is sound because it cannot have been starved before
+    existing. *)
+
+val schedulable : t -> enabled:Fairmc_util.Bitset.t -> Fairmc_util.Bitset.t
+(** Line 7: [T = ES \ pre(P, ES)] — the enabled threads not deprioritized
+    below another enabled thread. By Theorem 3, the result is empty iff
+    [enabled] is empty. *)
+
+val step :
+  t ->
+  chosen:int ->
+  yielded:bool ->
+  es_before:Fairmc_util.Bitset.t ->
+  es_after:Fairmc_util.Bitset.t ->
+  t
+(** Lines 12–29: update after [chosen] executed one transition. [yielded] is
+    [yield(curr, chosen)] — whether that transition was a yield; [es_before]
+    and [es_after] are the enabled sets of the states around the transition. *)
+
+(** {1 Introspection (tests, theorems, diagnostics)} *)
+
+val priority_pairs : t -> (int * int) list
+(** Current edges [(t, u)] of [P]. *)
+
+val priority_blocked : t -> enabled:Fairmc_util.Bitset.t -> Fairmc_util.Bitset.t
+(** Enabled threads excluded from the schedulable set by [P]; a context
+    switch forced this way is a fairness preemption, which context-bounded
+    search must not count (paper §4). *)
+
+val sets : t -> tid:int -> Fairmc_util.Bitset.t * Fairmc_util.Bitset.t * Fairmc_util.Bitset.t
+(** [(E t, D t, S t)] — window sets for [tid]. *)
+
+val is_acyclic : t -> bool
+(** The loop invariant of Theorem 3. Always true; exposed for tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Fair stateless model checking — core library.
+
+    An OCaml reproduction of the CHESS fair scheduler (Musuvathi & Qadeer,
+    "Fair Stateless Model Checking", PLDI 2008). See {!Checker} for the
+    entry point, {!Sync} for the API programs under test use, and
+    {!Fair_sched} for the paper's Algorithm 1. *)
+
+module Op = Op
+module Objects = Objects
+module Runtime = Runtime
+module Sync = Sync
+module Sync_extras = Sync_extras
+module Program = Program
+module Engine = Engine
+module Trace = Trace
+module Fair_sched = Fair_sched
+module Search_config = Search_config
+module Search = Search
+module Report = Report
+module Checker = Checker
+module Repro = Repro
+module Indep = Indep

@@ -1,0 +1,27 @@
+let global_effect (op : Op.t) ~fair =
+  match op with
+  | Spawn -> true  (* changes the thread structure *)
+  | Yield | Sleep -> fair  (* yields update the fair scheduler's priorities *)
+  | Timed_lock _ | Sem_timed_wait _ | Ev_timed_wait _ ->
+    fair  (* may time out, which is a yield *)
+  | Lock _ | Try_lock _ | Unlock _ | Sem_wait _ | Sem_try_wait _ | Sem_post _
+  | Ev_wait _ | Ev_set _ | Ev_reset _ | Var_read _ | Var_write _ | Var_rmw _
+  | Join _ | Choose _ -> false
+
+let independent ~t1 ~op1 ~t2 ~op2 ~fair =
+  t1 <> t2
+  && (not (global_effect op1 ~fair))
+  && (not (global_effect op2 ~fair))
+  &&
+  (* A join depends on every operation of the joined thread. *)
+  (match (op1 : Op.t), (op2 : Op.t) with
+   | Join j, _ when j = t2 -> false
+   | _, Join j when j = t1 -> false
+   | _ ->
+     (match Op.obj_of op1, Op.obj_of op2 with
+      | Some o1, Some o2 when o1 = o2 ->
+        (* Same object: only two plain reads commute. *)
+        (match op1, op2 with
+         | Var_read _, Var_read _ -> true
+         | _ -> false)
+      | _ -> true))

@@ -1,0 +1,13 @@
+(** Conservative independence relation on operations, for sleep-set
+    partial-order reduction (the paper's Section 5 names POR for fair
+    stateless search as future work; this is our implementation of the
+    classic Godefroid sleep sets on top of the engine).
+
+    Two operations are independent when executing them in either order from
+    any state yields the same state and neither enables/disables the other.
+    We approximate: operations of distinct threads touching distinct
+    synchronization objects are independent, except for operations with
+    global effect (spawn, join, and — under the fair scheduler — yields,
+    which mutate scheduler priorities). *)
+
+val independent : t1:int -> op1:Op.t -> t2:int -> op2:Op.t -> fair:bool -> bool

@@ -1,0 +1,62 @@
+type obj = int
+
+type t =
+  | Lock of obj
+  | Try_lock of obj
+  | Timed_lock of obj
+  | Unlock of obj
+  | Sem_wait of obj
+  | Sem_try_wait of obj
+  | Sem_timed_wait of obj
+  | Sem_post of obj
+  | Ev_wait of obj
+  | Ev_timed_wait of obj
+  | Ev_set of obj
+  | Ev_reset of obj
+  | Var_read of obj
+  | Var_write of obj
+  | Var_rmw of obj
+  | Yield
+  | Sleep
+  | Join of int
+  | Spawn
+  | Choose of int
+
+let obj_of = function
+  | Lock o | Try_lock o | Timed_lock o | Unlock o
+  | Sem_wait o | Sem_try_wait o | Sem_timed_wait o | Sem_post o
+  | Ev_wait o | Ev_timed_wait o | Ev_set o | Ev_reset o
+  | Var_read o | Var_write o | Var_rmw o -> Some o
+  | Yield | Sleep | Join _ | Spawn | Choose _ -> None
+
+let is_blocking_kind = function
+  | Lock _ | Sem_wait _ | Ev_wait _ | Join _ -> true
+  | Try_lock _ | Timed_lock _ | Unlock _ | Sem_try_wait _ | Sem_timed_wait _
+  | Sem_post _ | Ev_timed_wait _ | Ev_set _ | Ev_reset _
+  | Var_read _ | Var_write _ | Var_rmw _ | Yield | Sleep | Spawn | Choose _ -> false
+
+let alternatives = function Choose n -> n | _ -> 1
+
+let pp ppf = function
+  | Lock o -> Format.fprintf ppf "lock(#%d)" o
+  | Try_lock o -> Format.fprintf ppf "trylock(#%d)" o
+  | Timed_lock o -> Format.fprintf ppf "timedlock(#%d)" o
+  | Unlock o -> Format.fprintf ppf "unlock(#%d)" o
+  | Sem_wait o -> Format.fprintf ppf "sem_wait(#%d)" o
+  | Sem_try_wait o -> Format.fprintf ppf "sem_trywait(#%d)" o
+  | Sem_timed_wait o -> Format.fprintf ppf "sem_timedwait(#%d)" o
+  | Sem_post o -> Format.fprintf ppf "sem_post(#%d)" o
+  | Ev_wait o -> Format.fprintf ppf "ev_wait(#%d)" o
+  | Ev_timed_wait o -> Format.fprintf ppf "ev_timedwait(#%d)" o
+  | Ev_set o -> Format.fprintf ppf "ev_set(#%d)" o
+  | Ev_reset o -> Format.fprintf ppf "ev_reset(#%d)" o
+  | Var_read o -> Format.fprintf ppf "read(#%d)" o
+  | Var_write o -> Format.fprintf ppf "write(#%d)" o
+  | Var_rmw o -> Format.fprintf ppf "rmw(#%d)" o
+  | Yield -> Format.fprintf ppf "yield"
+  | Sleep -> Format.fprintf ppf "sleep"
+  | Join t -> Format.fprintf ppf "join(t%d)" t
+  | Spawn -> Format.fprintf ppf "spawn"
+  | Choose n -> Format.fprintf ppf "choose(%d)" n
+
+let to_string op = Format.asprintf "%a" pp op

@@ -1,0 +1,11 @@
+type booted = {
+  threads : (unit -> unit) list;
+  snapshot : (unit -> Fairmc_util.Fnv.t) option;
+}
+
+type t = { name : string; boot : unit -> booted }
+
+let make ~name boot = { name; boot }
+
+let of_threads ~name ?snapshot boot =
+  { name; boot = (fun () -> { threads = boot (); snapshot }) }

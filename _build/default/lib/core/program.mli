@@ -1,0 +1,27 @@
+(** Programs under test.
+
+    A program is a recipe for (re-)creating its initial state: [boot] is
+    called once per execution, allocates every synchronization object and all
+    user data fresh, and returns the bodies of the initial threads. Thread
+    bodies interact with the scheduler exclusively through {!Sync}. This is
+    the stateless-model-checking contract: re-running [boot] must produce an
+    identical initial state, and thread bodies must be deterministic apart
+    from scheduling and explicit [Sync.choose] operations. *)
+
+type booted = {
+  threads : (unit -> unit) list;
+      (** Initial threads, in thread-id order starting at 0. More threads may
+          be created during execution with [Sync.spawn]. *)
+  snapshot : (unit -> Fairmc_util.Fnv.t) option;
+      (** Optional user-supplied state abstraction, combined by the engine
+          with the generic scheduling state to form state signatures for
+          coverage measurement (paper §4.2.1 did this manually for two
+          programs; programs written in ChessLang get it for free). *)
+}
+
+type t = { name : string; boot : unit -> booted }
+
+val make : name:string -> (unit -> booted) -> t
+
+val of_threads : name:string -> ?snapshot:(unit -> Fairmc_util.Fnv.t) -> (unit -> (unit -> unit) list) -> t
+(** Convenience wrapper when boot only builds thread bodies. *)

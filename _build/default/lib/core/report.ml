@@ -1,0 +1,73 @@
+type counterexample = {
+  rendered : string;
+  decisions : (int * int) list;
+  length : int;
+}
+
+type divergence_kind =
+  | Fair_nontermination
+  | Good_samaritan_violation of int
+
+type verdict =
+  | Verified
+  | Safety_violation of { tid : int; failure : Engine.failure; cex : counterexample }
+  | Deadlock of { cex : counterexample }
+  | Divergence of { kind : divergence_kind; cex : counterexample }
+  | Limits_reached
+
+type stats = {
+  executions : int;
+  transitions : int;
+  states : int;
+  nonterminating : int;
+  depth_bound_hits : int;
+  max_depth : int;
+  elapsed : float;
+  first_error_execution : int option;
+  first_error_time : float option;
+  sync_ops_per_exec : int;
+  max_threads : int;
+}
+
+type t = { verdict : verdict; stats : stats }
+
+let found_error t =
+  match t.verdict with
+  | Safety_violation _ | Deadlock _ | Divergence _ -> true
+  | Verified | Limits_reached -> false
+
+let verdict_name = function
+  | Verified -> "verified"
+  | Safety_violation _ -> "safety violation"
+  | Deadlock _ -> "deadlock"
+  | Divergence { kind = Fair_nontermination; _ } -> "livelock (fair nontermination)"
+  | Divergence { kind = Good_samaritan_violation t; _ } ->
+    Printf.sprintf "good-samaritan violation (thread %d)" t
+  | Limits_reached -> "limits reached"
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "executions: %d, transitions: %d%s%s%s, max depth: %d, elapsed: %.3fs"
+    s.executions s.transitions
+    (if s.states > 0 then Printf.sprintf ", states: %d" s.states else "")
+    (if s.nonterminating > 0 then Printf.sprintf ", nonterminating: %d" s.nonterminating else "")
+    (if s.depth_bound_hits > 0 then Printf.sprintf ", depth-bound hits: %d" s.depth_bound_hits
+     else "")
+    s.max_depth s.elapsed
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s (%a)" (verdict_name t.verdict) pp_stats t.stats
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>result: %s@,%a@]" (verdict_name t.verdict) pp_stats t.stats;
+  let cex =
+    match t.verdict with
+    | Safety_violation { cex; failure; tid } ->
+      Format.fprintf ppf "@,thread %d: %a" tid Engine.pp_failure failure;
+      Some cex
+    | Deadlock { cex } | Divergence { cex; _ } -> Some cex
+    | Verified | Limits_reached -> None
+  in
+  match cex with
+  | None -> ()
+  | Some cex -> Format.fprintf ppf "@,@[<v>counterexample (%d steps):@,%s@]" cex.length cex.rendered

@@ -1,0 +1,43 @@
+(** Search results: verdicts, counterexamples, statistics. *)
+
+type counterexample = {
+  rendered : string;  (** pretty-printed trace (tail for divergences) *)
+  decisions : (int * int) list;  (** replayable (tid, alt) schedule *)
+  length : int;
+}
+
+type divergence_kind =
+  | Fair_nontermination
+      (** a fair infinite execution in the limit — a livelock (paper outcome 3) *)
+  | Good_samaritan_violation of int
+      (** the tail starves enabled threads while thread [tid] runs without
+          yielding (paper outcome 2) *)
+
+type verdict =
+  | Verified  (** the search space was exhausted without finding an error *)
+  | Safety_violation of { tid : int; failure : Engine.failure; cex : counterexample }
+  | Deadlock of { cex : counterexample }
+  | Divergence of { kind : divergence_kind; cex : counterexample }
+  | Limits_reached
+      (** execution/time budget exhausted before completing the search *)
+
+type stats = {
+  executions : int;
+  transitions : int;
+  states : int;  (** distinct state signatures, when coverage is enabled *)
+  nonterminating : int;  (** executions that hit the hard step cap *)
+  depth_bound_hits : int;  (** paths pruned at the depth bound (Figure 2) *)
+  max_depth : int;
+  elapsed : float;
+  first_error_execution : int option;
+  first_error_time : float option;
+  sync_ops_per_exec : int;  (** max over executions — Table 1 accounting *)
+  max_threads : int;
+}
+
+type t = { verdict : verdict; stats : stats }
+
+val found_error : t -> bool
+val verdict_name : verdict -> string
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type t = {
+  program : string;
+  decisions : (int * int) list;
+}
+
+let magic = "fairmc-repro 1"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf t.program;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i (tid, alt) ->
+      if i > 0 then Buffer.add_char buf (if i mod 16 = 0 then '\n' else ' ');
+      Buffer.add_string buf (string_of_int tid);
+      if alt <> 0 then begin
+        Buffer.add_char buf '.';
+        Buffer.add_string buf (string_of_int alt)
+      end)
+    t.decisions;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let of_string s =
+  match String.index_opt s '\n' with
+  | None -> Error "missing header line"
+  | Some nl ->
+    let header = String.sub s 0 nl in
+    let body = String.sub s (nl + 1) (String.length s - nl - 1) in
+    if String.length header < String.length magic
+       || String.sub header 0 (String.length magic) <> magic
+    then Error (Printf.sprintf "not a repro file (expected %S header)" magic)
+    else begin
+      let program = String.trim (String.sub header (String.length magic)
+                                   (String.length header - String.length magic)) in
+      if program = "" then Error "missing program name in header"
+      else begin
+        let words =
+          String.split_on_char '\n' body
+          |> List.concat_map (String.split_on_char ' ')
+          |> List.filter (fun w -> w <> "")
+        in
+        let parse w =
+          match String.index_opt w '.' with
+          | None -> (match int_of_string_opt w with Some t -> Some (t, 0) | None -> None)
+          | Some i -> (
+            match
+              ( int_of_string_opt (String.sub w 0 i),
+                int_of_string_opt (String.sub w (i + 1) (String.length w - i - 1)) )
+            with
+            | Some t, Some a -> Some (t, a)
+            | _ -> None)
+        in
+        let rec go acc = function
+          | [] -> Ok { program; decisions = List.rev acc }
+          | w :: rest -> (
+            match parse w with
+            | Some d -> go (d :: acc) rest
+            | None -> Error (Printf.sprintf "malformed decision %S" w))
+        in
+        go [] words
+      end
+    end
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc (to_string t)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let len = in_channel_length ic in
+    of_string (really_input_string ic len)

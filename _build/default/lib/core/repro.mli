@@ -1,0 +1,27 @@
+(** Reproduction files: serialized counterexample schedules.
+
+    A bug report from a stateless checker is only as good as its replay
+    (CHESS's headline feature was deterministic reproduction of heisenbugs).
+    A repro file records the program's name and the exact (thread,
+    alternative) decision sequence; [Search.replay] re-executes it. The
+    format is a stable, human-readable text file:
+
+    {v
+    fairmc-repro 1 <program-name>
+    <tid>.<alt> <tid>.<alt> ...
+    v} *)
+
+type t = {
+  program : string;
+  decisions : (int * int) list;
+}
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse; [Error] carries a human-readable reason. *)
+
+val save : string -> t -> unit
+(** Write to a file. *)
+
+val load : string -> (t, string) result

@@ -1,0 +1,26 @@
+type _ Effect.t += Sched : Op.t -> int Effect.t
+
+exception Assertion_failure of string
+
+let store : Objects.t option ref = ref None
+
+let get_store () =
+  match !store with
+  | Some s -> s
+  | None -> failwith "Sync operation outside of a model-checked execution"
+
+let in_thread = ref false
+let current_tid = ref (-1)
+let spawn_body : (unit -> unit) option ref = ref None
+let spawn_result = ref (-1)
+let snapshotters : (Fairmc_util.Fnv.t -> Fairmc_util.Fnv.t) list ref = ref []
+let regions : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let reset s =
+  store := Some s;
+  in_thread := false;
+  current_tid := -1;
+  spawn_body := None;
+  spawn_result := -1;
+  snapshotters := [];
+  Hashtbl.reset regions

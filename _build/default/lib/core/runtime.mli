@@ -1,0 +1,50 @@
+(** Shared context between the engine and the {!Sync} user API.
+
+    Threads under test communicate with the engine by performing the
+    {!extension-Sched} effect at every visible operation; the engine parks
+    the continuation and later resumes it with the operation's result. The
+    mutable cells below carry side-band data (spawn bodies, results,
+    state-snapshot hooks) for the current execution. They are safe because
+    the checker is strictly single-domain: exactly one of {engine, one
+    thread} runs at any instant. *)
+
+type _ Effect.t +=
+  | Sched : Op.t -> int Effect.t
+        (** Performed by a thread at each scheduling point. The integer reply
+            encodes the operation result: 0/1 for booleans, the chosen
+            alternative for [Choose]. *)
+
+exception Assertion_failure of string
+(** Raised by [Sync.check]; reported as a safety violation with the trace. *)
+
+val store : Objects.t option ref
+(** Sync-object store of the execution being built or run. *)
+
+val get_store : unit -> Objects.t
+(** @raise Failure outside [boot]/execution. *)
+
+val in_thread : bool ref
+(** True while control is inside a thread under test (effects are handled). *)
+
+val current_tid : int ref
+
+val spawn_body : (unit -> unit) option ref
+(** Set by [Sync.spawn] immediately before performing [Spawn]; captured by
+    the engine's handler at park time (so interleaved spawns cannot clobber
+    each other). *)
+
+val spawn_result : int ref
+(** Tid of the most recently created thread; read by [Sync.spawn] immediately
+    after its effect returns, before any other thread can run. *)
+
+val snapshotters : (Fairmc_util.Fnv.t -> Fairmc_util.Fnv.t) list ref
+(** State-signature contributions registered during [boot] (e.g. by
+    [Sync.Svar.create ~hash]); folded into every state signature. *)
+
+val regions : (int, int) Hashtbl.t
+(** Per-thread control-region registers (see [Sync.at]): a manual control
+    abstraction hashed into state signatures, the analogue of the paper's
+    hand-written state extraction (§4.2.1). Cleared by [reset]. *)
+
+val reset : Objects.t -> unit
+(** Install a fresh store and clear all side-band state (engine use). *)

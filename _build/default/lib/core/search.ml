@@ -1,0 +1,413 @@
+module B = Fairmc_util.Bitset
+module Rng = Fairmc_util.Rng
+module C = Search_config
+
+type alt = { tid : int; alt : int; cost : int }
+
+type frame = {
+  mutable chosen : alt;
+  mutable rest : alt list;
+  mutable sleep : B.t;
+}
+
+(* Why a path ended. *)
+type path_end =
+  | P_terminated
+  | P_deadlock
+  | P_safety of int * Engine.failure
+  | P_divergence of Report.divergence_kind
+  | P_nonterminating  (* hit the hard step cap *)
+  | P_pruned  (* depth bound without random tail, or CB/sleep-set pruning *)
+  | P_timeout
+
+type state = {
+  cfg : C.t;
+  prog : Program.t;
+  mutable frames : frame array;
+  mutable nframes : int;
+  states : (int64, unit) Hashtbl.t;
+  rng : Rng.t;
+  t0 : float;
+  mutable executions : int;
+  mutable transitions : int;
+  mutable nonterminating : int;
+  mutable depth_bound_hits : int;
+  mutable max_depth : int;
+  mutable first_error_execution : int option;
+  mutable first_error_time : float option;
+  mutable sync_ops_per_exec : int;
+  mutable max_threads : int;
+}
+
+let dummy_frame = { chosen = { tid = 0; alt = 0; cost = 0 }; rest = []; sleep = B.empty }
+
+let push_frame st fr =
+  if st.nframes = Array.length st.frames then begin
+    let a = Array.make (max 64 (2 * st.nframes)) dummy_frame in
+    Array.blit st.frames 0 a 0 st.nframes;
+    st.frames <- a
+  end;
+  st.frames.(st.nframes) <- fr;
+  st.nframes <- st.nframes + 1
+
+let elapsed st = Unix.gettimeofday () -. st.t0
+
+let out_of_time st =
+  match st.cfg.time_limit with None -> false | Some l -> elapsed st > l
+
+(* Debug/analysis hook: receives (signature, decision prefix) for every
+   recorded state. Used by the coverage cross-checking tests. *)
+let state_hook : (int64 -> Engine.t -> unit) option ref = ref None
+
+let record_state st run =
+  if st.cfg.coverage then begin
+    let s = Engine.state_signature run in
+    Hashtbl.replace st.states s ();
+    match !state_hook with None -> () | Some f -> f s run
+  end
+
+(* Alternatives at a fresh systematic node, ordered current-thread-first,
+   with context-switch costs and the sleep-set filter applied. Preempting an
+   enabled, schedulable current thread costs one unit of the context bound;
+   switches forced by fairness or blocking are free (paper, Section 4), and
+   so are switches right after the current thread yielded — a yield is a
+   voluntary release of the processor, not a preemption. *)
+let compute_alts st ~tset ~sleep ~last ~last_yielded ~budget run =
+  let cur_runnable = last >= 0 && B.mem last tset && not last_yielded in
+  let for_tid tid =
+    if st.cfg.sleep_sets && B.mem tid sleep then []
+    else begin
+      let cost = if tid = last then 0 else if cur_runnable then 1 else 0 in
+      if cost > budget then []
+      else
+        List.init (Engine.alternatives run tid) (fun alt -> { tid; alt; cost })
+    end
+  in
+  let current = if last >= 0 && B.mem last tset then for_tid last else [] in
+  let others =
+    List.concat_map (fun tid -> if tid = last then [] else for_tid tid) (B.elements tset)
+  in
+  (* Prefer staying on the current thread (cheap, finds terminating paths
+     early) — except right after it yielded, where switching is the natural
+     continuation. *)
+  if last_yielded then others @ current else current @ others
+
+(* Classify a divergent (livelock-bound-exceeding) fair execution by its
+   tail: if an enabled thread was starved by non-yielding threads it is a
+   good-samaritan violation; otherwise the tail is fair — a livelock. *)
+let classify_divergence st run : Report.divergence_kind =
+  let tr = Engine.trace run in
+  let evs = Trace.last_n tr (min st.cfg.tail_window (Trace.length tr)) in
+  let scheduled = Hashtbl.create 16 and yielders = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      Hashtbl.replace scheduled e.tid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt scheduled e.tid));
+      if e.yielded then Hashtbl.replace yielders e.tid ())
+    evs;
+  let es = Engine.enabled_set run in
+  let starved = B.filter (fun t -> not (Hashtbl.mem scheduled t)) es in
+  if B.is_empty starved then Report.Fair_nontermination
+  else begin
+    (* Blame the most-scheduled thread, preferring one that never yielded in
+       the window. *)
+    let hog, _ =
+      Hashtbl.fold
+        (fun tid n (best, bn) ->
+          let score = if Hashtbl.mem yielders tid then n else n + 1_000_000 in
+          if score > bn then (tid, score) else (best, bn))
+        scheduled (-1, min_int)
+    in
+    Report.Good_samaritan_violation hog
+  end
+
+let render_cex ?(tail = false) st run =
+  let tr = Engine.trace run in
+  let names = Objects.pp_obj (Engine.store run) in
+  let tail_n =
+    if tail then Some st.cfg.tail_window
+    else if Trace.length tr > 400 then Some 400
+    else None
+  in
+  let rendered = Format.asprintf "@[<v>%a@]" (Trace.pp ?tail:tail_n ~names) tr in
+  { Report.rendered; decisions = Trace.decisions tr; length = Trace.length tr }
+
+(* Execute one path: replay the frame prefix (systematic modes), then extend
+   with fresh decisions until the path ends. *)
+let execute_path st ~systematic =
+  let run = Engine.start st.prog in
+  Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
+  let cfg = st.cfg in
+  let fair = ref (Fair_sched.create ~nthreads:(Engine.nthreads run) ~k:cfg.fair_k ()) in
+  let budget = ref (match cfg.mode with C.Context_bounded c -> c | _ -> max_int) in
+  let last = ref (-1) in
+  let last_yielded = ref false in
+  let depth = ref 0 in
+  let crossed_db = ref false in
+  let rr_next = ref 0 in
+  (* Sleep set of the next fresh node, computed when its parent's decision is
+     applied (we need the parent state's pending operations). *)
+  let pending_sleep = ref B.empty in
+  let livelock_bound =
+    if cfg.fair then Option.value cfg.livelock_bound ~default:cfg.max_steps else max_int
+  in
+  record_state st run;
+  let apply (a : alt) =
+    if cfg.sleep_sets && systematic && !depth > 0 && !depth = st.nframes then begin
+      (* The next node is fresh: derive its sleep set from this node's. *)
+      let fr = st.frames.(!depth - 1) in
+      match Engine.pending run a.tid with
+      | None -> pending_sleep := B.empty
+      | Some op_a ->
+        pending_sleep :=
+          B.filter
+            (fun u ->
+              match Engine.pending run u with
+              | None -> false
+              | Some op_u ->
+                Indep.independent ~t1:a.tid ~op1:op_a ~t2:u ~op2:op_u ~fair:cfg.fair)
+            fr.sleep
+    end
+    else pending_sleep := B.empty;
+    let es_before = Engine.enabled_set run in
+    let yielded = Engine.would_yield run a.tid in
+    let nth_before = Engine.nthreads run in
+    budget := !budget - a.cost;
+    Engine.step run ~tid:a.tid ~alt:a.alt;
+    for _ = nth_before + 1 to Engine.nthreads run do
+      fair := Fair_sched.add_thread !fair
+    done;
+    if cfg.fair then begin
+      let es_after = Engine.enabled_set run in
+      fair := Fair_sched.step !fair ~chosen:a.tid ~yielded ~es_before ~es_after
+    end;
+    last := a.tid;
+    last_yielded := yielded;
+    st.transitions <- st.transitions + 1;
+    st.max_depth <- max st.max_depth (Engine.steps run);
+    record_state st run
+  in
+  let random_from tset =
+    let tid = B.nth tset (Rng.int st.rng (B.cardinal tset)) in
+    let alts = Engine.alternatives run tid in
+    { tid; alt = (if alts = 1 then 0 else Rng.int st.rng alts); cost = 0 }
+  in
+  let sample tset =
+    match cfg.mode with
+    | C.Random_walk _ -> random_from tset
+    | C.Round_robin ->
+      let n = Engine.nthreads run in
+      let rec find i =
+        let tid = i mod n in
+        if B.mem tid tset then tid else find (i + 1)
+      in
+      let tid = find !rr_next in
+      rr_next := tid + 1;
+      { tid; alt = 0; cost = 0 }
+    | C.Priority_random _ ->
+      (* Apt–Olderog-style: fresh random priorities every step. *)
+      let best = ref (-1) and best_p = ref min_int in
+      B.iter
+        (fun tid ->
+          let p = Rng.int st.rng 1_000_000 in
+          if p > !best_p then begin best := tid; best_p := p end)
+        tset;
+      let alts = Engine.alternatives run !best in
+      { tid = !best; alt = (if alts = 1 then 0 else Rng.int st.rng alts); cost = 0 }
+    | C.Dfs | C.Context_bounded _ -> assert false
+  in
+  let rec loop () =
+    match Engine.failure run with
+    | Some (tid, f) -> P_safety (tid, f)
+    | None ->
+      if Engine.all_finished run then P_terminated
+      else begin
+        let es = Engine.enabled_set run in
+        if B.is_empty es then P_deadlock
+        else begin
+          let steps = Engine.steps run in
+          if cfg.fair && steps >= livelock_bound then
+            P_divergence (classify_divergence st run)
+          else if steps >= cfg.max_steps then P_nonterminating
+          else if steps land 4095 = 4095 && out_of_time st then P_timeout
+          else begin
+            let tset = if cfg.fair then Fair_sched.schedulable !fair ~enabled:es else es in
+            (* Theorem 3: T is empty iff ES is empty. *)
+            assert (not (B.is_empty tset));
+            let decision =
+              if systematic && !depth < st.nframes then begin
+                let fr = st.frames.(!depth) in
+                incr depth;
+                Some fr.chosen
+              end
+              else if not systematic then Some (sample tset)
+              else begin
+                let beyond_db =
+                  (not cfg.fair)
+                  && (match cfg.depth_bound with Some db -> steps >= db | None -> false)
+                in
+                if beyond_db then begin
+                  if not !crossed_db then begin
+                    st.depth_bound_hits <- st.depth_bound_hits + 1;
+                    crossed_db := true
+                  end;
+                  if cfg.random_tail then Some (random_from tset) else None
+                end
+                else begin
+                  match
+                    compute_alts st ~tset ~sleep:!pending_sleep ~last:!last
+                      ~last_yielded:!last_yielded ~budget:!budget run
+                  with
+                  | [] -> None  (* everything pruned by sleep sets *)
+                  | a :: rest ->
+                    push_frame st { chosen = a; rest; sleep = !pending_sleep };
+                    incr depth;
+                    Some a
+                end
+              end
+            in
+            match decision with
+            | None ->
+              if Sys.getenv_opt "FAIRMC_DEBUG" <> None then
+                Format.eprintf "PRUNE: depth=%d nframes=%d steps=%d tset=%a last=%d budget=%d@."
+                  !depth st.nframes steps B.pp tset !last !budget;
+              P_pruned
+            | Some a ->
+              apply a;
+              loop ()
+          end
+        end
+      end
+  in
+  let outcome = loop () in
+  if Sys.getenv_opt "FAIRMC_DEBUG" <> None then begin
+    let ends = match outcome with
+      | P_terminated -> "term" | P_deadlock -> "dead" | P_safety _ -> "safe"
+      | P_divergence _ -> "div" | P_nonterminating -> "nonterm" | P_pruned -> "pruned"
+      | P_timeout -> "timeout" in
+    Format.eprintf "path[%s len=%d]: %s@." ends (Engine.steps run)
+      (String.concat "" (List.map (fun (t, _) -> string_of_int t) (Trace.decisions (Engine.trace run))))
+  end;
+  st.sync_ops_per_exec <- max st.sync_ops_per_exec (Engine.sync_ops run);
+  st.max_threads <- max st.max_threads (Engine.nthreads run);
+  (outcome, run)
+
+(* Advance the DFS to the next unexplored decision; false when exhausted. *)
+let backtrack st =
+  let rec go () =
+    if st.nframes = 0 then false
+    else begin
+      let fr = st.frames.(st.nframes - 1) in
+      match fr.rest with
+      | [] ->
+        st.nframes <- st.nframes - 1;
+        go ()
+      | a :: rest ->
+        if st.cfg.sleep_sets && a.tid <> fr.chosen.tid then
+          fr.sleep <- B.add fr.chosen.tid fr.sleep;
+        fr.chosen <- a;
+        fr.rest <- rest;
+        true
+    end
+  in
+  go ()
+
+let stats_of st =
+  { Report.executions = st.executions;
+    transitions = st.transitions;
+    states = Hashtbl.length st.states;
+    nonterminating = st.nonterminating;
+    depth_bound_hits = st.depth_bound_hits;
+    max_depth = st.max_depth;
+    elapsed = elapsed st;
+    first_error_execution = st.first_error_execution;
+    first_error_time = st.first_error_time;
+    sync_ops_per_exec = st.sync_ops_per_exec;
+    max_threads = st.max_threads }
+
+let run cfg prog =
+  let st =
+    { cfg;
+      prog;
+      frames = Array.make 64 dummy_frame;
+      nframes = 0;
+      states = Hashtbl.create 4096;
+      rng = Rng.make cfg.seed;
+      t0 = Unix.gettimeofday ();
+      executions = 0;
+      transitions = 0;
+      nonterminating = 0;
+      depth_bound_hits = 0;
+      max_depth = 0;
+      first_error_execution = None;
+      first_error_time = None;
+      sync_ops_per_exec = 0;
+      max_threads = 0 }
+  in
+  let systematic =
+    match cfg.mode with
+    | C.Dfs | C.Context_bounded _ -> true
+    | C.Random_walk _ | C.Round_robin | C.Priority_random _ -> false
+  in
+  let sampling_budget =
+    match cfg.mode with
+    | C.Random_walk n | C.Priority_random n -> n
+    | C.Round_robin -> 1
+    | C.Dfs | C.Context_bounded _ -> max_int
+  in
+  let verdict = ref None in
+  let mark_error () =
+    st.first_error_execution <- Some st.executions;
+    st.first_error_time <- Some (elapsed st)
+  in
+  while !verdict = None do
+    let outcome, run_ = execute_path st ~systematic in
+    st.executions <- st.executions + 1;
+    (match outcome with
+     | P_terminated | P_pruned -> ()
+     | P_deadlock ->
+       mark_error ();
+       verdict := Some (Report.Deadlock { cex = render_cex st run_ })
+     | P_safety (tid, failure) ->
+       mark_error ();
+       verdict := Some (Report.Safety_violation { tid; failure; cex = render_cex st run_ })
+     | P_divergence kind ->
+       mark_error ();
+       verdict := Some (Report.Divergence { kind; cex = render_cex ~tail:true st run_ })
+     | P_nonterminating -> st.nonterminating <- st.nonterminating + 1
+     | P_timeout -> verdict := Some Report.Limits_reached);
+    if !verdict = None then begin
+      (match cfg.max_executions with
+       | Some m when st.executions >= m -> verdict := Some Report.Limits_reached
+       | _ -> ());
+      if out_of_time st then verdict := Some Report.Limits_reached
+    end;
+    if !verdict = None then begin
+      if systematic then begin
+        if not (backtrack st) then verdict := Some Report.Verified
+      end
+      else if st.executions >= sampling_budget then verdict := Some Report.Limits_reached
+    end
+  done;
+  { Report.verdict = Option.get !verdict; stats = stats_of st }
+
+let replay prog decisions callback =
+  let run = Engine.start prog in
+  Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
+  let ok = ref true in
+  List.iter
+    (fun (tid, alt) ->
+      if !ok && Engine.failure run = None then begin
+        match Engine.pending run tid with
+        | Some _ when B.mem tid (Engine.enabled_set run) ->
+          Engine.step run ~tid ~alt;
+          callback run
+        | _ -> ok := false
+      end)
+    decisions;
+  match Engine.failure run with
+  | Some _ ->
+    let names = Objects.pp_obj (Engine.store run) in
+    let rendered = Format.asprintf "@[<v>%a@]" (Trace.pp ?tail:None ~names) (Engine.trace run) in
+    Some { Report.rendered; decisions; length = Trace.length (Engine.trace run) }
+  | None -> None

@@ -1,0 +1,26 @@
+(** The state-space explorer.
+
+    Drives {!Engine} executions according to a {!Search_config}: systematic
+    modes (DFS, context-bounded) enumerate scheduling decisions depth-first
+    with stateless backtracking (each new path re-executes the program from
+    its initial state, replaying the decision prefix); sampling modes
+    (random walk, round-robin, random-priority) run a fixed number of
+    independent executions.
+
+    When [config.fair] is set, scheduling decisions are restricted to the
+    schedulable set [T] of Algorithm 1, computed by {!Fair_sched} along every
+    path. Fair executions that exceed the livelock bound are reported as
+    divergences and classified (good-samaritan violation vs. fair
+    nontermination, the paper's outcomes 2 and 3). *)
+
+val run : Search_config.t -> Program.t -> Report.t
+
+val state_hook : (int64 -> Engine.t -> unit) option ref
+(** Debug/analysis hook invoked on every state recorded during coverage
+    collection (signature + live run). Used by tests that cross-check
+    stateless coverage against the stateful ground truth. *)
+
+val replay : Program.t -> (int * int) list -> (Engine.t -> unit) -> Report.counterexample option
+(** Re-execute a recorded schedule, invoking the callback after every
+    transition; returns the re-rendered counterexample if the schedule ends
+    in a failure. Used to confirm and inspect reported bugs. *)

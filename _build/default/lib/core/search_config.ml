@@ -1,0 +1,67 @@
+type mode =
+  | Dfs
+  | Context_bounded of int
+  | Random_walk of int
+  | Round_robin
+  | Priority_random of int
+
+type t = {
+  fair : bool;
+  fair_k : int;
+  mode : mode;
+  depth_bound : int option;
+  random_tail : bool;
+  max_steps : int;
+  livelock_bound : int option;
+  tail_window : int;
+  max_executions : int option;
+  time_limit : float option;
+  seed : int64;
+  sleep_sets : bool;
+  coverage : bool;
+  verbose : bool;
+}
+
+let default =
+  { fair = true;
+    fair_k = 1;
+    mode = Dfs;
+    depth_bound = None;
+    random_tail = true;
+    max_steps = 20_000;
+    livelock_bound = Some 10_000;
+    tail_window = 500;
+    max_executions = None;
+    time_limit = None;
+    seed = 0x5EEDL;
+    sleep_sets = false;
+    coverage = false;
+    verbose = false }
+
+let fair_dfs = default
+
+let unfair_dfs ~depth_bound =
+  { default with fair = false; depth_bound = Some depth_bound; livelock_bound = None }
+
+let fair_cb c = { default with mode = Context_bounded c }
+
+let unfair_cb c ~depth_bound =
+  { default with
+    fair = false;
+    mode = Context_bounded c;
+    depth_bound = Some depth_bound;
+    livelock_bound = None }
+
+let mode_name = function
+  | Dfs -> "dfs"
+  | Context_bounded c -> Printf.sprintf "cb=%d" c
+  | Random_walk n -> Printf.sprintf "random(%d)" n
+  | Round_robin -> "round-robin"
+  | Priority_random n -> Printf.sprintf "prio-random(%d)" n
+
+let describe t =
+  Printf.sprintf "%s%s%s%s"
+    (mode_name t.mode)
+    (if t.fair then " fair" else " unfair")
+    (match t.depth_bound with Some d -> Printf.sprintf " db=%d" d | None -> "")
+    (if t.sleep_sets then " +sleepsets" else "")

@@ -1,0 +1,60 @@
+(** Search strategy configuration.
+
+    Mirrors the experimental setups of the paper's Section 4: systematic
+    depth-first search and context-bounded search, each with the fair
+    scheduler on or off; unfair searches are depth-bounded and complete each
+    pruned path with a random tail (paper §4.2.1); random-walk, round-robin
+    and random-priority (Apt–Olderog) schedulers are baselines for the
+    discussion in Sections 2 and 5. *)
+
+type mode =
+  | Dfs  (** exhaustive DFS over the schedulable set *)
+  | Context_bounded of int
+      (** DFS over schedules with at most [c] preemptions. A switch away from
+          an enabled current thread costs 1 unless it was forced by the fair
+          scheduler (such switches are not counted — paper §4). *)
+  | Random_walk of int  (** [n] executions with uniform random scheduling *)
+  | Round_robin  (** one execution, threads stepped in cyclic tid order *)
+  | Priority_random of int
+      (** [n] executions of the Apt–Olderog-style scheduler: every thread
+          gets a fresh random priority after each step, highest-priority
+          enabled thread runs. *)
+
+type t = {
+  fair : bool;  (** use the fair scheduler of Algorithm 1 *)
+  fair_k : int;  (** process every k-th yield (paper §3, final remark) *)
+  mode : mode;
+  depth_bound : int option;
+      (** unfair searches: systematic scheduling choices only below this
+          depth. [None] means unbounded (caution: diverges on cyclic state
+          spaces — the problem the paper solves). *)
+  random_tail : bool;
+      (** complete depth-bounded paths with random scheduling to termination,
+          counting states seen on the way (paper §4.2.1) *)
+  max_steps : int;
+      (** hard per-execution cap; reaching it classifies the execution as
+          nonterminating (the Figure 2 measurement) *)
+  livelock_bound : int option;
+      (** fair searches: an execution reaching this many steps is reported as
+          a divergence — the paper's outcomes 2 and 3. Defaults to
+          [max_steps] when [None]. *)
+  tail_window : int;
+      (** suffix length inspected to classify a divergence as a
+          good-samaritan violation vs. fair nontermination *)
+  max_executions : int option;
+  time_limit : float option;  (** seconds *)
+  seed : int64;
+  sleep_sets : bool;  (** sleep-set partial-order reduction (extension) *)
+  coverage : bool;  (** record distinct state signatures *)
+  verbose : bool;
+}
+
+val default : t
+(** Fair DFS: no depth bound, [max_steps = 20_000], livelock bound 10_000. *)
+
+val fair_dfs : t
+val unfair_dfs : depth_bound:int -> t
+val fair_cb : int -> t
+val unfair_cb : int -> depth_bound:int -> t
+
+val describe : t -> string

@@ -1,0 +1,112 @@
+module Condvar = struct
+  (* The counting construction: waiters park on a semaphore, so wakeups can
+     never coalesce (an event-based "pulse" broadcast would — and the
+     checker finds that deadlock immediately if one tries). The waiter count
+     and the permit count are kept consistent under an internal lock; a
+     notification finding no waiters is dropped (Mesa semantics). *)
+  type t = {
+    waiters : int Sync.Svar.t;
+    permits : Sync.Semaphore.t;
+    ilock : Sync.Mutex.t;
+  }
+
+  let create ?(name = "condvar") () =
+    { waiters = Sync.int_var ~name:(name ^ ".waiters") 0;
+      permits = Sync.Semaphore.create ~name:(name ^ ".permits") 0;
+      ilock = Sync.Mutex.create ~name:(name ^ ".ilock") () }
+
+  let wait t ~mutex =
+    Sync.Mutex.lock t.ilock;
+    ignore (Sync.Svar.incr t.waiters);
+    Sync.Mutex.unlock t.ilock;
+    (* Register as a waiter before releasing the user mutex: a notifier that
+       acquires the mutex afterwards is guaranteed to see us, so its wakeup
+       cannot be lost (the permit waits for us even if we are slow). *)
+    Sync.Mutex.unlock mutex;
+    Sync.Semaphore.wait t.permits;
+    Sync.Mutex.lock mutex
+
+  let notify_one t =
+    Sync.Mutex.lock t.ilock;
+    let n = Sync.Svar.get t.waiters in
+    if n > 0 then begin
+      Sync.Svar.set t.waiters (n - 1);
+      Sync.Semaphore.post t.permits
+    end;
+    Sync.Mutex.unlock t.ilock
+
+  let notify_all t =
+    Sync.Mutex.lock t.ilock;
+    let n = Sync.Svar.get t.waiters in
+    Sync.Svar.set t.waiters 0;
+    for _ = 1 to n do
+      Sync.Semaphore.post t.permits
+    done;
+    Sync.Mutex.unlock t.ilock
+end
+
+module Rwlock = struct
+  (* The write gate is a binary semaphore rather than a mutex: it is
+     acquired by the first reader and released by the *last* reader, which
+     mutex ownership rules (rightly) forbid. *)
+  type t = {
+    readers : int Sync.Svar.t;
+    rlock : Sync.Mutex.t;  (* protects [readers] *)
+    wgate : Sync.Semaphore.t;  (* 1 = free; held by the writer or the readers *)
+  }
+
+  let create ?(name = "rwlock") () =
+    { readers = Sync.int_var ~name:(name ^ ".readers") 0;
+      rlock = Sync.Mutex.create ~name:(name ^ ".rlock") ();
+      wgate = Sync.Semaphore.create ~name:(name ^ ".wgate") 1 }
+
+  let lock_read t =
+    Sync.Mutex.lock t.rlock;
+    let n = Sync.Svar.incr t.readers in
+    if n = 0 then Sync.Semaphore.wait t.wgate;
+    Sync.Mutex.unlock t.rlock
+
+  let unlock_read t =
+    Sync.Mutex.lock t.rlock;
+    let n = Sync.Svar.update t.readers (fun v -> v - 1) in
+    if n = 1 then Sync.Semaphore.post t.wgate;
+    Sync.Mutex.unlock t.rlock
+
+  let lock_write t = Sync.Semaphore.wait t.wgate
+  let unlock_write t = Sync.Semaphore.post t.wgate
+end
+
+module Barrier = struct
+  type t = {
+    parties : int;
+    arrived : int Sync.Svar.t;
+    generation : int Sync.Svar.t;
+    lock : Sync.Mutex.t;
+  }
+
+  let create ?(name = "barrier") parties =
+    if parties < 1 then invalid_arg "Barrier.create";
+    { parties;
+      arrived = Sync.int_var ~name:(name ^ ".arrived") 0;
+      generation = Sync.int_var ~name:(name ^ ".gen") 0;
+      lock = Sync.Mutex.create ~name:(name ^ ".lock") () }
+
+  let await t =
+    Sync.Mutex.lock t.lock;
+    let gen = Sync.Svar.get t.generation in
+    let n = Sync.Svar.incr t.arrived + 1 in
+    if n = t.parties then begin
+      (* Last arrival: open the next generation. *)
+      Sync.Svar.set t.arrived 0;
+      Sync.Svar.set t.generation (gen + 1);
+      Sync.Mutex.unlock t.lock
+    end
+    else begin
+      Sync.Mutex.unlock t.lock;
+      (* Spin-with-yield until the generation advances: the good-samaritan
+         idiom the paper's Figure 3 illustrates. *)
+      while Sync.Svar.get t.generation = gen do
+        Sync.yield ()
+      done
+    end
+end

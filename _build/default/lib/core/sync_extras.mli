@@ -1,0 +1,51 @@
+(** Higher-level synchronization primitives, built from the {!Sync} core.
+
+    These are *derived* objects (the engine knows nothing about them): they
+    demonstrate that the modeled primitive set is complete enough to build
+    the usual concurrency toolbox, they give workloads realistic vocabulary,
+    and — because they are implemented rather than axiomatized — the checker
+    verifies *their* interleavings too. A bug in [Condvar] would show up as
+    a lost wakeup in every program using it. *)
+
+module Condvar : sig
+  type t
+  (** A condition variable with classic Mesa semantics: [wait] releases the
+      associated mutex, sleeps until a notification, and re-acquires the
+      mutex before returning (the caller must re-check its predicate). Built
+      from a waiter count and a counting semaphore — counting permits cannot
+      coalesce the way pulsed events do, a deadlock the checker finds
+      immediately in the naive construction. *)
+
+  val create : ?name:string -> unit -> t
+
+  val wait : t -> mutex:Sync.Mutex.t -> unit
+  (** Caller must hold [mutex]. *)
+
+  val notify_one : t -> unit
+  val notify_all : t -> unit
+end
+
+module Rwlock : sig
+  type t
+  (** A reader–writer lock built from a reader count and a binary-semaphore
+      write gate (the gate is acquired by the first reader and released by
+      the last, which mutex ownership rules forbid). *)
+
+  val create : ?name:string -> unit -> t
+  val lock_read : t -> unit
+  val unlock_read : t -> unit
+  val lock_write : t -> unit
+  val unlock_write : t -> unit
+end
+
+module Barrier : sig
+  type t
+  (** A cyclic barrier for [parties] threads, built from a mutex, a counter,
+      and a generation event. *)
+
+  val create : ?name:string -> int -> t
+
+  val await : t -> unit
+  (** Blocks until [parties] threads have arrived; the last arrival releases
+      the generation. Reusable across rounds. *)
+end

@@ -1,0 +1,1 @@
+lib/dsl/fairmc_dsl.ml: Ast Lexer Machine Parser Sema Token

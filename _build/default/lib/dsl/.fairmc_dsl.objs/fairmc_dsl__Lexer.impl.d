@@ -1,0 +1,1 @@
+lib/dsl/lexer.ml: Ast Buffer Lexing List Printf Token

@@ -1,0 +1,1 @@
+lib/dsl/machine.ml: Array Ast Bool Fairmc_core Fairmc_util Format Hashtbl List Op Option Program Sema Sync

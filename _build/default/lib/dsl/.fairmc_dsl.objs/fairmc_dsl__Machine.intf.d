@@ -1,0 +1,1 @@
+lib/dsl/machine.mli: Ast Fairmc_core

@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Ast Filename Lexer List Printf Token

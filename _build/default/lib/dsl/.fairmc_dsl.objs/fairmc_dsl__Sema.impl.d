@@ -1,0 +1,1 @@
+lib/dsl/sema.ml: Ast Format Hashtbl List

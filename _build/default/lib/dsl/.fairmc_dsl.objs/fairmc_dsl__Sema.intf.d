@@ -1,0 +1,1 @@
+lib/dsl/sema.mli: Ast

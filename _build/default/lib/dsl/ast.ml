@@ -1,0 +1,57 @@
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Name of pos * string
+  | Index of pos * string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Try_lock of pos * string
+  | Timed_lock of pos * string
+  | Timed_wait of pos * string
+  | Sem_try of pos * string
+  | Choose of pos * int
+
+type lhs =
+  | Lname of pos * string
+  | Lindex of pos * string * expr
+
+type stmt = { id : int; pos : pos; kind : kind }
+
+and kind =
+  | Local of string * expr
+  | Assign of lhs * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Lock of string
+  | Unlock of string
+  | Wait of string
+  | Set_event of string
+  | Reset_event of string
+  | Sem_p of string
+  | Sem_v of string
+  | Yield
+  | Sleep
+  | Skip
+  | Assert of expr * string
+  | Atomic of block
+
+and block = stmt list
+
+type decl =
+  | Dvar of pos * string * int
+  | Darray of pos * string * int * int
+  | Dmutex of pos * string
+  | Dsem of pos * string * int
+  | Devent of pos * string * bool
+  | Dthread of pos * string * block
+
+type program = { prog_name : string; decls : decl list }
+
+let threads p =
+  List.filter_map (function Dthread (_, n, b) -> Some (n, b) | _ -> None) p.decls

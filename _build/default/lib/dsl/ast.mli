@@ -1,0 +1,69 @@
+(** Abstract syntax of ChessLang.
+
+    ChessLang is a small Promela-flavoured language for writing concurrent
+    litmus programs: integer globals and arrays, mutexes, semaphores,
+    events, and statically declared threads. Its interpreter runs on the
+    model-checking engine with *statement atomicity*: each statement is one
+    transition (one scheduling point), which keeps thread control states
+    explicit and lets the frontend provide exact state signatures — the
+    paper's Figure 3 program is seven lines, and its state space is captured
+    precisely for coverage measurement. *)
+
+type pos = { line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Name of pos * string  (** local or global scalar; resolved by Sema *)
+  | Index of pos * string * expr  (** global array element *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Try_lock of pos * string
+  | Timed_lock of pos * string
+  | Timed_wait of pos * string  (** timed event wait: yields on timeout *)
+  | Sem_try of pos * string
+  | Choose of pos * int
+
+type lhs =
+  | Lname of pos * string
+  | Lindex of pos * string * expr
+
+type stmt = { id : int;  (** unique label, assigned by the parser *) pos : pos; kind : kind }
+
+and kind =
+  | Local of string * expr  (** declare-and-initialize a thread-local *)
+  | Assign of lhs * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Lock of string
+  | Unlock of string
+  | Wait of string
+  | Set_event of string
+  | Reset_event of string
+  | Sem_p of string
+  | Sem_v of string
+  | Yield
+  | Sleep
+  | Skip
+  | Assert of expr * string
+  | Atomic of block
+      (** execute the whole block as a single transition; may not contain
+          synchronization, yields, or demonic choices *)
+
+and block = stmt list
+
+type decl =
+  | Dvar of pos * string * int
+  | Darray of pos * string * int * int  (** name, size, initial value *)
+  | Dmutex of pos * string
+  | Dsem of pos * string * int
+  | Devent of pos * string * bool  (** auto-reset? *)
+  | Dthread of pos * string * block
+
+type program = { prog_name : string; decls : decl list }
+
+val threads : program -> (string * block) list

@@ -1,0 +1,15 @@
+(** ChessLang — a small concurrent language frontend for the fair stateless
+    model checker. See {!Ast} for the syntax, {!Machine} for the execution
+    model. *)
+
+module Ast = Ast
+module Token = Token
+module Lexer = Lexer
+module Parser = Parser
+module Sema = Sema
+module Machine = Machine
+
+(** [load_string src] parses, checks, and compiles a ChessLang program. *)
+let load_string ?name src = Machine.compile (Parser.parse_string ?name src)
+
+let load_file path = Machine.compile (Parser.parse_file path)

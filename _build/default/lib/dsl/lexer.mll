@@ -1,0 +1,80 @@
+{
+(* ChessLang lexer. Produces Token.t values with source positions taken from
+   the lexbuf; comments are '//' to end of line and '/* ... */' (nested). *)
+
+open Token
+
+exception Error of string * Ast.pos
+
+let pos_of lexbuf =
+  let p = Lexing.lexeme_start_p lexbuf in
+  { Ast.line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1 }
+
+let keywords =
+  [ ("program", KW_PROGRAM); ("var", KW_VAR); ("array", KW_ARRAY);
+    ("mutex", KW_MUTEX); ("sem", KW_SEM); ("event", KW_EVENT);
+    ("autoevent", KW_AUTOEVENT); ("thread", KW_THREAD); ("local", KW_LOCAL);
+    ("if", KW_IF); ("else", KW_ELSE); ("while", KW_WHILE); ("yield", KW_YIELD);
+    ("sleep", KW_SLEEP); ("skip", KW_SKIP); ("assert", KW_ASSERT);
+    ("atomic", KW_ATOMIC); ("lock", KW_LOCK); ("unlock", KW_UNLOCK);
+    ("trylock", KW_TRYLOCK); ("timedlock", KW_TIMEDLOCK); ("wait", KW_WAIT);
+    ("timedwait", KW_TIMEDWAIT); ("set", KW_SET); ("reset", KW_RESET);
+    ("p", KW_P); ("v", KW_V); ("semtry", KW_SEMTRY); ("choose", KW_CHOOSE);
+    ("true", KW_TRUE); ("false", KW_FALSE) ]
+}
+
+let ident = ['a'-'z' 'A'-'Z' '_'] ['a'-'z' 'A'-'Z' '0'-'9' '_']*
+let digits = ['0'-'9']+
+let blank = [' ' '\t' '\r']
+
+rule token = parse
+  | blank+ { token lexbuf }
+  | '\n' { Lexing.new_line lexbuf; token lexbuf }
+  | "//" [^ '\n']* { token lexbuf }
+  | "/*" { comment 1 lexbuf; token lexbuf }
+  | digits as n {
+      match int_of_string_opt n with
+      | Some v -> INT v
+      | None -> raise (Error (Printf.sprintf "integer literal %s out of range" n, pos_of lexbuf)) }
+  | ident as id { match List.assoc_opt id keywords with Some kw -> kw | None -> IDENT id }
+  | '"' { STRING (string_lit (Buffer.create 16) lexbuf) }
+  | "(" { LPAREN } | ")" { RPAREN }
+  | "{" { LBRACE } | "}" { RBRACE }
+  | "[" { LBRACKET } | "]" { RBRACKET }
+  | ";" { SEMI } | "," { COMMA }
+  | "==" { EQ } | "!=" { NE }
+  | "<=" { LE } | ">=" { GE }
+  | "<" { LT } | ">" { GT }
+  | "=" { ASSIGN }
+  | "+" { PLUS } | "-" { MINUS } | "*" { STAR } | "/" { SLASH } | "%" { PERCENT }
+  | "&&" { ANDAND } | "||" { OROR } | "!" { BANG }
+  | eof { EOF }
+  | _ as c { raise (Error (Printf.sprintf "unexpected character %C" c, pos_of lexbuf)) }
+
+and comment depth = parse
+  | "*/" { if depth > 1 then comment (depth - 1) lexbuf }
+  | "/*" { comment (depth + 1) lexbuf }
+  | '\n' { Lexing.new_line lexbuf; comment depth lexbuf }
+  | eof { raise (Error ("unterminated comment", pos_of lexbuf)) }
+  | _ { comment depth lexbuf }
+
+and string_lit buf = parse
+  | '"' { Buffer.contents buf }
+  | "\\\"" { Buffer.add_char buf '"'; string_lit buf lexbuf }
+  | "\\\\" { Buffer.add_char buf '\\'; string_lit buf lexbuf }
+  | "\\n" { Buffer.add_char buf '\n'; string_lit buf lexbuf }
+  | '\n' { raise (Error ("newline in string literal", pos_of lexbuf)) }
+  | eof { raise (Error ("unterminated string literal", pos_of lexbuf)) }
+  | _ as c { Buffer.add_char buf c; string_lit buf lexbuf }
+
+{
+(* The position paired with each token is the token's start. *)
+let tokenize_string src =
+  let lexbuf = Lexing.from_string src in
+  let rec go acc =
+    match token lexbuf with
+    | EOF -> List.rev ((EOF, pos_of lexbuf) :: acc)
+    | t -> go ((t, pos_of lexbuf) :: acc)
+  in
+  go []
+}

@@ -1,0 +1,359 @@
+open Ast
+open Fairmc_core
+module Fnv = Fairmc_util.Fnv
+
+(* Runtime objects backing the declarations of one execution. *)
+type objects = {
+  slots : int array;  (* scalar and array storage, in declaration order *)
+  slot_of : (string, int) Hashtbl.t;  (* name -> first slot *)
+  size_of : (string, int) Hashtbl.t;  (* array name -> size; scalars absent *)
+  var_obj : (string, Op.obj) Hashtbl.t;  (* per var/array scheduling identity *)
+  mutexes : (string, Sync.Mutex.t) Hashtbl.t;
+  sems : (string, Sync.Semaphore.t) Hashtbl.t;
+  events : (string, Sync.Event.t) Hashtbl.t;
+}
+
+(* One thread's machine state: a stack of statement lists. The head of the
+   top frame is the next statement; [While] keeps itself at the head while
+   its body runs as a pushed frame, so loop re-tests are ordinary steps. *)
+type tmachine = {
+  tname : string;
+  mutable frames : block list;
+  locals : (string, int) Hashtbl.t;
+  local_names : string list;  (* sorted, for snapshot determinism *)
+}
+
+let is_local_name tm n = List.mem n tm.local_names
+
+exception Runtime_error of string * pos
+
+let rt_err pos fmt =
+  Format.kasprintf (fun m -> raise (Runtime_error (m, pos))) fmt
+
+let silent_fuel = 100_000
+
+let build_objects (info : Sema.info) =
+  let total =
+    List.fold_left
+      (fun acc (_, k) ->
+        match (k : Sema.gkind) with
+        | Scalar -> acc + 1
+        | Array n -> acc + n
+        | Mutex | Sem _ | Event _ -> acc)
+      0 info.kinds
+  in
+  let o =
+    { slots = Array.make (max total 1) 0;
+      slot_of = Hashtbl.create 16;
+      size_of = Hashtbl.create 16;
+      var_obj = Hashtbl.create 16;
+      mutexes = Hashtbl.create 8;
+      sems = Hashtbl.create 8;
+      events = Hashtbl.create 8 }
+  in
+  let next = ref 0 in
+  List.iter
+    (fun (name, k) ->
+      match (k : Sema.gkind) with
+      | Scalar ->
+        Hashtbl.replace o.slot_of name !next;
+        incr next;
+        Hashtbl.replace o.var_obj name (Sync.Raw.var ~name ())
+      | Array n ->
+        Hashtbl.replace o.slot_of name !next;
+        Hashtbl.replace o.size_of name n;
+        next := !next + n;
+        Hashtbl.replace o.var_obj name (Sync.Raw.var ~name ())
+      | Mutex -> Hashtbl.replace o.mutexes name (Sync.Mutex.create ~name ())
+      | Sem init -> Hashtbl.replace o.sems name (Sync.Semaphore.create ~name init)
+      | Event auto -> Hashtbl.replace o.events name (Sync.Event.create ~name ~auto ()))
+    info.kinds;
+  o
+
+let init_slots (prog : program) o =
+  List.iter
+    (fun d ->
+      match d with
+      | Dvar (_, n, init) -> o.slots.(Hashtbl.find o.slot_of n) <- init
+      | Darray (_, n, size, init) ->
+        let base = Hashtbl.find o.slot_of n in
+        for i = 0 to size - 1 do
+          o.slots.(base + i) <- init
+        done
+      | Dmutex _ | Dsem _ | Devent _ | Dthread _ -> ())
+    prog.decls
+
+(* Expression evaluation. Effectful primitives consume [prim], the result
+   of the transition's single scheduler interaction. *)
+let rec eval o tm prim e =
+  match e with
+  | Int n -> n
+  | Name (p, n) ->
+    if is_local_name tm n then
+      match Hashtbl.find_opt tm.locals n with
+      | Some v -> v
+      | None -> rt_err p "local %s read before initialization" n
+    else o.slots.(Hashtbl.find o.slot_of n)
+  | Index (p, a, i) ->
+    let iv = eval o tm prim i in
+    let size = Hashtbl.find o.size_of a in
+    if iv < 0 || iv >= size then rt_err p "index %d out of bounds for %s[%d]" iv a size;
+    o.slots.(Hashtbl.find o.slot_of a + iv)
+  | Binop (op, a, b) -> (
+    let truthy v = v <> 0 in
+    match op with
+    | And -> if truthy (eval o tm prim a) then eval o tm prim b else 0
+    | Or ->
+      let va = eval o tm prim a in
+      if truthy va then 1 else eval o tm prim b
+    | _ ->
+      let va = eval o tm prim a and vb = eval o tm prim b in
+      (match op with
+       | Add -> va + vb
+       | Sub -> va - vb
+       | Mul -> va * vb
+       | Div -> if vb = 0 then rt_err (pos_of e) "division by zero" else va / vb
+       | Mod -> if vb = 0 then rt_err (pos_of e) "modulo by zero" else va mod vb
+       | Eq -> Bool.to_int (va = vb)
+       | Ne -> Bool.to_int (va <> vb)
+       | Lt -> Bool.to_int (va < vb)
+       | Le -> Bool.to_int (va <= vb)
+       | Gt -> Bool.to_int (va > vb)
+       | Ge -> Bool.to_int (va >= vb)
+       | And | Or -> assert false))
+  | Unop (Not, a) -> Bool.to_int (eval o tm prim a = 0)
+  | Unop (Neg, a) -> -eval o tm prim a
+  | Try_lock _ | Timed_lock _ | Timed_wait _ | Sem_try _ | Choose _ -> (
+    match !prim with
+    | Some r ->
+      prim := None;
+      r
+    | None -> assert false)
+
+and pos_of = function
+  | Name (p, _) | Index (p, _, _) | Try_lock (p, _) | Timed_lock (p, _)
+  | Timed_wait (p, _) | Sem_try (p, _) | Choose (p, _) -> p
+  | Int _ | Binop _ | Unop _ -> { line = 0; col = 0 }
+
+(* The single engine operation a statement performs, or [None] for silent
+   statements. *)
+let op_of_stmt (info : Sema.info) o tm (s : stmt) : Op.t option =
+  let prim_op e =
+    match Sema.effectful e with
+    | Some (Try_lock (_, m)) -> Some (Op.Try_lock (Sync.Mutex.id (Hashtbl.find o.mutexes m)))
+    | Some (Timed_lock (_, m)) ->
+      Some (Op.Timed_lock (Sync.Mutex.id (Hashtbl.find o.mutexes m)))
+    | Some (Timed_wait (_, ev)) ->
+      Some (Op.Ev_timed_wait (Sync.Event.id (Hashtbl.find o.events ev)))
+    | Some (Sem_try (_, sm)) ->
+      Some (Op.Sem_timed_wait (Sync.Semaphore.id (Hashtbl.find o.sems sm)))
+    | Some (Choose (_, n)) -> Some (Op.Choose n)
+    | Some _ | None -> None
+  in
+  let read_op exprs =
+    match List.concat_map (fun e -> Sema.globals_read info ~thread:tm.tname e) exprs with
+    | [] -> None
+    | g :: _ -> Some (Op.Var_read (Hashtbl.find o.var_obj g))
+  in
+  let expr_op exprs =
+    match List.find_map prim_op exprs with
+    | Some op -> Some op
+    | None -> read_op exprs
+  in
+  match s.kind with
+  | Local (_, e) | Assert (e, _) -> expr_op [ e ]
+  | Assign (Lname (_, n), e) when not (is_local_name tm n) ->
+    (* Write to a global: one write transition (reads fold into it). *)
+    (match prim_op e with
+     | Some op -> Some op
+     | None -> Some (Op.Var_write (Hashtbl.find o.var_obj n)))
+  | Assign (Lname _, e) -> expr_op [ e ]
+  | Assign (Lindex (_, a, i), e) ->
+    (match expr_op [ e; i ] with
+     | Some (Op.Var_read _) | None -> Some (Op.Var_write (Hashtbl.find o.var_obj a))
+     | Some op -> Some op)
+  | If (c, _, _) | While (c, _) -> expr_op [ c ]
+  | Lock m -> Some (Op.Lock (Sync.Mutex.id (Hashtbl.find o.mutexes m)))
+  | Unlock m -> Some (Op.Unlock (Sync.Mutex.id (Hashtbl.find o.mutexes m)))
+  | Wait ev -> Some (Op.Ev_wait (Sync.Event.id (Hashtbl.find o.events ev)))
+  | Set_event ev -> Some (Op.Ev_set (Sync.Event.id (Hashtbl.find o.events ev)))
+  | Reset_event ev -> Some (Op.Ev_reset (Sync.Event.id (Hashtbl.find o.events ev)))
+  | Sem_p sm -> Some (Op.Sem_wait (Sync.Semaphore.id (Hashtbl.find o.sems sm)))
+  | Sem_v sm -> Some (Op.Sem_post (Sync.Semaphore.id (Hashtbl.find o.sems sm)))
+  | Yield -> Some Op.Yield
+  | Sleep -> Some Op.Sleep
+  | Skip -> None
+  | Atomic b ->
+    (* The whole block is one transition, presented to the scheduler as an
+       interlocked operation on the first global it touches. *)
+    let rec first_global bl =
+      List.find_map
+        (fun (s : stmt) ->
+          match s.kind with
+          | Local (_, e) | Assert (e, _) -> first_of_exprs [ e ]
+          | Assign (Lname (_, n), e) ->
+            if is_local_name tm n then first_of_exprs [ e ] else Some n
+          | Assign (Lindex (_, a, _), _) -> Some a
+          | If (c, t, f) ->
+            (match first_of_exprs [ c ] with
+             | Some g -> Some g
+             | None -> (match first_global t with Some g -> Some g | None -> first_global f))
+          | While (c, b) ->
+            (match first_of_exprs [ c ] with Some g -> Some g | None -> first_global b)
+          | Skip -> None
+          | Atomic b -> first_global b
+          | Lock _ | Unlock _ | Wait _ | Set_event _ | Reset_event _ | Sem_p _
+          | Sem_v _ | Yield | Sleep -> None)
+        bl
+    and first_of_exprs exprs =
+      match List.concat_map (fun e -> Sema.globals_read info ~thread:tm.tname e) exprs with
+      | [] -> None
+      | g :: _ -> Some g
+    in
+    (match first_global b with
+     | Some g -> Some (Op.Var_rmw (Hashtbl.find o.var_obj g))
+     | None -> None)
+
+(* Execute statement [s] (already at the head of the top frame, already
+   "performed" with primitive result in [prim]); updates the frame stack. *)
+let rec exec_stmt o tm prim (s : stmt) rest parents =
+  let continue_with frames = tm.frames <- frames in
+  match s.kind with
+  | Local (n, e) ->
+    Hashtbl.replace tm.locals n (eval o tm prim e);
+    continue_with (rest :: parents)
+  | Assign (Lname (p, n), e) ->
+    let v = eval o tm prim e in
+    if is_local_name tm n then Hashtbl.replace tm.locals n v
+    else begin
+      match Hashtbl.find_opt o.slot_of n with
+      | Some slot -> o.slots.(slot) <- v
+      | None -> rt_err p "unbound variable %s" n
+    end;
+    continue_with (rest :: parents)
+  | Assign (Lindex (p, a, i), e) ->
+    let iv = eval o tm prim i in
+    let v = eval o tm prim e in
+    let size = Hashtbl.find o.size_of a in
+    if iv < 0 || iv >= size then rt_err p "index %d out of bounds for %s[%d]" iv a size;
+    o.slots.(Hashtbl.find o.slot_of a + iv) <- v;
+    continue_with (rest :: parents)
+  | If (c, then_, else_) ->
+    let branch = if eval o tm prim c <> 0 then then_ else else_ in
+    continue_with (branch :: rest :: parents)
+  | While (c, body) ->
+    if eval o tm prim c <> 0 then
+      (* Keep the loop statement in place for the re-test. *)
+      continue_with (body :: (s :: rest) :: parents)
+    else continue_with (rest :: parents)
+  | Lock _ | Unlock _ | Wait _ | Set_event _ | Reset_event _ | Sem_p _ | Sem_v _
+  | Yield | Sleep | Skip ->
+    (* State change already applied by the engine operation. *)
+    continue_with (rest :: parents)
+  | Assert (e, msg) ->
+    if eval o tm prim e = 0 then
+      rt_err s.pos "%s" msg
+    else continue_with (rest :: parents)
+  | Atomic body ->
+    continue_with (rest :: parents);
+    (* Run the whole block without further scheduling points. *)
+    let saved = tm.frames in
+    tm.frames <- [ body ];
+    let fuel = ref silent_fuel in
+    let rec go () =
+      match current tm with
+      | None -> ()
+      | Some (s', rest', parents') ->
+        decr fuel;
+        if !fuel <= 0 then rt_err s.pos "atomic block exceeded %d steps" silent_fuel;
+        exec_stmt o tm (ref None) s' rest' parents';
+        go ()
+    in
+    go ();
+    tm.frames <- saved
+
+(* The next statement of the machine, normalizing empty frames away. *)
+and current tm =
+  match tm.frames with
+  | [] -> None
+  | [] :: parents ->
+    tm.frames <- parents;
+    current tm
+  | (s :: rest) :: parents -> Some (s, rest, parents)
+
+(* Does the statement's transition carry an effectful primitive whose
+   result the evaluator must consume? *)
+let stmt_has_primitive (s : stmt) =
+  let exprs =
+    match s.kind with
+    | Local (_, e) | Assert (e, _) -> [ e ]
+    | Assign (Lname _, e) -> [ e ]
+    | Assign (Lindex (_, _, i), e) -> [ e; i ]
+    | If (c, _, _) | While (c, _) -> [ c ]
+    | Lock _ | Unlock _ | Wait _ | Set_event _ | Reset_event _ | Sem_p _ | Sem_v _
+    | Yield | Sleep | Skip | Atomic _ -> []
+  in
+  List.exists (fun e -> Sema.effectful e <> None) exprs
+
+(* Drive one thread: silent statements run inline; visible ones perform
+   their engine operation first. *)
+let thread_body (info : Sema.info) o tm () =
+  let fuel = ref silent_fuel in
+  let rec go () =
+    match current tm with
+    | None -> ()
+    | Some (s, rest, parents) -> (
+      match op_of_stmt info o tm s with
+      | None ->
+        decr fuel;
+        if !fuel <= 0 then
+          rt_err s.pos "thread %s ran %d silent steps without a scheduling point"
+            tm.tname silent_fuel;
+        exec_stmt o tm (ref None) s rest parents;
+        go ()
+      | Some op ->
+        fuel := silent_fuel;
+        let r = Sync.Raw.sched op in
+        let prim = ref (if stmt_has_primitive s then Some r else None) in
+        exec_stmt o tm prim s rest parents;
+        go ())
+  in
+  try go () with
+  | Runtime_error (msg, pos) ->
+    Sync.fail (Format.asprintf "%s (thread %s, %a)" msg tm.tname pp_pos pos)
+
+let snapshot o tms () =
+  let h = ref Fnv.init in
+  Array.iter (fun v -> h := Fnv.int !h v) o.slots;
+  List.iter
+    (fun tm ->
+      h := Fnv.int !h (List.length tm.frames);
+      List.iter
+        (fun frame ->
+          h := Fnv.int !h (match frame with s :: _ -> s.id | [] -> -1))
+        tm.frames;
+      List.iter
+        (fun n -> h := Fnv.int !h (Option.value ~default:min_int (Hashtbl.find_opt tm.locals n)))
+        tm.local_names)
+    tms;
+  !h
+
+let compile (prog : program) =
+  let info = Sema.check prog in
+  Program.make ~name:prog.prog_name @@ fun () ->
+  let o = build_objects info in
+  init_slots prog o;
+  let tms =
+    List.map
+      (fun (tname, body) ->
+        let local_names =
+          List.sort compare
+            (match List.assoc_opt tname info.Sema.thread_locals with
+             | Some l -> l
+             | None -> [])
+        in
+        { tname; frames = [ body ]; locals = Hashtbl.create 8; local_names })
+      (Ast.threads prog)
+  in
+  { Program.threads = List.map (fun tm -> thread_body info o tm) tms;
+    snapshot = Some (snapshot o tms) }

@@ -1,0 +1,18 @@
+(** The ChessLang interpreter: compiles a checked program to an engine
+    {!Fairmc_core.Program.t}.
+
+    Execution model: one statement = one transition. Before executing a
+    statement, the interpreter computes the single engine operation the
+    statement corresponds to (a lock, an event wait, a shared-variable
+    access, a demonic choice — or nothing, for statements touching only
+    locals, which run silently inside the preceding transition). Expression
+    evaluation is atomic within the transition.
+
+    Because thread control state is an explicit frame stack of statement
+    labels, the interpreter supplies an exact state snapshot: globals, every
+    thread's program counter stack and locals. ChessLang programs therefore
+    get precise state-coverage measurement for free, where native workloads
+    need manual abstraction (paper §4.2.1). *)
+
+val compile : Ast.program -> Fairmc_core.Program.t
+(** @raise Sema.Error on static errors. *)

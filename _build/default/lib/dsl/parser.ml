@@ -1,0 +1,365 @@
+open Ast
+module T = Token
+
+exception Error of string * Ast.pos
+
+type state = {
+  mutable toks : (T.t * pos) list;
+  mutable next_id : int;
+}
+
+let fail st msg =
+  let pos = match st.toks with (_, p) :: _ -> p | [] -> { line = 0; col = 0 } in
+  raise (Error (msg, pos))
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> T.EOF
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> T.EOF
+let pos st = match st.toks with (_, p) :: _ -> p | [] -> { line = 0; col = 0 }
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat st tok =
+  if peek st = tok then advance st
+  else fail st (Printf.sprintf "expected %s, found %s" (T.to_string tok) (T.to_string (peek st)))
+
+let ident st =
+  match peek st with
+  | T.IDENT s ->
+    advance st;
+    s
+  | t -> fail st (Printf.sprintf "expected an identifier, found %s" (T.to_string t))
+
+let int_lit st =
+  match peek st with
+  | T.INT n ->
+    advance st;
+    n
+  | T.MINUS ->
+    advance st;
+    (match peek st with
+     | T.INT n ->
+       advance st;
+       -n
+     | t -> fail st (Printf.sprintf "expected an integer, found %s" (T.to_string t)))
+  | t -> fail st (Printf.sprintf "expected an integer, found %s" (T.to_string t))
+
+let fresh st =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  id
+
+(* Expressions: precedence climbing. *)
+
+let paren_ident st kw =
+  eat st kw;
+  eat st T.LPAREN;
+  let n = ident st in
+  eat st T.RPAREN;
+  n
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = and_expr st in
+  if peek st = T.OROR then begin
+    advance st;
+    Binop (Or, lhs, or_expr st)
+  end
+  else lhs
+
+and and_expr st =
+  let lhs = cmp_expr st in
+  if peek st = T.ANDAND then begin
+    advance st;
+    Binop (And, lhs, and_expr st)
+  end
+  else lhs
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  let op =
+    match peek st with
+    | T.EQ -> Some Eq
+    | T.NE -> Some Ne
+    | T.LT -> Some Lt
+    | T.LE -> Some Le
+    | T.GT -> Some Gt
+    | T.GE -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Binop (op, lhs, add_expr st)
+
+and add_expr st =
+  let rec go lhs =
+    match peek st with
+    | T.PLUS ->
+      advance st;
+      go (Binop (Add, lhs, mul_expr st))
+    | T.MINUS ->
+      advance st;
+      go (Binop (Sub, lhs, mul_expr st))
+    | _ -> lhs
+  in
+  go (mul_expr st)
+
+and mul_expr st =
+  let rec go lhs =
+    match peek st with
+    | T.STAR ->
+      advance st;
+      go (Binop (Mul, lhs, unary_expr st))
+    | T.SLASH ->
+      advance st;
+      go (Binop (Div, lhs, unary_expr st))
+    | T.PERCENT ->
+      advance st;
+      go (Binop (Mod, lhs, unary_expr st))
+    | _ -> lhs
+  in
+  go (unary_expr st)
+
+and unary_expr st =
+  match peek st with
+  | T.BANG ->
+    advance st;
+    Unop (Not, unary_expr st)
+  | T.MINUS ->
+    advance st;
+    Unop (Neg, unary_expr st)
+  | _ -> primary_expr st
+
+and primary_expr st =
+  let p = pos st in
+  match peek st with
+  | T.INT n ->
+    advance st;
+    Int n
+  | T.KW_TRUE ->
+    advance st;
+    Int 1
+  | T.KW_FALSE ->
+    advance st;
+    Int 0
+  | T.LPAREN ->
+    advance st;
+    let e = expr st in
+    eat st T.RPAREN;
+    e
+  | T.KW_TRYLOCK -> Try_lock (p, paren_ident st T.KW_TRYLOCK)
+  | T.KW_TIMEDLOCK -> Timed_lock (p, paren_ident st T.KW_TIMEDLOCK)
+  | T.KW_TIMEDWAIT -> Timed_wait (p, paren_ident st T.KW_TIMEDWAIT)
+  | T.KW_SEMTRY -> Sem_try (p, paren_ident st T.KW_SEMTRY)
+  | T.KW_CHOOSE ->
+    eat st T.KW_CHOOSE;
+    eat st T.LPAREN;
+    let n = int_lit st in
+    eat st T.RPAREN;
+    if n < 1 then fail st "choose requires a positive alternative count";
+    Choose (p, n)
+  | T.IDENT name ->
+    advance st;
+    if peek st = T.LBRACKET then begin
+      advance st;
+      let idx = expr st in
+      eat st T.RBRACKET;
+      Index (p, name, idx)
+    end
+    else Name (p, name)
+  | t -> fail st (Printf.sprintf "expected an expression, found %s" (T.to_string t))
+
+(* Statements. *)
+
+let rec block st =
+  eat st T.LBRACE;
+  let rec stmts acc =
+    if peek st = T.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (stmt st :: acc)
+  in
+  stmts []
+
+and stmt st =
+  let p = pos st in
+  let mk kind = { id = fresh st; pos = p; kind } in
+  let simple kind =
+    advance st;
+    eat st T.SEMI;
+    mk kind
+  in
+  let call kw build =
+    let n = paren_ident st kw in
+    eat st T.SEMI;
+    mk (build n)
+  in
+  match peek st with
+  | T.KW_LOCAL ->
+    advance st;
+    let n = ident st in
+    eat st T.ASSIGN;
+    let e = expr st in
+    eat st T.SEMI;
+    mk (Local (n, e))
+  | T.KW_IF ->
+    advance st;
+    eat st T.LPAREN;
+    let c = expr st in
+    eat st T.RPAREN;
+    let then_ = block st in
+    let else_ =
+      if peek st = T.KW_ELSE then begin
+        advance st;
+        if peek st = T.KW_IF then [ stmt st ] else block st
+      end
+      else []
+    in
+    mk (If (c, then_, else_))
+  | T.KW_WHILE ->
+    advance st;
+    eat st T.LPAREN;
+    let c = expr st in
+    eat st T.RPAREN;
+    mk (While (c, block st))
+  | T.KW_LOCK -> call T.KW_LOCK (fun n -> Lock n)
+  | T.KW_UNLOCK -> call T.KW_UNLOCK (fun n -> Unlock n)
+  | T.KW_WAIT -> call T.KW_WAIT (fun n -> Wait n)
+  | T.KW_SET -> call T.KW_SET (fun n -> Set_event n)
+  | T.KW_RESET -> call T.KW_RESET (fun n -> Reset_event n)
+  | T.KW_P -> call T.KW_P (fun n -> Sem_p n)
+  | T.KW_V -> call T.KW_V (fun n -> Sem_v n)
+  | T.KW_YIELD -> simple Yield
+  | T.KW_SLEEP -> simple Sleep
+  | T.KW_SKIP -> simple Skip
+  | T.KW_ASSERT ->
+    advance st;
+    eat st T.LPAREN;
+    let e = expr st in
+    let msg =
+      if peek st = T.COMMA then begin
+        advance st;
+        match peek st with
+        | T.STRING s ->
+          advance st;
+          s
+        | t -> fail st (Printf.sprintf "expected a string, found %s" (T.to_string t))
+      end
+      else "assertion failed"
+    in
+    eat st T.RPAREN;
+    eat st T.SEMI;
+    mk (Assert (e, msg))
+  | T.KW_ATOMIC ->
+    advance st;
+    mk (Atomic (block st))
+  | T.IDENT name ->
+    advance st;
+    if peek st = T.LBRACKET then begin
+      advance st;
+      let idx = expr st in
+      eat st T.RBRACKET;
+      eat st T.ASSIGN;
+      let e = expr st in
+      eat st T.SEMI;
+      mk (Assign (Lindex (p, name, idx), e))
+    end
+    else begin
+      eat st T.ASSIGN;
+      let e = expr st in
+      eat st T.SEMI;
+      mk (Assign (Lname (p, name), e))
+    end
+  | t -> fail st (Printf.sprintf "expected a statement, found %s" (T.to_string t))
+
+(* Declarations. *)
+
+let decl st =
+  let p = pos st in
+  match peek st with
+  | T.KW_VAR ->
+    advance st;
+    let n = ident st in
+    let init =
+      if peek st = T.ASSIGN then begin
+        advance st;
+        int_lit st
+      end
+      else 0
+    in
+    eat st T.SEMI;
+    Dvar (p, n, init)
+  | T.KW_ARRAY ->
+    advance st;
+    let n = ident st in
+    eat st T.LBRACKET;
+    let size = int_lit st in
+    eat st T.RBRACKET;
+    let init =
+      if peek st = T.ASSIGN then begin
+        advance st;
+        int_lit st
+      end
+      else 0
+    in
+    eat st T.SEMI;
+    if size < 1 then raise (Error ("array size must be positive", p));
+    Darray (p, n, size, init)
+  | T.KW_MUTEX ->
+    advance st;
+    let n = ident st in
+    eat st T.SEMI;
+    Dmutex (p, n)
+  | T.KW_SEM ->
+    advance st;
+    let n = ident st in
+    eat st T.ASSIGN;
+    let init = int_lit st in
+    eat st T.SEMI;
+    Dsem (p, n, init)
+  | T.KW_EVENT ->
+    advance st;
+    let n = ident st in
+    eat st T.SEMI;
+    Devent (p, n, false)
+  | T.KW_AUTOEVENT ->
+    advance st;
+    let n = ident st in
+    eat st T.SEMI;
+    Devent (p, n, true)
+  | T.KW_THREAD ->
+    advance st;
+    let n = ident st in
+    Dthread (p, n, block st)
+  | t ->
+    raise
+      (Error (Printf.sprintf "expected a declaration, found %s" (T.to_string t), p))
+
+let parse_string ?(name = "<string>") src =
+  let st = { toks = Lexer.tokenize_string src; next_id = 0 } in
+  let prog_name =
+    if peek st = T.KW_PROGRAM then begin
+      advance st;
+      match peek st with
+      | T.IDENT n ->
+        advance st;
+        if peek st = T.SEMI then advance st;
+        n
+      | _ -> fail st "expected a program name"
+    end
+    else Filename.remove_extension (Filename.basename name)
+  in
+  let rec decls acc = if peek st = T.EOF then List.rev acc else decls (decl st :: acc) in
+  let ds = decls [] in
+  ignore peek2;
+  { prog_name; decls = ds }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string ~name:path src

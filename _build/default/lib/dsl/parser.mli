@@ -1,0 +1,14 @@
+(** Recursive-descent parser for ChessLang.
+
+    Hand-written (the sealed build environment has no menhir); operator
+    precedence follows C: [||] < [&&] < comparisons < [+ -] < [* / %] <
+    unary. Every statement receives a unique id, which the interpreter uses
+    as the thread's program counter in state signatures. *)
+
+exception Error of string * Ast.pos
+
+val parse_string : ?name:string -> string -> Ast.program
+(** @raise Error on syntax errors (with position).
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_file : string -> Ast.program

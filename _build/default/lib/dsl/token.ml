@@ -1,0 +1,125 @@
+(* Tokens shared by the ocamllex lexer and the hand-written parser.
+   (Menhir is unavailable in this environment, so the parser is recursive
+   descent over this token stream.) *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  (* keywords *)
+  | KW_PROGRAM
+  | KW_VAR
+  | KW_ARRAY
+  | KW_MUTEX
+  | KW_SEM
+  | KW_EVENT
+  | KW_AUTOEVENT
+  | KW_THREAD
+  | KW_LOCAL
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_YIELD
+  | KW_SLEEP
+  | KW_SKIP
+  | KW_ASSERT
+  | KW_ATOMIC
+  | KW_LOCK
+  | KW_UNLOCK
+  | KW_TRYLOCK
+  | KW_TIMEDLOCK
+  | KW_WAIT
+  | KW_TIMEDWAIT
+  | KW_SET
+  | KW_RESET
+  | KW_P
+  | KW_V
+  | KW_SEMTRY
+  | KW_CHOOSE
+  | KW_TRUE
+  | KW_FALSE
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW_PROGRAM -> "'program'"
+  | KW_VAR -> "'var'"
+  | KW_ARRAY -> "'array'"
+  | KW_MUTEX -> "'mutex'"
+  | KW_SEM -> "'sem'"
+  | KW_EVENT -> "'event'"
+  | KW_AUTOEVENT -> "'autoevent'"
+  | KW_THREAD -> "'thread'"
+  | KW_LOCAL -> "'local'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_YIELD -> "'yield'"
+  | KW_SLEEP -> "'sleep'"
+  | KW_SKIP -> "'skip'"
+  | KW_ASSERT -> "'assert'"
+  | KW_ATOMIC -> "'atomic'"
+  | KW_LOCK -> "'lock'"
+  | KW_UNLOCK -> "'unlock'"
+  | KW_TRYLOCK -> "'trylock'"
+  | KW_TIMEDLOCK -> "'timedlock'"
+  | KW_WAIT -> "'wait'"
+  | KW_TIMEDWAIT -> "'timedwait'"
+  | KW_SET -> "'set'"
+  | KW_RESET -> "'reset'"
+  | KW_P -> "'p'"
+  | KW_V -> "'v'"
+  | KW_SEMTRY -> "'semtry'"
+  | KW_CHOOSE -> "'choose'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | ASSIGN -> "'='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/ltl/ltl.ml: Array Fairmc_util Format List Printf String

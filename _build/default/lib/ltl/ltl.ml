@@ -1,0 +1,116 @@
+type t =
+  | True
+  | False
+  | Prop of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t
+  | Until of t * t
+  | Release of t * t
+  | Globally of t
+  | Finally of t
+
+let rec pp ppf = function
+  | True -> Format.fprintf ppf "true"
+  | False -> Format.fprintf ppf "false"
+  | Prop p -> Format.fprintf ppf "%s" p
+  | Not a -> Format.fprintf ppf "!(%a)" pp a
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp a pp b
+  | Implies (a, b) -> Format.fprintf ppf "(%a => %a)" pp a pp b
+  | Next a -> Format.fprintf ppf "X(%a)" pp a
+  | Until (a, b) -> Format.fprintf ppf "(%a U %a)" pp a pp b
+  | Release (a, b) -> Format.fprintf ppf "(%a R %a)" pp a pp b
+  | Globally a -> Format.fprintf ppf "G(%a)" pp a
+  | Finally a -> Format.fprintf ppf "F(%a)" pp a
+
+let prop p = Prop p
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ==> ) a b = Implies (a, b)
+let g a = Globally a
+let f a = Finally a
+let gf a = Globally (Finally a)
+let fg a = Finally (Globally a)
+let not_ a = Not a
+
+type lasso = {
+  prefix : (string -> bool) array;
+  cycle : (string -> bool) array;
+}
+
+let lasso ~prefix ~cycle =
+  if cycle = [] then invalid_arg "Ltl.lasso: empty cycle";
+  { prefix = Array.of_list prefix; cycle = Array.of_list cycle }
+
+(* Positions 0 .. plen+clen-1 form a single-successor graph; the last cycle
+   position loops back to the cycle start. Satisfaction sets are computed
+   per subformula; Untils walk forward far enough to traverse the whole
+   cycle, which is exact on ultimately periodic words. *)
+let eval (l : lasso) formula =
+  let plen = Array.length l.prefix and clen = Array.length l.cycle in
+  let n = plen + clen in
+  let label i p = if i < plen then l.prefix.(i) p else l.cycle.(i - plen) p in
+  let succ i = if i = n - 1 then plen else i + 1 in
+  let horizon = plen + (2 * clen) in
+  let rec sat : t -> bool array = function
+    | True -> Array.make n true
+    | False -> Array.make n false
+    | Prop p -> Array.init n (fun i -> label i p)
+    | Not a ->
+      let sa = sat a in
+      Array.map not sa
+    | And (a, b) ->
+      let sa = sat a and sb = sat b in
+      Array.init n (fun i -> sa.(i) && sb.(i))
+    | Or (a, b) ->
+      let sa = sat a and sb = sat b in
+      Array.init n (fun i -> sa.(i) || sb.(i))
+    | Implies (a, b) -> sat (Or (Not a, b))
+    | Next a ->
+      let sa = sat a in
+      Array.init n (fun i -> sa.(succ i))
+    | Until (a, b) ->
+      let sa = sat a and sb = sat b in
+      let upto i =
+        (* walk forward: does b occur while a holds continuously? *)
+        let rec go j steps =
+          if sb.(j) then true
+          else if not sa.(j) then false
+          else if steps > horizon then false
+          else go (succ j) (steps + 1)
+        in
+        go i 0
+      in
+      Array.init n upto
+    | Release (a, b) -> sat (Not (Until (Not a, Not b)))
+    | Finally a -> sat (Until (True, a))
+    | Globally a -> sat (Not (Until (True, Not a)))
+  in
+  (sat formula).(0)
+
+let forall tids mk =
+  List.fold_left (fun acc t -> And (acc, mk t)) True tids
+
+let enabled_p t = Printf.sprintf "enabled_%d" t
+let sched_p t = Printf.sprintf "sched_%d" t
+let yield_p t = Printf.sprintf "yield_%d" t
+
+let strong_fairness ~tids =
+  forall tids (fun t -> Implies (gf (Prop (enabled_p t)), gf (Prop (sched_p t))))
+
+let good_samaritan ~tids =
+  forall tids (fun t ->
+      Implies (gf (Prop (sched_p t)), gf (And (Prop (sched_p t), Prop (yield_p t)))))
+
+let gs_implies_sf ~tids = Implies (good_samaritan ~tids, strong_fairness ~tids)
+
+let labels_of_step ~enabled ~sched ~yielded p =
+  let starts_with pre = String.length p > String.length pre && String.sub p 0 (String.length pre) = pre in
+  let tid_of pre = int_of_string (String.sub p (String.length pre) (String.length p - String.length pre)) in
+  if starts_with "enabled_" then Fairmc_util.Bitset.mem (tid_of "enabled_") enabled
+  else if starts_with "sched_" then tid_of "sched_" = sched
+  else if starts_with "yield_" then tid_of "yield_" = sched && yielded
+  else false

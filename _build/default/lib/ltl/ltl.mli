@@ -1,0 +1,67 @@
+(** A small linear temporal logic over lasso words.
+
+    The paper states its two properties in LTL (Section 3):
+
+    - strong fairness: [SF = ∀t. GF enabled(t) ⇒ GF sched(t)]
+    - good samaritan: [GS = ∀t. GF sched(t) ⇒ GF (sched(t) ∧ yield(t))]
+
+    Infinite executions of finite-state programs are ultimately periodic
+    (lassos), over which LTL has a decidable, exact semantics. The test
+    suite uses this module to check Theorems 1 and 4–6 empirically: it
+    builds lassos from engine cycles and evaluates [SF], [GS], and
+    [gs_implies_sf] on them. *)
+
+type t =
+  | True
+  | False
+  | Prop of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t
+  | Until of t * t
+  | Release of t * t
+  | Globally of t
+  | Finally of t
+
+val pp : Format.formatter -> t -> unit
+
+(** Convenience constructors. *)
+
+val prop : string -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( ==> ) : t -> t -> t
+val g : t -> t
+val f : t -> t
+val gf : t -> t
+val fg : t -> t
+val not_ : t -> t
+
+type lasso = {
+  prefix : (string -> bool) array;  (** positions 0 .. stem-1 *)
+  cycle : (string -> bool) array;  (** repeated forever; nonempty *)
+}
+
+val lasso : prefix:(string -> bool) list -> cycle:(string -> bool) list -> lasso
+(** @raise Invalid_argument when [cycle] is empty. *)
+
+val eval : lasso -> t -> bool
+(** Exact LTL satisfaction on the infinite word [prefix · cycle^ω]. *)
+
+(** {1 The paper's properties} *)
+
+val strong_fairness : tids:int list -> t
+(** [SF] over propositions ["enabled_i"], ["sched_i"]. *)
+
+val good_samaritan : tids:int list -> t
+(** [GS] over ["sched_i"], ["yield_i"]. *)
+
+val gs_implies_sf : tids:int list -> t
+(** The guarantee of Theorem 1 for executions produced by Algorithm 1. *)
+
+val labels_of_step :
+  enabled:Fairmc_util.Bitset.t -> sched:int -> yielded:bool -> string -> bool
+(** Proposition valuation for one execution step, in the vocabulary of
+    {!strong_fairness} and {!good_samaritan}. *)

@@ -1,0 +1,1 @@
+lib/statecap/canon.ml: Fairmc_util Hashtbl List

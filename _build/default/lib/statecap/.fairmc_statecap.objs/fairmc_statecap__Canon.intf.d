@@ -1,0 +1,1 @@
+lib/statecap/canon.mli: Fairmc_util

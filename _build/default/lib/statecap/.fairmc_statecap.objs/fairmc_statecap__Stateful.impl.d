@@ -1,0 +1,1 @@
+lib/statecap/stateful.ml: Engine Fairmc_core Fairmc_util Fun Hashtbl List Program Queue Unix

@@ -1,0 +1,1 @@
+lib/statecap/stateful.mli: Fairmc_core Hashtbl

@@ -1,0 +1,17 @@
+module Fnv = Fairmc_util.Fnv
+
+let bag h xs = Fnv.int_list h (List.sort compare xs)
+
+let remap_first_occurrence xs =
+  let tbl = Hashtbl.create 16 in
+  List.map
+    (fun x ->
+      match Hashtbl.find_opt tbl x with
+      | Some r -> r
+      | None ->
+        let r = Hashtbl.length tbl in
+        Hashtbl.add tbl x r;
+        r)
+    xs
+
+let ids h xs = Fnv.int_list h (remap_first_occurrence xs)

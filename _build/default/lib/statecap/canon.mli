@@ -1,0 +1,20 @@
+(** Canonicalization helpers for state signatures.
+
+    The paper's coverage experiments (§4.2.1) canonicalize heaps before
+    hashing so that behaviourally equivalent states with different allocation
+    orders collapse to one signature (citing Iosif's heap symmetries). Our
+    engine has no heap, but the same aliasing arises for collections whose
+    element *order* is irrelevant (bags of task ids, free lists) and for
+    dynamically allocated identifiers. *)
+
+val bag : Fairmc_util.Fnv.t -> int list -> Fairmc_util.Fnv.t
+(** Hash a multiset of ints: order-insensitive. *)
+
+val remap_first_occurrence : int list -> int list
+(** Replace each id by its rank of first occurrence: [[7; 3; 7; 9]] becomes
+    [[0; 1; 0; 2]]. Two id lists equal up to renaming canonicalize
+    identically. *)
+
+val ids : Fairmc_util.Fnv.t -> int list -> Fairmc_util.Fnv.t
+(** Hash an id sequence up to renaming ([remap_first_occurrence] then
+    hash). *)

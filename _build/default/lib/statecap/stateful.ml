@@ -1,0 +1,108 @@
+open Fairmc_core
+module B = Fairmc_util.Bitset
+
+type mode = Full | Cb of int
+
+type result = {
+  states : int;
+  nodes : int;
+  transitions : int;
+  complete : bool;
+  signatures : (int64, unit) Hashtbl.t;
+}
+
+(* A search node: the decision prefix reaching it plus the scheduling
+   context that determines which successors the strategy allows. *)
+type node = {
+  prefix : (int * int) list;  (* reversed (tid, alt) decisions *)
+  budget : int;
+  last : int;
+  last_yielded : bool;
+}
+
+let explore ?(mode = Full) ?(max_states = 1_000_000) ?(max_nodes = 2_000_000)
+    ?(max_steps_per_path = 10_000) ?(time_limit = 120.0) (prog : Program.t) =
+  let t0 = Unix.gettimeofday () in
+  let signatures : (int64, unit) Hashtbl.t = Hashtbl.create 4096 in
+  (* Dedupe on (signature, scheduling context): a state reached with a
+     different remaining budget can have different successors. *)
+  let seen : (int64 * int * int * bool, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let transitions = ref 0 in
+  let nodes = ref 0 in
+  let complete = ref true in
+  let initial_budget = match mode with Full -> max_int | Cb k -> k in
+
+  (* Re-create the node's state by replay; [f] receives the live run. *)
+  let with_node node f =
+    let run = Engine.start prog in
+    Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
+    List.iter
+      (fun (tid, alt) ->
+        Engine.step run ~tid ~alt;
+        incr transitions)
+      (List.rev node.prefix);
+    f run
+  in
+
+  let visit node sign =
+    let key = (sign, node.budget, node.last, node.last_yielded) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      Hashtbl.replace signatures sign ();
+      Queue.push node queue
+    end
+  in
+
+  (* Root. *)
+  let root = { prefix = []; budget = initial_budget; last = -1; last_yielded = false } in
+  let root_sig =
+    let run = Engine.start prog in
+    Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () -> Engine.state_signature run
+  in
+  visit root root_sig;
+
+  let out_of_budget () =
+    Hashtbl.length signatures >= max_states
+    || !nodes >= max_nodes
+    || Unix.gettimeofday () -. t0 > time_limit
+  in
+
+  while (not (Queue.is_empty queue)) && not (out_of_budget ()) do
+    let node = Queue.pop queue in
+    incr nodes;
+    if List.length node.prefix < max_steps_per_path then
+      with_node node @@ fun run ->
+      if Engine.failure run = None then begin
+        let es = Engine.enabled_set run in
+        let cur_runnable =
+          node.last >= 0 && B.mem node.last es && not node.last_yielded
+        in
+        B.iter
+          (fun tid ->
+            let cost = if tid = node.last then 0 else if cur_runnable then 1 else 0 in
+            if cost <= node.budget then
+              for alt = 0 to Engine.alternatives run tid - 1 do
+                (* Execute the successor, snapshot, reset by replaying. *)
+                with_node node @@ fun run' ->
+                let yielded = Engine.would_yield run' tid in
+                Engine.step run' ~tid ~alt;
+                incr transitions;
+                if Engine.failure run' = None then
+                  visit
+                    { prefix = (tid, alt) :: node.prefix;
+                      budget = (if node.budget = max_int then max_int else node.budget - cost);
+                      last = tid;
+                      last_yielded = yielded }
+                    (Engine.state_signature run')
+              done)
+          es
+      end
+    else complete := false
+  done;
+  if not (Queue.is_empty queue) then complete := false;
+  { states = Hashtbl.length signatures;
+    nodes = !nodes;
+    transitions = !transitions;
+    complete = !complete;
+    signatures }

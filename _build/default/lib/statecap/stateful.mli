@@ -1,0 +1,31 @@
+(** Ground-truth state enumeration by stateful search.
+
+    The paper measures coverage by comparing states visited by the stateless
+    search against "the total number of states reachable with a strategy",
+    obtained with "a stateful search of the state space [storing] the state
+    signatures in a hash table" (§4.2.1). This module is that stateful
+    search: a breadth-first exploration that identifies states by their
+    signatures (so it terminates on cyclic state spaces) built on the same
+    stateless engine — a state is re-entered by replaying its decision
+    prefix, since the engine cannot restore states directly. *)
+
+type mode =
+  | Full  (** all interleavings (the paper's "dfs" strategy rows) *)
+  | Cb of int  (** interleavings with at most [k] preemptions *)
+
+type result = {
+  states : int;  (** distinct state signatures reached *)
+  nodes : int;  (** search nodes expanded (state × scheduling context) *)
+  transitions : int;  (** engine transitions executed, including replays *)
+  complete : bool;  (** false if a limit stopped the enumeration *)
+  signatures : (int64, unit) Hashtbl.t;
+}
+
+val explore :
+  ?mode:mode ->
+  ?max_states:int ->
+  ?max_nodes:int ->
+  ?max_steps_per_path:int ->
+  ?time_limit:float ->
+  Fairmc_core.Program.t ->
+  result

@@ -1,0 +1,50 @@
+(** Small integer sets represented as bit vectors in a native [int].
+
+    Thread identifiers in the model checker are dense small integers (the
+    paper's largest benchmark uses 25 threads), so a 62-bit word is ample.
+    All operations are O(1) except [fold]/[cardinal]-style traversals. *)
+
+type t = private int
+
+val max_capacity : int
+(** Largest element representable, i.e. [Sys.int_size - 2]. *)
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+
+val full : int -> t
+(** [full n] is the set [{0, ..., n-1}]. *)
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val cardinal : t -> int
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val min_elt : t -> int
+(** Smallest element. @raise Not_found on the empty set. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> unit) -> t -> unit
+val elements : t -> int list
+val of_list : int list -> t
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+
+val nth : t -> int -> int
+(** [nth s i] is the [i]-th smallest element of [s] (0-based).
+    @raise Not_found if [i >= cardinal s]. *)
+
+val to_int : t -> int
+val unsafe_of_int : int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type t = int64
+
+let init = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+let char h c = byte h (Char.code c)
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := char !h c) s;
+  !h
+
+let int h i =
+  (* Hash all 8 bytes so that negative and large values disperse. *)
+  let rec go h i n = if n = 0 then h else go (byte h (i land 0xff)) (i asr 8) (n - 1) in
+  go h i 8
+
+let int_list h l = List.fold_left int h l
+
+let to_hex h = Printf.sprintf "%016Lx" h

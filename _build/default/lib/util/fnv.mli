@@ -1,0 +1,16 @@
+(** FNV-1a incremental hashing, used for state signatures.
+
+    State coverage experiments (paper Table 2) identify program states by a
+    hash of their abstracted representation; FNV-1a is fast, deterministic
+    across runs, and has no dependency on OCaml's polymorphic hash. *)
+
+type t = int64
+(** A running hash value. *)
+
+val init : t
+val string : t -> string -> t
+val int : t -> int -> t
+val int_list : t -> int list -> t
+val char : t -> char -> t
+
+val to_hex : t -> string

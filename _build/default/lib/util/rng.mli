@@ -1,0 +1,21 @@
+(** Deterministic splittable random number generator (splitmix64).
+
+    The model checker must be reproducible: every random schedule is derived
+    from a seed recorded in the report, so a failing execution can be
+    replayed. The stdlib [Random] state is deliberately not used. *)
+
+type t
+
+val make : int64 -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** A statistically independent generator; the original advances. *)

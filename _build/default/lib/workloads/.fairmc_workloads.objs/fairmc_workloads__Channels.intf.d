@@ -1,0 +1,1 @@
+lib/workloads/channels.mli: Fairmc_core

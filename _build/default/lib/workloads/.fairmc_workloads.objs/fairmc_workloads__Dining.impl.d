@@ -1,0 +1,1 @@
+lib/workloads/dining.ml: Array Fairmc_core List Printf Program Sync

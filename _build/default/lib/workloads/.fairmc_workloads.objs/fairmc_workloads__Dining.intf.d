@@ -1,0 +1,1 @@
+lib/workloads/dining.mli: Fairmc_core

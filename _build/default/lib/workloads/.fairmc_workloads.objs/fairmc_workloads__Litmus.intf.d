@@ -1,0 +1,1 @@
+lib/workloads/litmus.mli: Fairmc_core

@@ -1,0 +1,1 @@
+lib/workloads/lockfree.ml: Array Fairmc_core Printf Program Sync

@@ -1,0 +1,1 @@
+lib/workloads/lockfree.mli: Fairmc_core

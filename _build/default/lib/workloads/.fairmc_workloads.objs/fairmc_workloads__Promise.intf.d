@@ -1,0 +1,1 @@
+lib/workloads/promise.mli: Fairmc_core

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Channels Dining Fairmc_core List Litmus Lockfree Promise Singularity Taskpool Wsq

@@ -1,0 +1,1 @@
+lib/workloads/singularity.ml: Array Channels Fairmc_core List Printf Program Sync

@@ -1,0 +1,1 @@
+lib/workloads/singularity.mli: Fairmc_core

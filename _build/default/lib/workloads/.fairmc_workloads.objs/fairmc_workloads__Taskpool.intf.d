@@ -1,0 +1,1 @@
+lib/workloads/taskpool.mli: Fairmc_core

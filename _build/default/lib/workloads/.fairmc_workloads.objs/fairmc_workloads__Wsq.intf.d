@@ -1,0 +1,1 @@
+lib/workloads/wsq.mli: Fairmc_core

@@ -1,0 +1,265 @@
+open Fairmc_core
+
+type bug = Correct | Bug1 | Bug2 | Bug3 | Bug4
+
+let bug_name = function
+  | Correct -> "correct"
+  | Bug1 -> "bug1"
+  | Bug2 -> "bug2"
+  | Bug3 -> "bug3"
+  | Bug4 -> "bug4"
+
+type t = {
+  bug : bug;
+  cap : int;
+  buf : int Sync.Svar.t array;
+  head : int Sync.Svar.t;
+  tail : int Sync.Svar.t;
+  items : Sync.Semaphore.t;  (* filled slots (plus one token per close) *)
+  credits : Sync.Semaphore.t;  (* free slots *)
+  not_empty : Sync.Event.t;  (* bug 2 uses an event instead of [items] *)
+  mutex : Sync.Mutex.t;
+  closed : bool Sync.Svar.t;
+  disposed : bool Sync.Svar.t;  (* buffers torn down (abort) *)
+}
+
+let create ?(name = "ch") ~capacity bug =
+  if capacity < 1 then invalid_arg "Channels.create";
+  let field f = Printf.sprintf "%s.%s" name f in
+  { bug;
+    cap = capacity;
+    buf = Array.init capacity (fun i -> Sync.int_var ~name:(field (Printf.sprintf "buf%d" i)) 0);
+    head = Sync.int_var ~name:(field "head") 0;
+    tail = Sync.int_var ~name:(field "tail") 0;
+    items = Sync.Semaphore.create ~name:(field "items") 0;
+    credits = Sync.Semaphore.create ~name:(field "credits") capacity;
+    not_empty = Sync.Event.create ~name:(field "not_empty") ();
+    mutex = Sync.Mutex.create ~name:(field "mutex") ();
+    closed = Sync.bool_var ~name:(field "closed") false;
+    disposed = Sync.bool_var ~name:(field "disposed") false }
+
+let count t = Sync.Svar.get t.tail - Sync.Svar.get t.head
+
+(* The integrity invariant every path must preserve: buffers are never
+   touched after dispose and never overfilled. Violations are the bugs the
+   checker is meant to catch. *)
+let check_integrity t =
+  Sync.check (not (Sync.Svar.get t.disposed)) "channel buffer used after dispose";
+  Sync.check (count t <= t.cap) "channel buffer overflow"
+
+let enqueue t v =
+  let tl = Sync.Svar.get t.tail in
+  Sync.Svar.set t.buf.(tl mod t.cap) v;
+  Sync.Svar.set t.tail (tl + 1);
+  check_integrity t
+
+let dequeue t =
+  let h = Sync.Svar.get t.head in
+  let v = Sync.Svar.get t.buf.(h mod t.cap) in
+  Sync.Svar.set t.head (h + 1);
+  v
+
+let signal_item t =
+  match t.bug with
+  | Bug2 -> Sync.Event.set t.not_empty
+  | Correct | Bug1 | Bug3 | Bug4 -> Sync.Semaphore.post t.items
+
+let send t v =
+  Sync.Semaphore.wait t.credits;
+  match t.bug with
+  | Bug3 ->
+    (* BUG 3: the closed check happens outside the lock; a racing close or
+       abort lands between the check and the enqueue. *)
+    if Sync.Svar.get t.closed then begin
+      Sync.Semaphore.post t.credits;
+      false
+    end
+    else begin
+      Sync.Mutex.lock t.mutex;
+      enqueue t v;
+      Sync.Mutex.unlock t.mutex;
+      signal_item t;
+      true
+    end
+  | Correct | Bug1 | Bug2 | Bug4 ->
+    Sync.Mutex.lock t.mutex;
+    if Sync.Svar.get t.closed then begin
+      Sync.Mutex.unlock t.mutex;
+      Sync.Semaphore.post t.credits;
+      false
+    end
+    else begin
+      enqueue t v;
+      Sync.Mutex.unlock t.mutex;
+      signal_item t;
+      true
+    end
+
+let recv t =
+  match t.bug with
+  | Bug2 ->
+    (* Event-based receive. BUG 2: the event is reset after the lock is
+       released — a send that lands in between sets the event first, the
+       reset then erases the only wakeup, and the receiver sleeps forever. *)
+    let rec loop () =
+      Sync.Mutex.lock t.mutex;
+      if count t > 0 then begin
+        let v = dequeue t in
+        Sync.Mutex.unlock t.mutex;
+        Sync.Semaphore.post t.credits;
+        Some v
+      end
+      else begin
+        Sync.Mutex.unlock t.mutex;
+        Sync.Event.reset t.not_empty;
+        Sync.Event.wait t.not_empty;
+        loop ()
+      end
+    in
+    loop ()
+  | Correct | Bug1 | Bug3 | Bug4 ->
+    Sync.Semaphore.wait t.items;
+    if t.bug = Bug1 then
+      (* BUG 1: the credit is returned before the slot is copied out; with a
+         full buffer a fast sender reuses the slot and overwrites the
+         element the receiver is about to read. *)
+      Sync.Semaphore.post t.credits;
+    Sync.Mutex.lock t.mutex;
+    if Sync.Svar.get t.disposed || count t = 0 then begin
+      (* Drained and closed (the close token woke us): cascade the wakeup to
+         any other receiver and report end-of-stream. *)
+      Sync.Mutex.unlock t.mutex;
+      Sync.Semaphore.post t.items;
+      None
+    end
+    else begin
+      let v = dequeue t in
+      Sync.Mutex.unlock t.mutex;
+      if t.bug <> Bug1 then Sync.Semaphore.post t.credits;
+      Some v
+    end
+
+(* Graceful close: buffered elements remain deliverable. *)
+let close t =
+  Sync.Mutex.lock t.mutex;
+  Sync.Svar.set t.closed true;
+  Sync.Mutex.unlock t.mutex;
+  signal_item t
+
+(* Abort: tear the channel down, discarding buffers. BUG 4 is the paper's
+   "incorrect fix of bug 3": send re-checks [closed] under the lock, but the
+   abort path still writes the flags without taking it (and marks the buffer
+   disposed before publishing [closed]). *)
+let abort t =
+  (match t.bug with
+   | Bug4 ->
+     Sync.Svar.set t.disposed true;
+     Sync.Svar.set t.closed true
+   | Correct | Bug1 | Bug2 | Bug3 ->
+     Sync.Mutex.lock t.mutex;
+     Sync.Svar.set t.closed true;
+     Sync.Svar.set t.disposed true;
+     Sync.Mutex.unlock t.mutex);
+  signal_item t
+
+let name bug = Printf.sprintf "channel-%s" (bug_name bug)
+
+let program ?(items = 2) ?(spin = false) bug =
+  Program.of_threads ~name:(name bug ^ if spin then "-spin" else "") @@ fun () ->
+  let finished = Sync.bool_var ~name:"finished" false in
+  let poller () =
+    while not (Sync.Svar.get finished) do
+      Sync.yield ()
+    done
+  in
+  let add_poller threads =
+    if spin then threads @ [ poller ] else threads
+  in
+  match bug with
+  | Correct | Bug1 | Bug2 ->
+    (* Streaming harness: FIFO order and integrity. Capacity 1 maximizes
+       contention on the single slot. *)
+    let ch = create ~capacity:1 bug in
+    let sender () =
+      for v = 0 to items - 1 do
+        Sync.check (send ch v) "send rejected on open channel"
+      done;
+      if bug <> Bug2 then close ch
+    in
+    let receiver () =
+      let expected = ref 0 in
+      let rec loop remaining =
+        if remaining > 0 then begin
+          match recv ch with
+          | Some v ->
+            Sync.check (v = !expected)
+              (Printf.sprintf "received %d, expected %d" v !expected);
+            incr expected;
+            loop (remaining - 1)
+          | None -> Sync.fail "channel closed before all items were received"
+        end
+        else begin
+          if bug <> Bug2 then
+            Sync.check (recv ch = None) "expected end-of-stream after close";
+          Sync.Svar.set finished true
+        end
+      in
+      loop items
+    in
+    add_poller [ sender; receiver ]
+  | Bug3 | Bug4 ->
+    (* Close-race harness: a sender streams while another component aborts
+       the channel (a downstream failure in Dryad terms). The channel's
+       internal use-after-dispose check is the safety property. *)
+    let ch = create ~capacity:(items + 2) bug in
+    let sender () =
+      for v = 0 to items - 1 do
+        ignore (send ch v)
+      done
+    in
+    let aborter () = abort ch in
+    let receiver () =
+      let rec drain () =
+        match recv ch with Some _ -> drain () | None -> ()
+      in
+      drain ();
+      Sync.Svar.set finished true
+    in
+    add_poller [ sender; aborter; receiver ]
+
+let fifo_program ?(stages = 23) ?(items = 2) () =
+  Program.of_threads ~name:(Printf.sprintf "dryad-fifo-%d" (stages + 2)) @@ fun () ->
+  (* source -> ch.(0) -> forwarder 1 -> ch.(1) -> ... -> sink *)
+  let chans =
+    Array.init (stages + 1) (fun i ->
+        create ~name:(Printf.sprintf "ch%d" i) ~capacity:1 Correct)
+  in
+  let source () =
+    for v = 0 to items - 1 do
+      Sync.check (send chans.(0) v) "fifo source: send rejected"
+    done;
+    close chans.(0)
+  in
+  let forwarder i () =
+    let rec loop () =
+      match recv chans.(i) with
+      | Some v ->
+        Sync.check (send chans.(i + 1) v) "fifo forwarder: send rejected";
+        loop ()
+      | None -> close chans.(i + 1)
+    in
+    loop ()
+  in
+  let sink () =
+    let expected = ref 0 in
+    let rec loop () =
+      match recv chans.(stages) with
+      | Some v ->
+        Sync.check (v = !expected) (Printf.sprintf "fifo sink: got %d, expected %d" v !expected);
+        incr expected;
+        loop ()
+      | None -> Sync.check (!expected = items) "fifo sink: missing items"
+    in
+    loop ()
+  in
+  (source :: List.init stages (fun i -> forwarder i)) @ [ sink ]

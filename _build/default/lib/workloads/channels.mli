@@ -1,0 +1,53 @@
+(** Bounded FIFO channels with credit-based flow control — our stand-in for
+    the Dryad channel library (Table 1: "Dryad Channels" and "Dryad Fifo").
+
+    The correct implementation uses two semaphores (items and credits) around
+    a mutex-protected ring buffer, plus a close protocol. Four seeded bugs
+    mirror the paper's Dryad bugs 1–4 (Table 3); per the paper's story,
+    bug 4 is an incorrect developer fix of bug 3 — it narrows the race window
+    without closing it, so only a deeper search finds it. *)
+
+type bug =
+  | Correct
+  | Bug1  (** receiver returns the credit before copying the slot out: a
+              fast sender overwrites the unread element *)
+  | Bug2  (** event-based wakeup with the signal decision taken outside the
+              lock: a wakeup is lost and the system deadlocks *)
+  | Bug3  (** [send] checks [closed] without the lock: a racing [close]
+              lands between check and enqueue — send after close *)
+  | Bug4  (** the "fix" for bug 3 re-checks [closed] under the send lock,
+              but [close] still sets the flag without taking it *)
+
+val bug_name : bug -> string
+
+type t
+
+val create : ?name:string -> capacity:int -> bug -> t
+
+val send : t -> int -> bool
+(** [false] when the channel is closed. Internally asserts the channel's
+    integrity invariants (no use after dispose, no overflow) — the
+    properties bugs 1, 3 and 4 violate under racy interleavings. *)
+
+val recv : t -> int option
+(** [None] when the channel is closed and drained. *)
+
+val close : t -> unit
+(** Graceful close: buffered elements remain deliverable. *)
+
+val abort : t -> unit
+(** Tear the channel down, discarding buffers (a downstream failure). *)
+
+val program : ?items:int -> ?spin:bool -> bug -> Fairmc_core.Program.t
+(** Harness for Table 3: one sender streaming sequenced values, one receiver
+    asserting FIFO order and integrity, and (for the close bugs) a closer
+    racing the sender. With [spin] (default false) a status poller yields in
+    a loop until the receiver finishes, making the program nonterminating in
+    the paper's sense — depth-bounded unfair search then wastes its budget
+    unrolling the polling loop. *)
+
+val fifo_program : ?stages:int -> ?items:int -> unit -> Fairmc_core.Program.t
+(** "Dryad Fifo": a pipeline of forwarder threads connected by unit-capacity
+    channels — the paper's 25-thread configuration. *)
+
+val name : bug -> string

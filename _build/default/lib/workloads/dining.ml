@@ -1,0 +1,107 @@
+open Fairmc_core
+
+type variant = Ordered | Try_acquire | Try_acquire_yield | Deadlock | Mixed_retry
+
+let variant_name = function
+  | Ordered -> "ordered"
+  | Try_acquire -> "tryacquire"
+  | Try_acquire_yield -> "tryacquire+yield"
+  | Deadlock -> "deadlock"
+  | Mixed_retry -> "mixed-retry"
+
+let name ~n variant = Printf.sprintf "dining-%d-%s" n (variant_name variant)
+
+let program ?(eat_rounds = 1) ~n variant =
+  if n < 2 then invalid_arg "Dining.program: need at least two philosophers";
+  Program.of_threads ~name:(name ~n variant) @@ fun () ->
+  let fork = Array.init n (fun i -> Sync.Mutex.create ~name:(Printf.sprintf "fork%d" i) ()) in
+  let eating = Array.init n (fun i -> Sync.bool_var ~name:(Printf.sprintf "eating%d" i) false) in
+  let meals = Sync.int_var ~name:"meals" 0 in
+  (* Mutual exclusion on forks implies neighbours cannot eat together; the
+     assertion re-checks it independently of the lock discipline. *)
+  let eat i =
+    Sync.Svar.set eating.(i) true;
+    let l = Sync.Svar.get eating.((i + n - 1) mod n)
+    and r = Sync.Svar.get eating.((i + 1) mod n) in
+    Sync.check ((not l) && not r) "neighbouring philosophers eating simultaneously";
+    ignore (Sync.Svar.incr meals);
+    Sync.Svar.set eating.(i) false
+  in
+  let left i = fork.(i) and right i = fork.((i + 1) mod n) in
+  let philosopher i () =
+    let variant =
+      if variant = Mixed_retry then if i = 0 then Ordered else Try_acquire_yield
+      else variant
+    in
+    for _ = 1 to eat_rounds do
+      (match variant with
+       | Mixed_retry -> assert false
+       | Ordered ->
+         (* Acquire in global fork order: no circular wait. *)
+         let a, b = if i < (i + 1) mod n then (left i, right i) else (right i, left i) in
+         Sync.Mutex.lock a;
+         Sync.Mutex.lock b;
+         eat i;
+         Sync.Mutex.unlock a;
+         Sync.Mutex.unlock b
+       | Deadlock ->
+         Sync.Mutex.lock (left i);
+         Sync.Mutex.lock (right i);
+         eat i;
+         Sync.Mutex.unlock (right i);
+         Sync.Mutex.unlock (left i)
+       | Try_acquire | Try_acquire_yield ->
+         (* Figure 1: every philosopher grabs its left fork and tries the
+            right one optimistically — neighbours thus approach their shared
+            fork from opposite sides, giving the retry livelock. *)
+         let first, second = (left i, right i) in
+         let rec retry () =
+           Sync.Mutex.lock first;
+           if Sync.Mutex.try_lock second then ()
+           else begin
+             Sync.Mutex.unlock first;
+             if variant = Try_acquire_yield then Sync.yield ();
+             retry ()
+           end
+         in
+         retry ();
+         eat i;
+         Sync.Mutex.unlock first;
+         Sync.Mutex.unlock second)
+    done
+  in
+  List.init n (fun i -> philosopher i)
+
+
+(* Bare philosophers for the coverage experiments: same synchronization
+   skeleton as [Mixed_retry], no assertion instrumentation. *)
+let coverage_program ~n =
+  if n < 2 then invalid_arg "Dining.coverage_program";
+  Program.of_threads ~name:(Printf.sprintf "dining-cov-%d" n) @@ fun () ->
+  let fork = Array.init n (fun i -> Sync.Mutex.create ~name:(Printf.sprintf "fork%d" i) ()) in
+  let left i = fork.(i) and right i = fork.((i + 1) mod n) in
+  let ordered i () =
+    let a, b = if i < (i + 1) mod n then (left i, right i) else (right i, left i) in
+    Sync.Mutex.lock a;
+    Sync.Mutex.lock b;
+    Sync.Mutex.unlock a;
+    Sync.Mutex.unlock b
+  in
+  let retry i () =
+    let rec go () =
+      Sync.Mutex.lock (left i);
+      if Sync.Mutex.try_lock (right i) then ()
+      else begin
+        Sync.Mutex.unlock (left i);
+        Sync.yield ();
+        go ()
+      end
+    in
+    go ();
+    Sync.Mutex.unlock (left i);
+    Sync.Mutex.unlock (right i)
+  in
+  (* A single polling philosopher keeps the state space cyclic while the
+     others' blocking discipline keeps the tree narrow enough for the
+     exhaustive strategies. *)
+  List.init n (fun i -> if i = n - 1 then retry i else ordered i)

@@ -1,0 +1,40 @@
+(** Dining philosophers, in the paper's four guises.
+
+    The paper uses this example three ways: Figure 1's try-acquire variant is
+    the motivating livelock; a correct, fair-terminating configuration is a
+    coverage benchmark (Table 2); and the unrolled retry cycle drives the
+    Figure 2 exponential-depth measurement. *)
+
+type variant =
+  | Ordered
+      (** each philosopher blocks on the lower-numbered fork first — correct
+          (deadlock- and livelock-free by resource ordering); used for the
+          state-coverage experiments *)
+  | Try_acquire
+      (** Figure 1: grab one fork, try the other without blocking, release
+          and retry on failure. No yields — the retry cycle is a livelock,
+          and single-thread spins violate the good-samaritan property. *)
+  | Try_acquire_yield
+      (** Figure 1 plus a yield on the retry path, as well-behaved code would
+          be written; the livelock cycle is fair, so the fair search
+          diverges and reports it (outcome 3) *)
+  | Deadlock
+      (** every philosopher blocks on its left fork first — circular wait *)
+  | Mixed_retry
+      (** philosopher 0 blocks in fork order; the others run the
+          try-acquire/yield retry loop. The state space is cyclic (the retry
+          loops), yet fair-terminating: the blocking philosopher breaks every
+          livelock cycle, and the fair scheduler prunes the unfair spins —
+          this is the configuration for the Table 2 coverage experiments. *)
+
+val program : ?eat_rounds:int -> n:int -> variant -> Fairmc_core.Program.t
+(** [n] philosophers ([n >= 2]), each eating [eat_rounds] times (default 1).
+    Asserts that neighbouring philosophers never eat simultaneously. *)
+
+val coverage_program : n:int -> Fairmc_core.Program.t
+(** The Table 2 configuration: [Mixed_retry] philosophers with the
+    assertion instrumentation stripped (state = fork owners and thread
+    control only), keeping the exhaustive searches tractable — the paper's
+    54-LOC dining program is similarly bare. *)
+
+val name : n:int -> variant -> string

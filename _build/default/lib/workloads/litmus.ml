@@ -1,0 +1,94 @@
+open Fairmc_core
+
+let fig3 () =
+  Program.of_threads ~name:"fig3" @@ fun () ->
+  let x = Sync.int_var ~name:"x" 0 in
+  [ (fun () -> Sync.Svar.set x 1);
+    (fun () ->
+      while Sync.Svar.get x <> 1 do
+        Sync.yield ()
+      done) ]
+
+let fig3_no_yield () =
+  Program.of_threads ~name:"fig3-no-yield" @@ fun () ->
+  let x = Sync.int_var ~name:"x" 0 in
+  [ (fun () -> Sync.Svar.set x 1);
+    (fun () -> while Sync.Svar.get x <> 1 do () done) ]
+
+let store_buffer () =
+  Program.of_threads ~name:"store-buffer" @@ fun () ->
+  let x = Sync.int_var ~name:"x" 0 and y = Sync.int_var ~name:"y" 0 in
+  let r0 = Sync.int_var ~name:"r0" (-1) and r1 = Sync.int_var ~name:"r1" (-1) in
+  [ (fun () ->
+      Sync.Svar.set x 1;
+      Sync.Svar.set r0 (Sync.Svar.get y));
+    (fun () ->
+      Sync.Svar.set y 1;
+      Sync.Svar.set r1 (Sync.Svar.get x));
+    (fun () ->
+      Sync.join 0;
+      Sync.join 1;
+      (* Sequential consistency forbids both threads reading the initial 0. *)
+      Sync.check (not (Sync.Svar.get r0 = 0 && Sync.Svar.get r1 = 0))
+        "store buffering observed under SC") ]
+
+let ticket_lock () =
+  Program.of_threads ~name:"ticket-lock" @@ fun () ->
+  let next = Sync.int_var ~name:"next" 0 in
+  let grant = Sync.int_var ~name:"grant" 0 in
+  let counter = Sync.int_var ~name:"counter" 0 in
+  let in_cs = Sync.int_var ~name:"in_cs" 0 in
+  let incr_under_lock () =
+    let my = Sync.Svar.incr next in
+    while Sync.Svar.get grant <> my do
+      Sync.yield ()
+    done;
+    let inside = Sync.Svar.incr in_cs in
+    Sync.check (inside = 0) "ticket lock: mutual exclusion violated";
+    ignore (Sync.Svar.incr counter);
+    ignore (Sync.Svar.update in_cs (fun v -> v - 1));
+    ignore (Sync.Svar.incr grant)
+  in
+  [ incr_under_lock;
+    incr_under_lock;
+    (fun () ->
+      Sync.join 0;
+      Sync.join 1;
+      Sync.check (Sync.Svar.get counter = 2) "ticket lock: lost update") ]
+
+let race_assert () =
+  Program.of_threads ~name:"race-assert" @@ fun () ->
+  let x = Sync.int_var ~name:"x" 0 in
+  let bump () = if Sync.Svar.get x = 0 then Sync.Svar.set x (Sync.Svar.get x + 1) in
+  [ bump;
+    bump;
+    (fun () ->
+      Sync.join 0;
+      Sync.join 1;
+      Sync.check (Sync.Svar.get x = 1) "check-then-act race") ]
+
+let counter_race ~increments =
+  Program.of_threads ~name:(Printf.sprintf "counter-race-%d" increments) @@ fun () ->
+  let x = Sync.int_var ~name:"x" 0 in
+  let worker () =
+    for _ = 1 to increments do
+      let v = Sync.Svar.get x in
+      Sync.Svar.set x (v + 1)
+    done
+  in
+  [ worker;
+    worker;
+    (fun () ->
+      Sync.join 0;
+      Sync.join 1;
+      Sync.check (Sync.Svar.get x = 2 * increments) "non-atomic increments lost an update") ]
+
+let two_step_threads ~nthreads ~steps =
+  Program.of_threads ~name:(Printf.sprintf "independent-%dx%d" nthreads steps) @@ fun () ->
+  let vars =
+    Array.init nthreads (fun i -> Sync.int_var ~name:(Printf.sprintf "v%d" i) 0)
+  in
+  List.init nthreads (fun i () ->
+      for s = 1 to steps do
+        Sync.Svar.set vars.(i) s
+      done)

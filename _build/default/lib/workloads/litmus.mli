@@ -1,0 +1,33 @@
+(** Small litmus programs: the paper's running examples and classic
+    two-thread shapes, used throughout the tests and benchmarks. *)
+
+val fig3 : unit -> Fairmc_core.Program.t
+(** The paper's Figure 3: thread [t] sets [x := 1], thread [u] spins with a
+    yield until it observes the write. Fair-terminating; nonterminating
+    under the unfair schedule that starves [t]. *)
+
+val fig3_no_yield : unit -> Fairmc_core.Program.t
+(** Figure 3 with the yield removed — violates the good-samaritan property;
+    a fair search diverges with [u] hogging the scheduler. *)
+
+val store_buffer : unit -> Fairmc_core.Program.t
+(** Dekker-style store-buffer shape. Under the engine's sequentially
+    consistent memory both threads can't read 0, so the assertion holds. *)
+
+val ticket_lock : unit -> Fairmc_core.Program.t
+(** Two threads incrementing a counter under a ticket lock built from
+    interlocked operations; asserts mutual exclusion and the final count.
+    The spin on the grant variable yields (good samaritan). *)
+
+val race_assert : unit -> Fairmc_core.Program.t
+(** A racy check-then-act: both threads do [if x = 0 then x <- x + 1];
+    asserts [x = 1] at the end, which a bad interleaving violates. *)
+
+val counter_race : increments:int -> Fairmc_core.Program.t
+(** Two threads doing non-atomic [x := x + 1] [increments] times each;
+    asserts the (wrong under races) total. *)
+
+val two_step_threads : nthreads:int -> steps:int -> Fairmc_core.Program.t
+(** [nthreads] independent threads each performing [steps] writes to private
+    variables: the schedule count is the multinomial coefficient — used to
+    validate exhaustive-search counting. *)

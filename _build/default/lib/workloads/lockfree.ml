@@ -1,0 +1,154 @@
+open Fairmc_core
+
+type variant = Tagged | Aba
+
+let variant_name = function Tagged -> "tagged" | Aba -> "aba"
+let name v = Printf.sprintf "treiber-%s" (variant_name v)
+
+(* Node indices are packed with a version tag in the head word:
+   head = tag * stride + (index + 1), with 0 meaning the empty stack.
+   The Aba variant keeps the tag at zero — which is exactly the bug.
+
+   Nodes are recycled through a FIFO free queue guarded by a lock (the
+   "allocator slow path"): FIFO reuse is what makes the classic ABA
+   interleaving reachable — a node returns to the top of the stack while a
+   preempted popper still holds its old successor pointer. *)
+type t = {
+  variant : variant;
+  stride : int;
+  head : int Sync.Svar.t;  (* packed stack head *)
+  next : int Sync.Svar.t array;  (* successor index + 1, 0 = nil *)
+  value : int Sync.Svar.t array;
+  (* FIFO free queue (ring buffer) *)
+  flock : Sync.Mutex.t;
+  fring : int Sync.Svar.t array;
+  fhead : int Sync.Svar.t;
+  ftail : int Sync.Svar.t;
+}
+
+let pack t ~tag ~idx1 = (tag * t.stride) + idx1
+let idx1_of t packed = packed mod t.stride
+let tag_of t packed = packed / t.stride
+
+let create ?(name = "treiber") ~capacity variant =
+  if capacity < 1 then invalid_arg "Lockfree.create";
+  let t =
+    { variant;
+      stride = capacity + 1;
+      head = Sync.int_var ~name:(name ^ ".head") 0;
+      next =
+        Array.init capacity (fun i -> Sync.int_var ~name:(Printf.sprintf "%s.next%d" name i) 0);
+      value =
+        Array.init capacity (fun i -> Sync.int_var ~name:(Printf.sprintf "%s.val%d" name i) 0);
+      flock = Sync.Mutex.create ~name:(name ^ ".flock") ();
+      fring =
+        Array.init (capacity + 1) (fun i ->
+            Sync.int_var ~name:(Printf.sprintf "%s.fring%d" name i) 0);
+      fhead = Sync.int_var ~name:(name ^ ".fhead") 0;
+      ftail = Sync.int_var ~name:(name ^ ".ftail") 0 }
+  in
+  (* All nodes start on the free queue. *)
+  for i = 0 to capacity - 1 do
+    Sync.Svar.set t.fring.(i) (i + 1)
+  done;
+  Sync.Svar.set t.ftail capacity;
+  t
+
+let alloc_node t =
+  Sync.Mutex.lock t.flock;
+  let h = Sync.Svar.get t.fhead in
+  let r =
+    if h = Sync.Svar.get t.ftail then None
+    else begin
+      Sync.Svar.set t.fhead (h + 1);
+      Some (Sync.Svar.get t.fring.(h mod Array.length t.fring))
+    end
+  in
+  Sync.Mutex.unlock t.flock;
+  r
+
+let free_node t idx1 =
+  Sync.Mutex.lock t.flock;
+  let tl = Sync.Svar.get t.ftail in
+  (* More free nodes than exist means a node was freed twice — one of the
+     observable corruptions ABA causes. *)
+  Sync.check
+    (tl - Sync.Svar.get t.fhead < Array.length t.next)
+    "free queue overflow (double free)";
+  Sync.Svar.set t.fring.(tl mod Array.length t.fring) idx1;
+  Sync.Svar.set t.ftail (tl + 1);
+  Sync.Mutex.unlock t.flock
+
+let bump_tag t tag = match t.variant with Tagged -> tag + 1 | Aba -> 0
+
+let push t v =
+  match alloc_node t with
+  | None -> false
+  | Some idx1 ->
+    Sync.Svar.set t.value.(idx1 - 1) v;
+    (* Treiber push: link the node over the current head and CAS. *)
+    let rec attempt () =
+      let old = Sync.Svar.get t.head in
+      Sync.Svar.set t.next.(idx1 - 1) (idx1_of t old);
+      let fresh = pack t ~tag:(bump_tag t (tag_of t old)) ~idx1 in
+      if Sync.Svar.cas t.head ~expected:old fresh then () else attempt ()
+    in
+    attempt ();
+    true
+
+let pop t =
+  (* Treiber pop: read the head and its successor, CAS the head over. The
+     window between the reads and the CAS is where ABA strikes. *)
+  let rec attempt () =
+    let old = Sync.Svar.get t.head in
+    let idx1 = idx1_of t old in
+    if idx1 = 0 then None
+    else begin
+      let nxt = Sync.Svar.get t.next.(idx1 - 1) in
+      let fresh = pack t ~tag:(bump_tag t (tag_of t old)) ~idx1:nxt in
+      if Sync.Svar.cas t.head ~expected:old fresh then begin
+        let v = Sync.Svar.get t.value.(idx1 - 1) in
+        free_node t idx1;
+        Some v
+      end
+      else attempt ()
+    end
+  in
+  attempt ()
+
+let program ?(pushes = 2) variant =
+  ignore pushes;
+  Program.of_threads ~name:(name variant) @@ fun () ->
+  (* The canonical ABA scenario. An initializer builds the stack [B, A]
+     and raises [ready]; the victim starts a pop of B; the mutator pops B,
+     pops A, and pushes a new value — with a tight FIFO node pool the new
+     node is B's reincarnation, so the victim's compare-and-swap succeeds
+     against the recycled head and splices the freed A back in. *)
+  let stack = create ~capacity:2 variant in
+  let ready = Sync.Event.create ~name:"ready" () in
+  let popped = Array.init 3 (fun i -> Sync.int_var ~name:(Printf.sprintf "popped%d" i) 0) in
+  let record v =
+    Sync.check (v >= 0 && v < 3) (Printf.sprintf "popped corrupt value %d" v);
+    let n = Sync.Svar.incr popped.(v) in
+    Sync.check (n = 0) (Printf.sprintf "value %d popped twice" v)
+  in
+  let initializer_ () =
+    Sync.check (push stack 0) "init push 0";
+    Sync.check (push stack 1) "init push 1";
+    Sync.Event.set ready
+  in
+  let victim () =
+    Sync.Event.wait ready;
+    match pop stack with Some v -> record v | None -> ()
+  in
+  let mutator () =
+    Sync.Event.wait ready;
+    (match pop stack with Some v -> record v | None -> ());
+    (match pop stack with Some v -> record v | None -> ());
+    (* The pool can be transiently dry while the victim holds a node. *)
+    while not (push stack 2) do
+      Sync.yield ()
+    done;
+    match pop stack with Some v -> record v | None -> ()
+  in
+  [ initializer_; victim; mutator ]

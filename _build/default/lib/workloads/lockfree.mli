@@ -1,0 +1,33 @@
+(** Lock-free structures over interlocked operations — the "low-level
+    synchronization libraries that typically employ nonblocking algorithms"
+    the paper names as the class of code that *cannot* be manually modified
+    to terminate (Section 4.1), which motivated fair scheduling in the first
+    place.
+
+    A Treiber stack with an explicit free list exhibits the classic ABA
+    failure: a thread preempted between reading the head and its CAS sees
+    the same head value again after the node was popped, recycled, and
+    pushed back — the CAS succeeds and splices a freed node into the stack.
+    The [Tagged] variant packs a modification count next to the index, the
+    standard fix. *)
+
+type variant =
+  | Tagged  (** version-tagged heads: correct *)
+  | Aba  (** raw index CAS with node reuse: the ABA bug *)
+
+val variant_name : variant -> string
+
+type t
+
+val create : ?name:string -> capacity:int -> variant -> t
+
+val push : t -> int -> bool
+(** [false] when out of nodes. *)
+
+val pop : t -> int option
+
+val program : ?pushes:int -> variant -> Fairmc_core.Program.t
+(** Two pushers/poppers racing on a small stack, with an integrity monitor:
+    every popped value was pushed and no value is popped twice. *)
+
+val name : variant -> string

@@ -1,0 +1,80 @@
+open Fairmc_core
+
+type variant = Blocking | Spin_then_sleep | Stale_cache
+
+let variant_name = function
+  | Blocking -> "blocking"
+  | Spin_then_sleep -> "spin"
+  | Stale_cache -> "stale-cache"
+
+type t = {
+  variant : variant;
+  state : int Sync.Svar.t;  (* 0 = pending, 1 = fulfilled *)
+  value : int Sync.Svar.t;
+  done_ev : Sync.Event.t;
+}
+
+let create ?(name = "promise") variant =
+  { variant;
+    state = Sync.int_var ~name:(name ^ ".state") 0;
+    value = Sync.int_var ~name:(name ^ ".value") 0;
+    done_ev = Sync.Event.create ~name:(name ^ ".done") () }
+
+let is_fulfilled t = Sync.Svar.get t.state = 1
+
+let fulfill t v =
+  Sync.check (not (is_fulfilled t)) "promise fulfilled twice";
+  Sync.Svar.set t.value v;
+  (* Publish the value before the flag: awaiters read the value only after
+     observing state = 1. *)
+  Sync.Svar.set t.state 1;
+  Sync.Event.set t.done_ev
+
+let await t =
+  (match t.variant with
+   | Blocking -> Sync.Event.wait t.done_ev
+   | Spin_then_sleep ->
+     (* The optimized fast path of Figure 8, written correctly: re-read the
+        shared flag on every iteration of the uncommon-case spin. *)
+     while Sync.Svar.get t.state <> 1 do
+       Sync.sleep ()
+     done
+   | Stale_cache ->
+     (* Figure 8 verbatim: the spin waits on a local cache of the flag.
+        The Sleep(1) makes every iteration a yield, so the resulting
+        infinite execution is fair — a livelock. *)
+     let x_temp = ref (Sync.Svar.get t.state) in
+     while !x_temp <> 1 do
+       Sync.sleep ()
+       (* BUG: should re-read t.state into x_temp *)
+     done);
+  Sync.check (Sync.Svar.get t.state = 1) "await returned on unfulfilled promise";
+  Sync.Svar.get t.value
+
+let name v = Printf.sprintf "promise-%s" (variant_name v)
+
+let program variant =
+  Program.of_threads ~name:(name variant) @@ fun () ->
+  let p = create variant in
+  let producer () = fulfill p 42 in
+  let consumer () =
+    let v = await p in
+    Sync.check (v = 42) (Printf.sprintf "awaited %d, expected 42" v)
+  in
+  [ producer; consumer ]
+
+let pipeline_program ?(width = 2) variant =
+  Program.of_threads ~name:(Printf.sprintf "%s-pipeline-%d" (name variant) width) @@ fun () ->
+  let parts = Array.init width (fun i -> create ~name:(Printf.sprintf "part%d" i) variant) in
+  let result = create ~name:"result" variant in
+  let worker i () = fulfill parts.(i) (i + 1) in
+  let combiner () =
+    let sum = ref 0 in
+    Array.iter (fun p -> sum := !sum + await p) parts;
+    fulfill result !sum
+  in
+  let main () =
+    let v = await result in
+    Sync.check (v = width * (width + 1) / 2) (Printf.sprintf "combined %d" v)
+  in
+  List.init width (fun i -> worker i) @ [ combiner; main ]

@@ -1,0 +1,36 @@
+(** Promises — a small data-parallelism library, our stand-in for the
+    paper's "Promise" benchmark (Table 1).
+
+    A promise is a write-once cell; [await] is optimized with a spin-then-
+    sleep fast path exactly like the code in the paper's Figure 8. The
+    [Stale_cache] variant reproduces Figure 8's livelock verbatim: the
+    awaiting thread caches the state flag in a local, sleeps politely in the
+    uncommon path — and never re-reads the flag, so it spins forever on the
+    stale copy. Every iteration yields, so the divergence is a *fair*
+    infinite execution: outcome 3 of the paper, a livelock only a fair
+    scheduler can expose. *)
+
+type variant =
+  | Blocking  (** await blocks on an event — the textbook implementation *)
+  | Spin_then_sleep  (** correct optimized await: re-reads the flag each iteration *)
+  | Stale_cache  (** Figure 8: waits on a stale local copy — livelock *)
+
+type t
+
+val create : ?name:string -> variant -> t
+val fulfill : t -> int -> unit
+(** @raise via [Sync.fail] when fulfilled twice. *)
+
+val await : t -> int
+val is_fulfilled : t -> bool
+
+val program : variant -> Fairmc_core.Program.t
+(** One producer computing a value, one consumer awaiting it. *)
+
+val pipeline_program : ?width:int -> variant -> Fairmc_core.Program.t
+(** A fork-join diamond: [width] workers each fulfill a promise; a combiner
+    awaits all of them and fulfills a result promise the main thread awaits.
+    Exercises the library on the shape data-parallel code actually has. *)
+
+val name : variant -> string
+val variant_name : variant -> string

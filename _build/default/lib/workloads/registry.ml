@@ -1,0 +1,49 @@
+type entry = {
+  name : string;
+  program : Fairmc_core.Program.t;
+  expected : string;
+  description : string;
+}
+
+let entry program expected description =
+  { name = program.Fairmc_core.Program.name; program; expected; description }
+
+let all () =
+  [ entry (Litmus.fig3 ()) "verified" "paper Figure 3: two-thread spin loop";
+    entry (Litmus.store_buffer ()) "verified" "classic store-buffer litmus (SC: no violation)";
+    entry (Litmus.ticket_lock ()) "verified" "two threads under a ticket lock";
+    entry (Litmus.race_assert ()) "safety" "racy check-then-act on a shared counter";
+    entry (Dining.program ~n:2 Dining.Ordered) "verified" "2 dining philosophers, ordered forks";
+    entry (Dining.program ~n:3 Dining.Ordered) "verified" "3 dining philosophers, ordered forks";
+    entry (Dining.program ~n:2 Dining.Deadlock) "deadlock" "2 philosophers, circular wait";
+    entry (Dining.program ~n:2 Dining.Try_acquire) "good-samaritan"
+      "paper Figure 1: try-acquire retry loop (no yields, so the divergence
+       violates the good-samaritan property)";
+    entry (Dining.program ~n:2 Dining.Try_acquire_yield) "livelock"
+      "Figure 1 with good-samaritan yields: fair livelock";
+    entry (Wsq.program ~stealers:1 Wsq.Correct) "verified" "work-stealing queue, 1 stealer";
+    entry (Wsq.program ~stealers:2 Wsq.Correct) "verified" "work-stealing queue, 2 stealers";
+    entry (Wsq.program ~stealers:1 Wsq.Bug1) "safety" "WSQ bug 1: pop reads head before claim";
+    entry (Wsq.program ~stealers:2 Wsq.Bug2) "safety" "WSQ bug 2: steal bumps head outside lock";
+    entry (Wsq.program ~items:1 ~stealers:1 Wsq.Bug3) "safety"
+      "WSQ bug 3: stale head in conflict re-check";
+    entry (Channels.program Channels.Correct) "verified" "bounded channel, sender/receiver";
+    entry (Channels.program Channels.Bug1) "safety" "channel bug 1: credit returned early";
+    entry (Channels.program Channels.Bug2) "deadlock" "channel bug 2: lost wakeup";
+    entry (Channels.program Channels.Bug3) "safety" "channel bug 3: close races send";
+    entry (Channels.program Channels.Bug4) "safety" "channel bug 4: incorrect fix of bug 3";
+    entry (Channels.fifo_program ~stages:3 ()) "verified" "channel pipeline (5 threads)";
+    entry (Promise.program Promise.Blocking) "verified" "promise, blocking await";
+    entry (Promise.program Promise.Spin_then_sleep) "verified" "promise, optimized await";
+    entry (Promise.program Promise.Stale_cache) "livelock" "paper Figure 8: stale-cache livelock";
+    entry (Taskpool.program Taskpool.Courteous) "verified" "task pool, courteous shutdown";
+    entry (Taskpool.program Taskpool.Spin_shutdown) "good-samaritan"
+      "paper Figure 7: spin in the shutdown window";
+    entry (Lockfree.program Lockfree.Tagged) "verified"
+      "Treiber stack with version tags (correct)";
+    entry (Lockfree.program Lockfree.Aba) "safety" "Treiber stack ABA bug";
+    entry (Singularity.program ~services:2 ~apps:1 ()) "verified"
+      "Singularity-lite boot and shutdown (small)" ]
+
+let find n = List.find_opt (fun e -> e.name = n) (all ())
+let names () = List.map (fun e -> e.name) (all ())

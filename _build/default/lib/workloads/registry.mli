@@ -1,0 +1,15 @@
+(** Name-indexed catalogue of every benchmark program, for the CLI and the
+    benchmark harness. *)
+
+type entry = {
+  name : string;
+  program : Fairmc_core.Program.t;
+  expected : string;
+      (** what a checker should find: "verified", "safety", "deadlock",
+          "livelock", "good-samaritan" *)
+  description : string;
+}
+
+val all : unit -> entry list
+val find : string -> entry option
+val names : unit -> string list

@@ -1,0 +1,84 @@
+open Fairmc_core
+
+let name ~services ~apps = Printf.sprintf "singularity-lite-%ds-%da" services apps
+
+let program ?(services = 5) ?(apps = 3) ?(requests = 1) () =
+  if services < 1 || apps < 1 then invalid_arg "Singularity.program";
+  Program.of_threads ~name:(name ~services ~apps) @@ fun () ->
+  (* Boot-time state. Every service has a request channel; registration goes
+     through the nameserver's channel; completions are counted on a
+     semaphore the applications block on. *)
+  let ns_ch = Channels.create ~name:"ns" ~capacity:2 Channels.Correct in
+  let svc_ch =
+    Array.init services (fun i ->
+        Channels.create ~name:(Printf.sprintf "svc%d" i) ~capacity:1 Channels.Correct)
+  in
+  let registered = Sync.int_var ~name:"registered" 0 in
+  let served = Array.init services (fun i -> Sync.int_var ~name:(Printf.sprintf "served%d" i) 0) in
+  let completion = Sync.Semaphore.create ~name:"completion" 0 in
+  let system_ready = Sync.Event.create ~name:"system_ready" () in
+  let phase = Sync.int_var ~name:"boot_phase" 0 in
+
+  (* A device driver / system service: register with the nameserver, then
+     serve requests until the kernel closes the channel at shutdown. *)
+  let service i () =
+    Sync.check (Channels.send ns_ch i) "service registration rejected";
+    let rec serve () =
+      match Channels.recv svc_ch.(i) with
+      | Some _req ->
+        ignore (Sync.Svar.incr served.(i));
+        Sync.Semaphore.post completion;
+        serve ()
+      | None -> ()
+    in
+    serve ()
+  in
+
+  (* The nameserver: collect one registration per service, then publish
+     system-ready. *)
+  let nameserver () =
+    for _ = 1 to services do
+      match Channels.recv ns_ch with
+      | Some i ->
+        let mask = Sync.Svar.get registered in
+        Sync.check (mask land (1 lsl i) = 0) "service registered twice";
+        Sync.Svar.set registered (mask lor (1 lsl i))
+      | None -> Sync.fail "nameserver channel closed during boot"
+    done;
+    Sync.Event.set system_ready
+  in
+
+  (* An application: wait for boot, then issue requests round-robin over the
+     services and wait for their completions. *)
+  let app n () =
+    Sync.Event.wait system_ready;
+    for r = 0 to requests - 1 do
+      let svc = (n + r) mod services in
+      Sync.check (Channels.send svc_ch.(svc) (n * 100 + r)) "app request rejected";
+      Sync.Semaphore.wait completion
+    done
+  in
+
+  (* The kernel: boot everything (dynamically — CHESS must handle thread
+     creation mid-execution), wait for the apps, then orderly shutdown. *)
+  let kernel () =
+    Sync.Svar.set phase 1 (* booting *);
+    let ns_tid = Sync.spawn nameserver in
+    let svc_tids = List.init services (fun i -> Sync.spawn (service i)) in
+    Sync.Svar.set phase 2 (* services up *);
+    let app_tids = List.init apps (fun n -> Sync.spawn (app n)) in
+    Sync.Svar.set phase 3 (* running *);
+    List.iter Sync.join app_tids;
+    Sync.Svar.set phase 4 (* shutting down *);
+    Array.iter Channels.close svc_ch;
+    List.iter Sync.join svc_tids;
+    Sync.join ns_tid;
+    Sync.Svar.set phase 5 (* down *);
+    (* Post-conditions: every service registered exactly once and all
+       requests were served. *)
+    Sync.check (Sync.Svar.get registered = (1 lsl services) - 1) "boot lost a registration";
+    let total = Array.fold_left (fun acc s -> acc + Sync.Svar.get s) 0 served in
+    Sync.check (total = apps * requests)
+      (Printf.sprintf "served %d requests, expected %d" total (apps * requests))
+  in
+  [ kernel ]

@@ -1,0 +1,22 @@
+(** "Singularity-lite": booting and shutting down a miniature operating
+    system under the model checker.
+
+    The paper's headline applicability result is booting the Singularity
+    research OS under CHESS (Table 1: 14 threads, 167k sync ops). This
+    module reproduces the *shape* of that exercise: a kernel thread
+    dynamically spawns a nameserver, system services and device drivers,
+    connected by message channels; applications wait for boot to complete,
+    issue driver requests, and the kernel then performs an orderly shutdown
+    (close service channels, join everything) — the "test harness makes the
+    program fair-terminating" methodology of Section 2.
+
+    Services run nonterminating receive loops; only channel close ends them,
+    so an unfair scheduler can spin the system forever while a fair one
+    drives every boot to completion. *)
+
+val program : ?services:int -> ?apps:int -> ?requests:int -> unit -> Fairmc_core.Program.t
+(** [services] device/system services (default 5), [apps] applications
+    (default 3), each issuing [requests] driver requests (default 1).
+    Thread count: 1 kernel + 1 nameserver + [services] + [apps]. *)
+
+val name : services:int -> apps:int -> string

@@ -1,0 +1,107 @@
+open Fairmc_core
+
+type variant = Courteous | Spin_shutdown
+
+let variant_name = function
+  | Courteous -> "courteous"
+  | Spin_shutdown -> "spin-shutdown"
+
+let name ~workers variant = Printf.sprintf "taskpool-%dw-%s" workers (variant_name variant)
+
+let program ?(workers = 1) ?(tasks = 1) variant =
+  Program.of_threads ~name:(name ~workers variant) @@ fun () ->
+  let queue = Sync.Svar.create ~name:"queue" ([] : int list) in
+  let qlock = Sync.Mutex.create ~name:"qlock" () in
+  let stop_group = Sync.bool_var ~name:"stop_group" false in
+  let stop_worker =
+    Array.init workers (fun i -> Sync.bool_var ~name:(Printf.sprintf "stop%d" i) false)
+  in
+  let ran = Array.init tasks (fun i -> Sync.int_var ~name:(Printf.sprintf "ran%d" i) 0) in
+  let pop_next_task () =
+    Sync.Mutex.lock qlock;
+    let r =
+      match Sync.Svar.get queue with
+      | [] -> None
+      | t :: rest ->
+        Sync.Svar.set queue rest;
+        Some t
+    in
+    Sync.Mutex.unlock qlock;
+    r
+  in
+  (* WorkerGroup::Idle — poll for work with a backoff yield until the group
+     stops. Returns a task, or None when the group is shutting down. *)
+  let group_idle () =
+    let rec poll () =
+      if Sync.Svar.get stop_group then None
+      else begin
+        match pop_next_task () with
+        | Some t -> Some t
+        | None ->
+          (* YieldExponential: the model checker abstracts durations, so the
+             backoff is a plain yield. *)
+          Sync.yield ();
+          poll ()
+      end
+    in
+    poll ()
+  in
+  (* Worker::Run — Figure 7. The outer loop keeps calling Idle while only
+     the group flag is set; the Courteous variant yields there, the
+     Spin_shutdown variant spins full-speed without yielding. *)
+  let worker i () =
+    let task = ref None in
+    while not (Sync.Svar.get stop_worker.(i)) do
+      let continue_inner = ref true in
+      while !continue_inner do
+        if Sync.Svar.get stop_worker.(i) then continue_inner := false
+        else begin
+          match !task with
+          | None -> continue_inner := false
+          | Some t ->
+            ignore (Sync.Svar.incr ran.(t));
+            task := pop_next_task ()
+        end
+      done;
+      if not (Sync.Svar.get stop_worker.(i)) then begin
+        task := group_idle ();
+        if !task = None && variant = Courteous then
+          (* Idle returned nothing (the group is stopping): be a good
+             samaritan while waiting for our own stop flag. *)
+          Sync.yield ()
+      end
+    done
+  in
+  let shutdown () =
+    (* Enqueue the work, let the pool drain it, then stop: first the group,
+       then each worker — opening Figure 7's window. *)
+    Sync.Mutex.lock qlock;
+    Sync.Svar.set queue (List.init tasks (fun i -> i));
+    Sync.Mutex.unlock qlock;
+    (* Wait until the queue drains before shutting down. *)
+    let rec wait_drain () =
+      Sync.Mutex.lock qlock;
+      let empty = Sync.Svar.get queue = [] in
+      Sync.Mutex.unlock qlock;
+      if not empty then begin
+        Sync.yield ();
+        wait_drain ()
+      end
+    in
+    wait_drain ();
+    Sync.Svar.set stop_group true;
+    for i = 0 to workers - 1 do
+      Sync.Svar.set stop_worker.(i) true
+    done;
+    for i = 0 to workers - 1 do
+      Sync.join i
+    done;
+    (* A worker checks its stop flag before running the task in hand
+       (Figure 7's structure), so a task may be abandoned at shutdown — but
+       never run twice. *)
+    for t = 0 to tasks - 1 do
+      let n = Sync.Svar.get ran.(t) in
+      Sync.check (n <= 1) (Printf.sprintf "task %d ran %d times" t n)
+    done
+  in
+  List.init workers (fun i -> worker i) @ [ shutdown ]

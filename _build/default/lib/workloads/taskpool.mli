@@ -1,0 +1,25 @@
+(** A task-parallel worker-pool library — our stand-in for the paper's APE
+    (Asynchronous Processing Environment) benchmark and the vehicle for the
+    good-samaritan violation of the paper's Figure 7.
+
+    Workers belong to a worker group and run tasks from a shared queue; an
+    idle worker polls for work with an exponential-backoff yield. Shutdown
+    sets a [stop] flag on the group and then on each worker. Figure 7's bug:
+    in the window where the group's flag is set but the worker's is not, the
+    worker's outer loop spins calling [Idle] — which returns immediately
+    because the *group* is stopping — without ever yielding. The thread
+    burns its timeslice and starves the very thread that would set its stop
+    flag: a good-samaritan violation (outcome 2), which the fair scheduler
+    surfaces as a divergence with a starved enabled thread. *)
+
+type variant =
+  | Courteous  (** the outer loop yields when [Idle] returns no work *)
+  | Spin_shutdown  (** Figure 7: tight spin in the shutdown window *)
+
+val program : ?workers:int -> ?tasks:int -> variant -> Fairmc_core.Program.t
+(** [workers] worker threads (default 1) run [tasks] enqueued tasks
+    (default 1); a shutdown thread then stops the group and each worker, and
+    asserts every task ran exactly once. *)
+
+val name : workers:int -> variant -> string
+val variant_name : variant -> string

@@ -1,0 +1,199 @@
+open Fairmc_core
+
+type bug = Correct | Bug1 | Bug2 | Bug3
+
+let bug_name = function
+  | Correct -> "correct"
+  | Bug1 -> "bug1"
+  | Bug2 -> "bug2"
+  | Bug3 -> "bug3"
+
+type t = {
+  bug : bug;
+  head : int Sync.Svar.t;  (* next index to steal; only thieves advance it *)
+  tail : int Sync.Svar.t;  (* next index to push; owner-owned *)
+  tasks : int Sync.Svar.t array;
+  lock : Sync.Mutex.t;
+}
+
+let create ~capacity =
+  { bug = Correct;
+    head = Sync.int_var ~name:"wsq.head" 0;
+    tail = Sync.int_var ~name:"wsq.tail" 0;
+    tasks = Array.init capacity (fun i -> Sync.int_var ~name:(Printf.sprintf "wsq.tasks%d" i) 0);
+    lock = Sync.Mutex.create ~name:"wsq.lock" () }
+
+let with_bug bug t = { t with bug }
+
+let slot t i = t.tasks.(i mod Array.length t.tasks)
+
+(* Owner: publish at the tail. Indices are monotonic; the capacity bounds
+   the live window, which the harness never exceeds. *)
+let push t v =
+  Sync.at 1;
+  let tl = Sync.Svar.get t.tail in
+  Sync.Svar.set (slot t tl) v;
+  Sync.Svar.set t.tail (tl + 1)
+
+(* Owner: THE-protocol pop (Cilk-5). Claim the last element by decrementing
+   the tail; if the head may have passed it, restore the claim and arbitrate
+   under the lock with a fresh read of the head.
+
+   Bug 1 reads the head *before* publishing the tail claim — the classic
+   missing-fence reordering: a thief that scans the deque between the two
+   accesses still sees the old tail, steals the last element, and the owner
+   pops it a second time.
+
+   Bug 3 re-checks the conflict under the lock with the *stale* head value:
+   when a racing thief bumped the head and then restored it (its own empty
+   path), the owner wrongly concludes the deque is empty and a task is never
+   executed. *)
+let pop t =
+  Sync.at 2;
+  let stale_head = if t.bug = Bug1 then Sync.Svar.get t.head else 0 in
+  let tl = Sync.Svar.get t.tail - 1 in
+  Sync.Svar.set t.tail tl;
+  let h = if t.bug = Bug1 then stale_head else Sync.Svar.get t.head in
+  if h <= tl then Some (Sync.Svar.get (slot t tl))
+  else begin
+    (* Conflict: restore the claim, then redo the test under the lock.
+       [Sync.at] markers disambiguate the control points that share a
+       pending operation (several tail writes) for state capture. *)
+    Sync.at 3;
+    Sync.Svar.set t.tail (tl + 1);
+    Sync.Mutex.lock t.lock;
+    Sync.at 4;
+    Sync.Svar.set t.tail tl;
+    let h = if t.bug = Bug3 then h else Sync.Svar.get t.head in
+    if h <= tl then begin
+      Sync.Mutex.unlock t.lock;
+      Some (Sync.Svar.get (slot t tl))
+    end
+    else begin
+      (* Deque empty: undo the claim. *)
+      Sync.at 5;
+      Sync.Svar.set t.tail (tl + 1);
+      Sync.Mutex.unlock t.lock;
+      None
+    end
+  end
+
+(* Thief: claim the head element under the lock.
+
+   Bug 2 performs the head increment outside the lock: two thieves can both
+   read the same head index, and the later restore clobbers the earlier
+   claim — the same element is stolen twice. *)
+let steal t =
+  Sync.at 6;
+  let outside =
+    if t.bug = Bug2 then begin
+      let h = Sync.Svar.get t.head in
+      Sync.Svar.set t.head (h + 1);
+      Some h
+    end
+    else None
+  in
+  Sync.Mutex.lock t.lock;
+  let h =
+    match outside with
+    | Some h -> h
+    | None ->
+      let h = Sync.Svar.get t.head in
+      Sync.Svar.set t.head (h + 1);
+      h
+  in
+  let tl = Sync.Svar.get t.tail in
+  if h + 1 <= tl then begin
+    let v = Sync.Svar.get (slot t h) in
+    Sync.Mutex.unlock t.lock;
+    Some v
+  end
+  else begin
+    Sync.at 7;
+    Sync.Svar.set t.head h;
+    Sync.Mutex.unlock t.lock;
+    None
+  end
+
+let name ~stealers bug = Printf.sprintf "wsq-%ds-%s" stealers (bug_name bug)
+
+(* Coverage harness (Table 2): stealers poll until the owner finishes, which
+   makes the state space cyclic — the configuration where depth-bounded
+   unfair search wastes its effort unrolling the polling loops. *)
+let coverage_program ?(items = 1) ~stealers () =
+  Program.of_threads ~name:(Printf.sprintf "wsq-cov-%ds" stealers) @@ fun () ->
+  let q = create ~capacity:(items + 1) in
+  let done_flag = Sync.bool_var ~name:"done" false in
+  let owner () =
+    for v = 0 to items - 1 do
+      push q v
+    done;
+    for _ = 1 to items do
+      ignore (pop q)
+    done;
+    Sync.Svar.set done_flag true
+  in
+  let stealer () =
+    while not (Sync.Svar.get done_flag) do
+      ignore (steal q);
+      Sync.yield ()
+    done
+  in
+  owner :: List.init stealers (fun _ -> stealer)
+
+let program ?(items = 2) ?(spin = false) ~stealers bug =
+  Program.of_threads ~name:(name ~stealers bug ^ if spin then "-spin" else "")
+  @@ fun () ->
+  let q = with_bug bug (create ~capacity:(items + 1)) in
+  let done_flag = Sync.bool_var ~name:"done" false in
+  let consumed =
+    Array.init items (fun i -> Sync.int_var ~name:(Printf.sprintf "consumed%d" i) 0)
+  in
+  let record v =
+    Sync.check (v >= 0 && v < items) (Printf.sprintf "consumed bogus task %d" v);
+    ignore (Sync.Svar.incr consumed.(v))
+  in
+  let owner () =
+    for v = 0 to items - 1 do
+      push q v
+    done;
+    let rec drain () =
+      match pop q with
+      | Some v ->
+        record v;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    Sync.Svar.set done_flag true
+  in
+  let stealer () =
+    if spin then
+      (* Nonterminating flavour (Table 3): poll until the owner is done. *)
+      while not (Sync.Svar.get done_flag) do
+        (match steal q with Some v -> record v | None -> ());
+        Sync.yield ()
+      done
+    else
+      (* Bounded attempts keep the harness terminating; the yield between
+         attempts is the good-samaritan contract. *)
+      for _ = 1 to items do
+        (match steal q with Some v -> record v | None -> ());
+        Sync.yield ()
+      done
+  in
+  let verifier () =
+    (* Worker tids are 0 .. stealers (owner first); the verifier is last. *)
+    for tid = 0 to stealers do
+      Sync.join tid
+    done;
+    (* The owner drains until empty and thieves only remove, so on a correct
+       deque every task is consumed exactly once and nothing remains. *)
+    for v = 0 to items - 1 do
+      let c = Sync.Svar.get consumed.(v) in
+      Sync.check (c = 1) (Printf.sprintf "task %d consumed %d times" v c)
+    done;
+    let remaining = Sync.Svar.get q.tail - Sync.Svar.get q.head in
+    Sync.check (remaining = 0) (Printf.sprintf "%d tasks lost in the deque" remaining)
+  in
+  (owner :: List.init stealers (fun _ -> stealer)) @ [ verifier ]

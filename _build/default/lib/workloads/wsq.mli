@@ -1,0 +1,57 @@
+(** Work-stealing queue — the Cilk-5 THE protocol (Frigo, Leiserson &
+    Randall, PLDI 1998), as ported to C# by Leijen's futures library, which
+    is the implementation the paper checks (Table 1, "Work-Stealing Queue").
+
+    The owner pushes and pops at the tail without synchronization in the
+    common case; thieves steal from the head under a lock; the owner takes
+    the lock only when head and tail may collide. Correctness under all
+    interleavings is exactly what the checker verifies.
+
+    Three seeded bugs mirror the paper's "WSQ bugs 1–3" (Table 3): each is a
+    realistic mutation of the conflict protocol that only manifests under
+    rare interleavings. *)
+
+type bug =
+  | Correct
+  | Bug1  (** owner's pop skips the restore-and-retry handshake before
+              taking the lock: a racing thief and owner can both return the
+              last element *)
+  | Bug2  (** thief increments the head without holding the lock: two
+              thieves (or thief + owner) can take the same element *)
+  | Bug3  (** owner's empty path restores the tail off by one: an element is
+              lost and a later push double-consumes a slot *)
+
+val bug_name : bug -> string
+
+type t
+(** The deque itself, usable directly by other workloads. *)
+
+val create : capacity:int -> t
+
+val push : t -> int -> unit
+(** Owner only. *)
+
+val pop : t -> int option
+(** Owner only. *)
+
+val steal : t -> int option
+(** Any thief. *)
+
+val program : ?items:int -> ?spin:bool -> stealers:int -> bug -> Fairmc_core.Program.t
+(** The paper's test harness: an owner pushes [items] tasks then pops until
+    empty, [stealers] thieves steal concurrently, and a verifier joins
+    everyone and asserts that every task was consumed exactly once.
+
+    With [spin] (default false), stealers poll until the owner raises a done
+    flag instead of making a bounded number of attempts: the program becomes
+    nonterminating in the paper's sense (cyclic state space, terminating
+    only under fair schedules) — the Table 3 configuration, where searching
+    without fairness needs a depth bound and wastes its budget unrolling the
+    polling loops. *)
+
+val coverage_program : ?items:int -> stealers:int -> unit -> Fairmc_core.Program.t
+(** The Table 2 coverage configuration: stealers spin (steal, then yield)
+    until the owner raises a done flag, so the state space is cyclic and the
+    program is fair-terminating but nonterminating under unfair schedules. *)
+
+val name : stealers:int -> bug -> string

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Checker Fairmc_core Fairmc_util Fairmc_workloads Format List Op Report Search_config String Trace

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Engine Fairmc_core Fairmc_dsl Filename List Printexc Report Search Search_config String Sys

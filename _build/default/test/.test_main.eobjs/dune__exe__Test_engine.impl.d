@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Fairmc_core Fairmc_util Fairmc_workloads Int64 List Op Program QCheck QCheck_alcotest Sync Trace

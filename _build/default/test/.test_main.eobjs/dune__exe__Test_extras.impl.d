@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Checker Fairmc_core Fairmc_workloads Filename List Printf Program Report Repro Result Search Search_config Sync Sync_extras Sys

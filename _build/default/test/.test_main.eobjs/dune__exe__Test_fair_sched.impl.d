@@ -1,0 +1,1 @@
+test/test_fair_sched.ml: Alcotest Fairmc_core Fairmc_util Int64 List QCheck QCheck_alcotest

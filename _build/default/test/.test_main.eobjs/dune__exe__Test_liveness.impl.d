@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Fairmc_core Fairmc_workloads List Program Report Search Search_config String

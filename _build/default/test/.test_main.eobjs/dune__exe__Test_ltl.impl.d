@@ -1,0 +1,1 @@
+test/test_ltl.ml: Alcotest Fairmc_ltl Fairmc_util Format List QCheck QCheck_alcotest

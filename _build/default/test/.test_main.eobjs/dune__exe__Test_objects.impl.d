@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Fairmc_core Fairmc_util

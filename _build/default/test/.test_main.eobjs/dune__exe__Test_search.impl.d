@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Fairmc_core Fairmc_workloads List Printf Report Search Search_config

@@ -1,0 +1,1 @@
+test/test_sleepsets.ml: Alcotest Fairmc_core Fairmc_workloads Indep List Op QCheck QCheck_alcotest Report Search Search_config

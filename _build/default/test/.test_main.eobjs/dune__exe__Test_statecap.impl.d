@@ -1,0 +1,1 @@
+test/test_statecap.ml: Alcotest Fairmc_core Fairmc_statecap Fairmc_util Fairmc_workloads Hashtbl List Program QCheck QCheck_alcotest Report Search Search_config

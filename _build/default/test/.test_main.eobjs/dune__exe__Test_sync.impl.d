@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Fairmc_core Fairmc_workloads Program Report Search Search_config Sync

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Engine Fair_sched Fairmc_core Fairmc_ltl Fairmc_statecap Fairmc_util Fairmc_workloads Fun List Printf Program Report Search Search_config Trace

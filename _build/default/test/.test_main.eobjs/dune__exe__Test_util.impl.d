@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fairmc_util Format List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Checker Fairmc_core Fairmc_workloads List Program Report Search Search_config Sync

@@ -1,0 +1,69 @@
+(* The top-level Checker facade, report rendering, and trace printing. *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+
+let check = Alcotest.(check bool)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let suite =
+  [ Alcotest.test_case "check uses fair DFS by default" `Quick (fun () ->
+        let r = Checker.check (W.Litmus.fig3 ()) in
+        check "verified" true (r.verdict = Report.Verified));
+    Alcotest.test_case "check_all stops at the first error" `Quick (fun () ->
+        let cfgs =
+          [ ("cb=0", { Search_config.default with mode = Search_config.Context_bounded 0 });
+            ("cb=1", { Search_config.default with mode = Search_config.Context_bounded 1 });
+            ("cb=2", { Search_config.default with mode = Search_config.Context_bounded 2 }) ]
+        in
+        let reports = Checker.check_all ~configs:cfgs (W.Litmus.race_assert ()) in
+        check "stopped early" true (List.length reports < 3 || Report.found_error (snd (List.nth reports (List.length reports - 1))));
+        check "last report is the error" true (Report.found_error (snd (List.hd (List.rev reports)))));
+    Alcotest.test_case "iterative context bounding finds bugs at small bounds" `Quick
+      (fun () ->
+        let r = Checker.iterative_context_bound ~max_bound:2 (W.Litmus.race_assert ()) in
+        check "found" true (Report.found_error r));
+    Alcotest.test_case "iterative context bounding verifies correct programs" `Quick
+      (fun () ->
+        let r =
+          Checker.iterative_context_bound ~max_bound:1
+            ~base:{ Search_config.default with livelock_bound = Some 2_000 }
+            (W.Litmus.ticket_lock ())
+        in
+        check "no error" false (Report.found_error r));
+    Alcotest.test_case "reports render" `Quick (fun () ->
+        let r = Checker.check (W.Litmus.race_assert ()) in
+        let s = Format.asprintf "%a" Report.pp r in
+        check "mentions the verdict" true (contains s "safety");
+        ignore (Format.asprintf "%a" Report.pp_summary r));
+    Alcotest.test_case "verdict names" `Quick (fun () ->
+        Alcotest.(check string) "verified" "verified" (Report.verdict_name Report.Verified);
+        Alcotest.(check string) "limits" "limits reached"
+          (Report.verdict_name Report.Limits_reached));
+    Alcotest.test_case "trace pretty-printer elides long prefixes" `Quick (fun () ->
+        let t = Trace.create () in
+        for i = 0 to 99 do
+          Trace.push t
+            { Trace.step = i; tid = 0; op = Op.Yield; alt = 0; result = true;
+              yielded = true; enabled = Fairmc_util.Bitset.singleton 0 }
+        done;
+        let names ppf o = Format.fprintf ppf "#%d" o in
+        let s = Format.asprintf "@[<v>%a@]" (Trace.pp ~tail:10 ~names) t in
+        check "mentions elision" true (contains s "90 earlier steps elided"));
+    Alcotest.test_case "trace accessors" `Quick (fun () ->
+        let t = Trace.create () in
+        Alcotest.(check int) "empty" 0 (Trace.length t);
+        (try
+           ignore (Trace.get t 0);
+           Alcotest.fail "get on empty"
+         with Invalid_argument _ -> ());
+        Trace.push t
+          { Trace.step = 0; tid = 3; op = Op.Sleep; alt = 0; result = true;
+            yielded = true; enabled = Fairmc_util.Bitset.full 4 };
+        Alcotest.(check int) "one event" 1 (Trace.length t);
+        Alcotest.(check int) "tid" 3 (Trace.get t 0).Trace.tid;
+        check "last_n clamps" true (List.length (Trace.last_n t 10) = 1)) ]

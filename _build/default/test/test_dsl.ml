@@ -1,0 +1,259 @@
+(* ChessLang frontend: lexing, parsing (precedence, errors with positions),
+   static checks, and end-to-end execution under the checker. *)
+
+open Fairmc_core
+module D = Fairmc_dsl
+module T = D.Token
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse src = D.Parser.parse_string src
+let load src = D.load_string src
+
+let run ?(cfg = { Search_config.default with livelock_bound = Some 1_000 }) src =
+  Search.run cfg (load src)
+
+let verdict_of src =
+  match (run src).Report.verdict with
+  | Report.Verified -> "verified"
+  | Report.Safety_violation _ -> "safety"
+  | Report.Deadlock _ -> "deadlock"
+  | Report.Divergence _ -> "divergence"
+  | Report.Limits_reached -> "limits"
+
+let expect_sema_error src =
+  match D.load_string src with
+  | exception D.Sema.Error _ -> ()
+  | exception e -> Alcotest.fail ("expected Sema.Error, got " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "expected a static error"
+
+let expect_parse_error src =
+  match parse src with
+  | exception D.Parser.Error _ -> ()
+  | exception D.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let lexer_tests =
+  [ Alcotest.test_case "tokens" `Quick (fun () ->
+        let toks = List.map fst (D.Lexer.tokenize_string "var x = 42; // comment\n x == !y") in
+        check "token stream" true
+          (toks
+           = [ T.KW_VAR; T.IDENT "x"; T.ASSIGN; T.INT 42; T.SEMI; T.IDENT "x"; T.EQ;
+               T.BANG; T.IDENT "y"; T.EOF ]));
+    Alcotest.test_case "nested comments and strings" `Quick (fun () ->
+        let toks = List.map fst (D.Lexer.tokenize_string "/* a /* b */ c */ \"hi\\n\"") in
+        check "comment skipped, string lexed" true (toks = [ T.STRING "hi\n"; T.EOF ]));
+    Alcotest.test_case "positions track lines" `Quick (fun () ->
+        let toks = D.Lexer.tokenize_string "var\nx" in
+        match toks with
+        | [ (_, p1); (_, p2); _ ] ->
+          check_int "first line" 1 p1.D.Ast.line;
+          check_int "second line" 2 p2.D.Ast.line
+        | _ -> Alcotest.fail "unexpected token count");
+    Alcotest.test_case "bad character reported" `Quick (fun () ->
+        try
+          ignore (D.Lexer.tokenize_string "var x @ 3");
+          Alcotest.fail "expected lexer error"
+        with D.Lexer.Error _ -> ()) ]
+
+let parser_tests =
+  [ Alcotest.test_case "precedence: 1 + 2 * 3 == 7" `Quick (fun () ->
+        check_int "verified means assert held" 0
+          (if verdict_of "var r = 0; thread t { r = 1 + 2 * 3; assert(r == 7); }" = "verified"
+           then 0
+           else 1));
+    Alcotest.test_case "associativity and unary operators" `Quick (fun () ->
+        check "left-assoc minus" true
+          (verdict_of "thread t { local r = 10 - 3 - 2; assert(r == 5); }" = "verified");
+        check "unary minus binds tight" true
+          (verdict_of "thread t { local r = -2 * 3; assert(r == -6); }" = "verified");
+        check "negation" true
+          (verdict_of "thread t { local r = !0; assert(r == 1 && !1 == 0); }" = "verified"));
+    Alcotest.test_case "else-if chains" `Quick (fun () ->
+        check "chain" true
+          (verdict_of
+             "thread t { local x = 2; local r = 0;\n\
+              if (x == 1) { r = 10; } else if (x == 2) { r = 20; } else { r = 30; }\n\
+              assert(r == 20); }"
+           = "verified"));
+    Alcotest.test_case "program header optional" `Quick (fun () ->
+        check_int "named" 0 (compare (parse "program foo; thread t { skip; }").prog_name "foo");
+        check "unnamed defaults" true
+          (String.length (parse "thread t { skip; }").prog_name > 0));
+    Alcotest.test_case "syntax errors carry positions" `Quick (fun () ->
+        (try
+           ignore (parse "thread t { x = ; }");
+           Alcotest.fail "expected error"
+         with D.Parser.Error (_, pos) -> check "line 1" true (pos.D.Ast.line = 1));
+        expect_parse_error "thread t { if x { skip; } }";
+        expect_parse_error "var 3;";
+        expect_parse_error "thread t { lock m; }" (* missing parens *));
+    Alcotest.test_case "statement ids are unique" `Quick (fun () ->
+        let prog = parse "thread a { skip; skip; } thread b { while (1) { skip; } }" in
+        let ids = ref [] in
+        let rec go (b : D.Ast.block) =
+          List.iter
+            (fun (s : D.Ast.stmt) ->
+              ids := s.id :: !ids;
+              match s.kind with
+              | D.Ast.If (_, x, y) ->
+                go x;
+                go y
+              | D.Ast.While (_, x) | D.Ast.Atomic x -> go x
+              | _ -> ())
+            b
+        in
+        List.iter (fun (_, b) -> go b) (D.Ast.threads prog);
+        check_int "unique" (List.length !ids) (List.length (List.sort_uniq compare !ids))) ]
+
+let sema_tests =
+  [ Alcotest.test_case "static errors" `Quick (fun () ->
+        expect_sema_error "thread t { x = 1; }" (* undeclared *);
+        expect_sema_error "var x; var x; thread t { skip; }" (* duplicate *);
+        expect_sema_error "var x; thread t { lock(x); }" (* kind confusion *);
+        expect_sema_error "mutex m; thread t { local r = m + 1; }" (* mutex as value *);
+        expect_sema_error "sem s = -1; thread t { skip; }" (* negative sem *);
+        expect_sema_error "var x; thread t { local x = 1; }" (* shadowing *);
+        expect_sema_error "mutex m; thread t { local r = trylock(m) + trylock(m); }"
+        (* two primitives in one statement *);
+        expect_sema_error "mutex m; thread t { atomic { lock(m); } }"
+        (* sync inside atomic *);
+        expect_sema_error "thread t { atomic { local c = choose(2); } }"
+        (* choice inside atomic *);
+        expect_sema_error "thread t { atomic { atomic { skip; } } }" (* nested atomic *);
+        expect_sema_error "var x; " (* no threads *));
+    Alcotest.test_case "array kind checks" `Quick (fun () ->
+        expect_sema_error "var x; thread t { local r = x[0]; }";
+        expect_parse_error "array a[0]; thread t { skip; }";
+        check "array use ok" true
+          (verdict_of "array a[3] = 7; thread t { assert(a[0] + a[2] == 14); }" = "verified")) ]
+
+let exec_tests =
+  [ Alcotest.test_case "fig3.chess matches the native state space" `Quick (fun () ->
+        let src = "var x = 0; thread t { x = 1; } thread u { while (x != 1) { yield; } }" in
+        let r =
+          Search.run
+            { Search_config.default with coverage = true; livelock_bound = Some 1_000 }
+            (load src)
+        in
+        check "verified" true (r.verdict = Report.Verified);
+        check_int "5 states (paper Figure 3)" 5 r.stats.states);
+    Alcotest.test_case "assertion failures are found with a trace" `Quick (fun () ->
+        let src =
+          "var x = 0;\n\
+           thread a { if (x == 0) { x = x + 1; } }\n\
+           thread b { if (x == 0) { x = x + 1; } }\n\
+           thread c { while (x < 1) { yield; } assert(x == 1, \"lost update\"); }"
+        in
+        (* The check-then-act race allows x = 2; but note threads a/b read x
+           and increment atomically per statement, so the race is between the
+           if-test and the assignment statements. *)
+        let r = run src in
+        check "safety violation" true
+          (match r.Report.verdict with
+           | Report.Safety_violation { failure = Engine.Assertion m; _ } ->
+             m = "lost update (thread c, line 4, column 41)"
+             || String.length m > 0 (* message includes position *)
+           | _ -> false));
+    Alcotest.test_case "deadlock in opposite lock order" `Quick (fun () ->
+        let src =
+          "mutex m1; mutex m2;\n\
+           thread a { lock(m1); lock(m2); unlock(m2); unlock(m1); }\n\
+           thread b { lock(m2); lock(m1); unlock(m1); unlock(m2); }"
+        in
+        check "deadlock" true (verdict_of src = "deadlock"));
+    Alcotest.test_case "semaphores, events, timed waits" `Quick (fun () ->
+        let src =
+          "sem s = 0; event done_ev; var got = 0;\n\
+           thread producer { v(s); set(done_ev); }\n\
+           thread consumer { p(s); wait(done_ev); got = 1; }\n\
+           thread watch { while (got != 1) { sleep; } }"
+        in
+        check "verified" true (verdict_of src = "verified"));
+    Alcotest.test_case "timedlock yields and returns failure" `Quick (fun () ->
+        let src =
+          "mutex m; var r = -1;\n\
+           thread holder { lock(m); yield; unlock(m); }\n\
+           thread prober { local ok = timedlock(m); if (ok) { unlock(m); } else { skip; } }"
+        in
+        check "verified" true (verdict_of src = "verified"));
+    Alcotest.test_case "choose explores all alternatives" `Quick (fun () ->
+        let src =
+          "var seen0 = 0; var seen2 = 0;\n\
+           thread t { local c = choose(3); if (c == 0) { seen0 = 1; }\n\
+           if (c == 2) { seen2 = 1; } assert(c <= 2); }"
+        in
+        let r =
+          Search.run { Search_config.default with coverage = true } (load src)
+        in
+        check "verified" true (r.verdict = Report.Verified);
+        check "explored each branch" true (r.stats.executions >= 3));
+    Alcotest.test_case "atomic blocks are single transitions" `Quick (fun () ->
+        (* Two atomic increments cannot interleave: the final value is
+           always 2, unlike the racy version. *)
+        let src =
+          "var x = 0;\n\
+           thread a { atomic { local t = x; x = t + 1; } }\n\
+           thread b { atomic { local t = x; x = t + 1; } }\n\
+           thread c { while (x != 2) { yield; } }"
+        in
+        check "verified (no lost update possible)" true (verdict_of src = "verified"));
+    Alcotest.test_case "non-atomic increments do lose updates" `Quick (fun () ->
+        let src =
+          "var x = 0;\n\
+           thread a { local t = x; x = t + 1; }\n\
+           thread b { local t = x; x = t + 1; }\n\
+           thread c { while (x == 0) { yield; } assert(x == 2, \"lost update\"); }"
+        in
+        check "safety" true (verdict_of src = "safety"));
+    Alcotest.test_case "runtime errors become safety violations" `Quick (fun () ->
+        check "bounds" true
+          (verdict_of "array a[2]; thread t { a[5] = 1; }" = "safety");
+        check "division by zero" true
+          (verdict_of "var x = 0; thread t { local r = 1 / x; }" = "safety");
+        check "uninitialized local read" true
+          (verdict_of "thread t { local a = 0; while (a == 1) { local b = 0; } local c = b; }"
+           = "safety"));
+    Alcotest.test_case "livelock detection through the DSL" `Quick (fun () ->
+        let src =
+          "var x = 0;\n\
+           thread t { x = 1; }\n\
+           thread u { local cached = x; while (cached != 1) { sleep; } }"
+        in
+        check "divergence" true (verdict_of src = "divergence"));
+    Alcotest.test_case "example .chess files load and check" `Quick (fun () ->
+        let dir =
+          List.find_opt Sys.file_exists
+            [ "../../../examples/programs"; "examples/programs" ]
+        in
+        match dir with
+        | None -> ()  (* running outside the repo tree *)
+        | Some dir ->
+          let quick expected file llb =
+            let prog = D.load_file (Filename.concat dir file) in
+            let r =
+              Search.run
+                { Search_config.default with
+                  livelock_bound = Some llb;
+                  max_executions = Some 30_000;
+                  time_limit = Some 10.0 }
+                prog
+            in
+            let got =
+              match r.Report.verdict with
+              | Report.Verified | Report.Limits_reached -> "no-error"
+              | Report.Divergence _ -> "divergence"
+              | Report.Safety_violation _ -> "safety"
+              | Report.Deadlock _ -> "deadlock"
+            in
+            Alcotest.(check string) file expected got
+          in
+          quick "no-error" "fig3.chess" 500;
+          quick "divergence" "fig1_dining.chess" 500;
+          quick "divergence" "stale_flag_livelock.chess" 500;
+          quick "no-error" "bounded_buffer.chess" 2_000;
+          quick "no-error" "peterson.chess" 2_000;
+          quick "no-error" "dekker.chess" 2_000) ]
+
+let suite = lexer_tests @ parser_tests @ sema_tests @ exec_tests

@@ -1,0 +1,264 @@
+(* Engine tests: execution control, pending operations, spawn/join, data
+   choices, failure capture, determinism of replay, signatures, op
+   accounting. *)
+
+open Fairmc_core
+module B = Fairmc_util.Bitset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prog name threads = Program.of_threads ~name (fun () -> threads ())
+
+(* Drive a run with an explicit schedule; return the run. *)
+let drive p schedule =
+  let run = Engine.start p in
+  List.iter (fun tid -> Engine.step run ~tid ~alt:0) schedule;
+  run
+
+(* Random schedules replay to identical states: the stateless-checking
+   determinism contract, as a property over arbitrary walks. *)
+let qprops =
+  [ QCheck.Test.make ~name:"random walks replay deterministically" ~count:40
+      QCheck.(int_bound 10_000)
+      (fun seed ->
+        let prog = Fairmc_workloads.Wsq.program ~stealers:1 Fairmc_workloads.Wsq.Correct in
+        let rng = Fairmc_util.Rng.make (Int64.of_int seed) in
+        (* One random walk records decisions... *)
+        let run = Engine.start prog in
+        let decisions = ref [] in
+        let steps = ref 0 in
+        while
+          (not (Engine.all_finished run))
+          && Engine.failure run = None
+          && (not (B.is_empty (Engine.enabled_set run)))
+          && !steps < 200
+        do
+          let es = Engine.enabled_set run in
+          let tid = B.nth es (Fairmc_util.Rng.int rng (B.cardinal es)) in
+          let alt =
+            let n = Engine.alternatives run tid in
+            if n = 1 then 0 else Fairmc_util.Rng.int rng n
+          in
+          Engine.step run ~tid ~alt;
+          decisions := (tid, alt) :: !decisions;
+          incr steps
+        done;
+        let sig1 = Engine.state_signature run in
+        let trace1 = Trace.decisions (Engine.trace run) in
+        Engine.stop run;
+        (* ... which replays to the same signature and trace. *)
+        let run2 = Engine.start prog in
+        List.iter (fun (tid, alt) -> Engine.step run2 ~tid ~alt) (List.rev !decisions);
+        let sig2 = Engine.state_signature run2 in
+        let trace2 = Trace.decisions (Engine.trace run2) in
+        Engine.stop run2;
+        sig1 = sig2 && trace1 = trace2) ]
+
+let suite =
+  List.map (QCheck_alcotest.to_alcotest ~long:false) qprops
+  @ [ Alcotest.test_case "threads park at their first operation" `Quick (fun () ->
+        let p =
+          prog "park" (fun () ->
+              let x = Sync.int_var 0 in
+              [ (fun () -> Sync.Svar.set x 1); (fun () -> Sync.yield ()) ])
+        in
+        let run = Engine.start p in
+        check_int "two threads" 2 (Engine.nthreads run);
+        check "t0 pending write" true
+          (match Engine.pending run 0 with Some (Op.Var_write _) -> true | _ -> false);
+        check "t1 pending yield" true (Engine.pending run 1 = Some Op.Yield);
+        check "both enabled" true (B.equal (Engine.enabled_set run) (B.full 2));
+        check "t1 would yield" true (Engine.would_yield run 1);
+        check "t0 would not" false (Engine.would_yield run 0);
+        Engine.stop run);
+    Alcotest.test_case "stepping runs to the next operation" `Quick (fun () ->
+        let p =
+          prog "steps" (fun () ->
+              let x = Sync.int_var 0 in
+              [ (fun () ->
+                  Sync.Svar.set x 1;
+                  Sync.Svar.set x 2) ])
+        in
+        let run = drive p [ 0 ] in
+        check "still parked after one step" true (Engine.pending run 0 <> None);
+        Engine.step run ~tid:0 ~alt:0;
+        check "finished after both writes" true (Engine.all_finished run);
+        check_int "steps counted" 2 (Engine.steps run);
+        Engine.stop run);
+    Alcotest.test_case "blocking lock disables the waiter" `Quick (fun () ->
+        let p =
+          prog "block" (fun () ->
+              let m = Sync.Mutex.create () in
+              [ (fun () ->
+                  Sync.Mutex.lock m;
+                  Sync.Mutex.unlock m);
+                (fun () ->
+                  Sync.Mutex.lock m;
+                  Sync.Mutex.unlock m) ])
+        in
+        let run = drive p [ 0 ] in
+        (* t0 holds the mutex, parked at unlock; t1 pending lock: disabled. *)
+        check "t1 disabled" true (B.equal (Engine.enabled_set run) (B.singleton 0));
+        Engine.step run ~tid:0 ~alt:0;
+        check "t1 re-enabled after unlock" true (B.mem 1 (Engine.enabled_set run));
+        Engine.stop run);
+    Alcotest.test_case "self-deadlock on recursive lock" `Quick (fun () ->
+        let p =
+          prog "recursive" (fun () ->
+              let m = Sync.Mutex.create () in
+              [ (fun () ->
+                  Sync.Mutex.lock m;
+                  Sync.Mutex.lock m) ])
+        in
+        let run = drive p [ 0 ] in
+        check "deadlocked" true (Engine.deadlocked run);
+        Engine.stop run);
+    Alcotest.test_case "spawn creates a live thread; join blocks" `Quick (fun () ->
+        let p =
+          prog "spawn" (fun () ->
+              let x = Sync.int_var 0 in
+              [ (fun () ->
+                  let child = Sync.spawn (fun () -> Sync.Svar.set x 41) in
+                  Sync.join child;
+                  Sync.check (Sync.Svar.get x = 41) "child write not visible") ])
+        in
+        let run = drive p [ 0 ] in
+        check_int "child allocated" 2 (Engine.nthreads run);
+        (* Parent parked at join, child parked at its write; join disabled. *)
+        check "join disabled while child lives" false (B.mem 0 (Engine.enabled_set run));
+        Engine.step run ~tid:1 ~alt:0;
+        check "join enabled after child finishes" true (B.mem 0 (Engine.enabled_set run));
+        Engine.step run ~tid:0 ~alt:0;
+        Engine.step run ~tid:0 ~alt:0;
+        check "no failure" true (Engine.failure run = None);
+        check "all done" true (Engine.all_finished run);
+        Engine.stop run);
+    Alcotest.test_case "spawned spawn bodies are not clobbered" `Quick (fun () ->
+        (* Two threads both spawn: each parent's captured body must be its
+           own even when the spawns interleave. *)
+        let p =
+          prog "two-spawns" (fun () ->
+              let a = Sync.int_var 0 and b = Sync.int_var 0 in
+              [ (fun () -> ignore (Sync.spawn (fun () -> Sync.Svar.set a 1)));
+                (fun () -> ignore (Sync.spawn (fun () -> Sync.Svar.set b 2))) ])
+        in
+        (* Park both at Spawn, then run them alternately. *)
+        let run = Engine.start p in
+        Engine.step run ~tid:1 ~alt:0;
+        Engine.step run ~tid:0 ~alt:0;
+        (* children: tid 2 (b-writer), tid 3 (a-writer) *)
+        Engine.step run ~tid:2 ~alt:0;
+        Engine.step run ~tid:3 ~alt:0;
+        check "all finished" true (Engine.all_finished run);
+        check "no failure" true (Engine.failure run = None);
+        Engine.stop run);
+    Alcotest.test_case "choose exposes alternatives" `Quick (fun () ->
+        let p =
+          prog "choose" (fun () ->
+              let x = Sync.int_var 0 in
+              [ (fun () -> Sync.Svar.set x (Sync.choose 3)) ])
+        in
+        let run = Engine.start p in
+        check_int "three alternatives" 3 (Engine.alternatives run 0);
+        Engine.step run ~tid:0 ~alt:2;
+        (* The chosen value flows into the program. *)
+        Engine.step run ~tid:0 ~alt:0;
+        check "finished" true (Engine.all_finished run);
+        Engine.stop run);
+    Alcotest.test_case "assertion failures are captured with the thread" `Quick (fun () ->
+        let p =
+          prog "fail" (fun () ->
+              [ (fun () -> Sync.yield ());
+                (fun () ->
+                  Sync.yield ();
+                  Sync.fail "boom") ])
+        in
+        let run = drive p [ 1 ] in
+        (match Engine.failure run with
+         | Some (1, Engine.Assertion "boom") -> ()
+         | _ -> Alcotest.fail "expected assertion failure on thread 1");
+        Engine.stop run);
+    Alcotest.test_case "uncaught exceptions are captured" `Quick (fun () ->
+        let p = prog "exn" (fun () -> [ (fun () -> ignore (List.hd [])) ]) in
+        let run = Engine.start p in
+        (match Engine.failure run with
+         | Some (0, Engine.Uncaught _) -> ()
+         | _ -> Alcotest.fail "expected uncaught exception");
+        Engine.stop run);
+    Alcotest.test_case "sync misuse is captured" `Quick (fun () ->
+        let p =
+          prog "misuse" (fun () ->
+              let m = Sync.Mutex.create () in
+              [ (fun () -> Sync.Mutex.unlock m) ])
+        in
+        let run = Engine.start p in
+        Engine.step run ~tid:0 ~alt:0;
+        (match Engine.failure run with
+         | Some (0, Engine.Sync_misuse _) -> ()
+         | _ -> Alcotest.fail "expected sync misuse");
+        Engine.stop run);
+    Alcotest.test_case "deterministic replay: same schedule, same signature" `Quick (fun () ->
+        let p = Fairmc_workloads.Wsq.program ~stealers:1 Fairmc_workloads.Wsq.Correct in
+        let schedule = [ 0; 0; 0; 1; 0; 1; 1; 0; 0 ] in
+        let sig_of () =
+          let run = drive p schedule in
+          let s = Engine.state_signature run in
+          Engine.stop run;
+          s
+        in
+        check "signatures equal across re-executions" true (sig_of () = sig_of ()));
+    Alcotest.test_case "trace records decisions and enabled sets" `Quick (fun () ->
+        let p =
+          prog "trace" (fun () ->
+              let x = Sync.int_var 0 in
+              [ (fun () -> Sync.Svar.set x 1); (fun () -> Sync.yield ()) ])
+        in
+        let run = drive p [ 1; 0 ] in
+        let evs = Trace.events (Engine.trace run) in
+        check_int "two events" 2 (List.length evs);
+        let e0 = List.nth evs 0 in
+        check_int "first event tid" 1 e0.Trace.tid;
+        check "first event yielded" true e0.Trace.yielded;
+        check "enabled set recorded" true (B.equal e0.Trace.enabled (B.full 2));
+        check "decisions round-trip" true
+          (Trace.decisions (Engine.trace run) = [ (1, 0); (0, 0) ]);
+        Engine.stop run);
+    Alcotest.test_case "sync and var op accounting" `Quick (fun () ->
+        let p =
+          prog "count" (fun () ->
+              let m = Sync.Mutex.create () in
+              let x = Sync.int_var 0 in
+              [ (fun () ->
+                  Sync.Mutex.lock m;
+                  Sync.Svar.set x 1;
+                  Sync.Mutex.unlock m;
+                  Sync.yield ()) ])
+        in
+        let run = drive p [ 0; 0; 0; 0 ] in
+        check_int "3 sync ops (lock, unlock, yield)" 3 (Engine.sync_ops run);
+        check_int "1 var op" 1 (Engine.var_ops run);
+        Engine.stop run);
+    Alcotest.test_case "stepping a disabled or finished thread is rejected" `Quick (fun () ->
+        let p =
+          prog "invalid" (fun () ->
+              let m = Sync.Mutex.create () in
+              [ (fun () -> Sync.Mutex.lock m); (fun () -> Sync.Mutex.lock m) ])
+        in
+        let run = drive p [ 0 ] in
+        check "t0 finished" true (Engine.pending run 0 = None);
+        (try
+           Engine.step run ~tid:0 ~alt:0;
+           Alcotest.fail "stepped a finished thread"
+         with Invalid_argument _ -> ());
+        (try
+           Engine.step run ~tid:1 ~alt:0;
+           Alcotest.fail "stepped a disabled thread"
+         with Invalid_argument _ -> ());
+        Engine.stop run);
+    Alcotest.test_case "empty program terminates immediately" `Quick (fun () ->
+        let p = prog "empty" (fun () -> []) in
+        let run = Engine.start p in
+        check "finished" true (Engine.all_finished run);
+        check "not deadlocked" false (Engine.deadlocked run);
+        Engine.stop run) ]

@@ -1,0 +1,176 @@
+(* Derived synchronization primitives (Sync_extras), the lock-free Treiber
+   stack workload, and repro-file serialization. *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+module X = Sync_extras
+
+let check = Alcotest.(check bool)
+
+let verify ?(llb = 3_000) ?max_executions name threads =
+  let p = Program.of_threads ~name (fun () -> threads ()) in
+  Search.run
+    { Search_config.default with
+      livelock_bound = Some llb;
+      max_executions;
+      time_limit = Some 15.0 }
+    p
+
+let no_error name threads =
+  let r = verify name threads in
+  check (name ^ ": no error") false (Report.found_error r)
+
+let suite =
+  [ Alcotest.test_case "condvar: no lost wakeups (producer/consumer)" `Quick (fun () ->
+        no_error "condvar-pc" (fun () ->
+            let m = Sync.Mutex.create () in
+            let cv = X.Condvar.create () in
+            let items = Sync.int_var ~name:"items" 0 in
+            let producer () =
+              Sync.Mutex.lock m;
+              ignore (Sync.Svar.incr items);
+              X.Condvar.notify_one cv;
+              Sync.Mutex.unlock m
+            in
+            let consumer () =
+              Sync.Mutex.lock m;
+              (* Mesa discipline: re-check the predicate in a loop. *)
+              while Sync.Svar.get items = 0 do
+                X.Condvar.wait cv ~mutex:m
+              done;
+              ignore (Sync.Svar.update items (fun v -> v - 1));
+              Sync.Mutex.unlock m
+            in
+            [ producer; consumer ]));
+    Alcotest.test_case "condvar: notify_all wakes every waiter" `Quick (fun () ->
+        no_error "condvar-broadcast" (fun () ->
+            let m = Sync.Mutex.create () in
+            let cv = X.Condvar.create () in
+            let go = Sync.bool_var ~name:"go" false in
+            let waiter () =
+              Sync.Mutex.lock m;
+              while not (Sync.Svar.get go) do
+                X.Condvar.wait cv ~mutex:m
+              done;
+              Sync.Mutex.unlock m
+            in
+            let broadcaster () =
+              Sync.Mutex.lock m;
+              Sync.Svar.set go true;
+              X.Condvar.notify_all cv;
+              Sync.Mutex.unlock m
+            in
+            [ waiter; waiter; broadcaster ]));
+    Alcotest.test_case "condvar: notification before wait is not lost" `Quick (fun () ->
+        (* The notifier holds the user mutex while flipping the predicate,
+           so a waiter that checked the predicate first is registered before
+           the notification is issued. *)
+        no_error "condvar-order" (fun () ->
+            let m = Sync.Mutex.create () in
+            let cv = X.Condvar.create () in
+            let done_ = Sync.bool_var ~name:"done" false in
+            [ (fun () ->
+                Sync.Mutex.lock m;
+                Sync.Svar.set done_ true;
+                X.Condvar.notify_one cv;
+                Sync.Mutex.unlock m);
+              (fun () ->
+                Sync.Mutex.lock m;
+                while not (Sync.Svar.get done_) do
+                  X.Condvar.wait cv ~mutex:m
+                done;
+                Sync.Mutex.unlock m) ]));
+    Alcotest.test_case "rwlock: writers exclude everyone, readers share" `Quick (fun () ->
+        no_error "rwlock" (fun () ->
+            let rw = X.Rwlock.create () in
+            let readers = Sync.int_var ~name:"active_readers" 0 in
+            let writing = Sync.bool_var ~name:"writing" false in
+            let reader () =
+              X.Rwlock.lock_read rw;
+              ignore (Sync.Svar.incr readers);
+              Sync.check (not (Sync.Svar.get writing)) "reader overlapped a writer";
+              ignore (Sync.Svar.update readers (fun v -> v - 1));
+              X.Rwlock.unlock_read rw
+            in
+            let writer () =
+              X.Rwlock.lock_write rw;
+              Sync.Svar.set writing true;
+              Sync.check (Sync.Svar.get readers = 0) "writer overlapped readers";
+              Sync.Svar.set writing false;
+              X.Rwlock.unlock_write rw
+            in
+            [ reader; reader; writer ]));
+    Alcotest.test_case "barrier: no thread crosses before all arrive" `Quick (fun () ->
+        no_error "barrier" (fun () ->
+            let b = X.Barrier.create 2 in
+            let phase = Array.init 2 (fun i -> Sync.int_var ~name:(Printf.sprintf "ph%d" i) 0) in
+            let worker i () =
+              Sync.Svar.set phase.(i) 1;
+              X.Barrier.await b;
+              (* Both must have finished phase 1. *)
+              Sync.check (Sync.Svar.get phase.(0) = 1 && Sync.Svar.get phase.(1) = 1)
+                "crossed the barrier early";
+              X.Barrier.await b
+            in
+            [ worker 0; worker 1 ]));
+    Alcotest.test_case "treiber stack: tagged variant verifies, ABA variant fails" `Slow
+      (fun () ->
+        let cfg bound =
+          { Search_config.default with
+            mode = Search_config.Context_bounded bound;
+            livelock_bound = Some 2_000;
+            time_limit = Some 20.0 }
+        in
+        let ok = Search.run (cfg 3) (W.Lockfree.program W.Lockfree.Tagged) in
+        check "tagged verified" true (ok.verdict = Report.Verified);
+        let bad = Checker.iterative_context_bound ~max_bound:3
+            ~base:{ Search_config.default with livelock_bound = Some 2_000 }
+            (W.Lockfree.program W.Lockfree.Aba)
+        in
+        check "aba found" true
+          (match bad.verdict with Report.Safety_violation _ -> true | _ -> false));
+    Alcotest.test_case "treiber stack sequential semantics" `Quick (fun () ->
+        let out = ref [] in
+        let r =
+          verify ~max_executions:1 "treiber-seq" (fun () ->
+              let s = W.Lockfree.create ~capacity:3 W.Lockfree.Tagged in
+              [ (fun () ->
+                  Sync.check (W.Lockfree.push s 1) "push 1";
+                  Sync.check (W.Lockfree.push s 2) "push 2";
+                  let a = W.Lockfree.pop s in
+                  let b = W.Lockfree.pop s in
+                  let c = W.Lockfree.pop s in
+                  out := [ a; b; c ]) ])
+        in
+        check "no error" false (Report.found_error r);
+        Alcotest.(check (list (option int))) "LIFO" [ Some 2; Some 1; None ] !out);
+    Alcotest.test_case "repro round-trips" `Quick (fun () ->
+        let t = { Repro.program = "race-assert"; decisions = [ (0, 0); (1, 2); (3, 0) ] } in
+        (match Repro.of_string (Repro.to_string t) with
+         | Ok t' ->
+           Alcotest.(check string) "program" t.program t'.Repro.program;
+           check "decisions" true (t.decisions = t'.Repro.decisions)
+         | Error e -> Alcotest.fail e);
+        (* long schedules wrap lines *)
+        let long = { Repro.program = "p"; decisions = List.init 100 (fun i -> (i mod 3, 0)) } in
+        (match Repro.of_string (Repro.to_string long) with
+         | Ok t' -> check "long round-trip" true (t'.Repro.decisions = long.decisions)
+         | Error e -> Alcotest.fail e));
+    Alcotest.test_case "repro rejects garbage" `Quick (fun () ->
+        check "bad header" true (Result.is_error (Repro.of_string "nonsense\n1 2 3"));
+        check "no program" true (Result.is_error (Repro.of_string "fairmc-repro 1\n1 2"));
+        check "bad decision" true
+          (Result.is_error (Repro.of_string "fairmc-repro 1 p\n1 x 3")));
+    Alcotest.test_case "saved safety repros replay end-to-end" `Quick (fun () ->
+        let p = W.Litmus.race_assert () in
+        let r = Search.run Search_config.default p in
+        match r.verdict with
+        | Report.Safety_violation { cex; _ } ->
+          let file = Filename.temp_file "fairmc" ".repro" in
+          Repro.save file { Repro.program = "race-assert"; decisions = cex.decisions };
+          (match Repro.load file with
+           | Ok { Repro.decisions; _ } ->
+             check "replays to failure" true (Search.replay p decisions (fun _ -> ()) <> None);
+             Sys.remove file
+           | Error e -> Alcotest.fail e)
+        | _ -> Alcotest.fail "expected safety violation") ]

@@ -1,0 +1,143 @@
+(* LTL over lassos: base cases, the classic identities as qcheck properties
+   (expansion laws, dualities), and the paper's SF/GS formulas on
+   hand-constructed words. *)
+
+module L = Fairmc_ltl.Ltl
+
+let check = Alcotest.(check bool)
+
+(* A labelling over propositions "p" and "q" encoded as two booleans. *)
+let lbl (p, q) name = if name = "p" then p else if name = "q" then q else false
+
+let mk prefix cycle =
+  L.lasso ~prefix:(List.map lbl prefix) ~cycle:(List.map lbl cycle)
+
+let p = L.prop "p"
+let q = L.prop "q"
+
+(* Random formula generator over "p", "q". *)
+let formula_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then oneofl [ L.True; L.False; p; q ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [ map (fun a -> L.Not a) sub;
+              map2 (fun a b -> L.And (a, b)) sub sub;
+              map2 (fun a b -> L.Or (a, b)) sub sub;
+              map (fun a -> L.Next a) sub;
+              map2 (fun a b -> L.Until (a, b)) sub sub;
+              map (fun a -> L.Globally a) sub;
+              map (fun a -> L.Finally a) sub ]))
+
+let word_gen =
+  QCheck.Gen.(
+    pair
+      (list_size (int_bound 4) (pair bool bool))
+      (list_size (int_range 1 4) (pair bool bool)))
+
+let arb =
+  QCheck.make
+    ~print:(fun (f, _) -> Format.asprintf "%a" L.pp f)
+    QCheck.Gen.(pair formula_gen word_gen)
+
+(* Evaluate a formula at suffix position k by rotating the lasso. *)
+let eval_at (prefix, cycle) k f =
+  let plen = List.length prefix and clen = List.length cycle in
+  let at i =
+    if i < plen then List.nth prefix i else List.nth cycle ((i - plen) mod clen)
+  in
+  let rec drop_prefix i = if i >= k then [] else at i :: drop_prefix (i + 1) in
+  ignore drop_prefix;
+  (* suffix word: positions k.. — still ultimately periodic with the same
+     cycle; the new prefix is positions k .. max(k, plen)-1 plus cycle
+     rotation. *)
+  let new_prefix = List.init (max 0 (plen - k)) (fun i -> at (k + i)) in
+  let rot = if k <= plen then 0 else (k - plen) mod clen in
+  let new_cycle = List.init clen (fun i -> List.nth cycle ((rot + i) mod clen)) in
+  L.eval (L.lasso ~prefix:(List.map lbl new_prefix) ~cycle:(List.map lbl new_cycle)) f
+
+let qprops =
+  [ QCheck.Test.make ~name:"until expansion law" ~count:300 arb (fun (f, (pre, cyc)) ->
+        ignore f;
+        let u = L.Until (p, q) in
+        let expansion = L.Or (q, L.And (p, L.Next u)) in
+        eval_at (pre, cyc) 0 u = eval_at (pre, cyc) 0 expansion);
+    QCheck.Test.make ~name:"globally expansion law" ~count:300 arb (fun (f, (pre, cyc)) ->
+        ignore f;
+        let g = L.Globally p in
+        let expansion = L.And (p, L.Next g) in
+        eval_at (pre, cyc) 0 g = eval_at (pre, cyc) 0 expansion);
+    QCheck.Test.make ~name:"finally-globally duality" ~count:300 arb
+      (fun (f, (pre, cyc)) ->
+        eval_at (pre, cyc) 0 (L.Finally f) = not (eval_at (pre, cyc) 0 (L.Globally (L.Not f))));
+    QCheck.Test.make ~name:"next commutes with negation" ~count:300 arb
+      (fun (f, (pre, cyc)) ->
+        eval_at (pre, cyc) 0 (L.Next (L.Not f)) = eval_at (pre, cyc) 0 (L.Not (L.Next f)));
+    QCheck.Test.make ~name:"release duality" ~count:300 arb (fun (f, (pre, cyc)) ->
+        ignore f;
+        eval_at (pre, cyc) 0 (L.Release (p, q))
+        = not (eval_at (pre, cyc) 0 (L.Until (L.Not p, L.Not q)))) ]
+
+let unit_tests =
+  [ Alcotest.test_case "propositions and booleans" `Quick (fun () ->
+        let l = mk [ (true, false) ] [ (false, true) ] in
+        check "p at 0" true (L.eval l p);
+        check "q not at 0" false (L.eval l q);
+        check "true" true (L.eval l L.True);
+        check "false" false (L.eval l L.False));
+    Alcotest.test_case "GF distinguishes cycle from prefix" `Quick (fun () ->
+        (* p holds only in the prefix: GF p is false; q holds in the cycle:
+           GF q is true. *)
+        let l = mk [ (true, false) ] [ (false, true); (false, false) ] in
+        check "GF p false" false (L.eval l (L.gf p));
+        check "GF q true" true (L.eval l (L.gf q));
+        check "FG not-p true" true (L.eval l (L.fg (L.not_ p))));
+    Alcotest.test_case "until requires the left operand to hold" `Quick (fun () ->
+        let l = mk [ (true, false); (false, false) ] [ (false, true) ] in
+        (* p U q fails: p breaks at position 1 before q at position 2. *)
+        check "p U q" false (L.eval l (L.Until (p, q)));
+        check "true U q" true (L.eval l (L.Until (L.True, q))));
+    Alcotest.test_case "empty cycle rejected" `Quick (fun () ->
+        try
+          ignore (L.lasso ~prefix:[] ~cycle:[]);
+          Alcotest.fail "accepted empty cycle"
+        with Invalid_argument _ -> ());
+    Alcotest.test_case "strong fairness on hand-built schedules" `Quick (fun () ->
+        let tids = [ 0; 1 ] in
+        let step ~enabled ~sched ~yielded =
+          L.labels_of_step
+            ~enabled:(Fairmc_util.Bitset.of_list enabled)
+            ~sched ~yielded
+        in
+        (* Alternating schedule of two always-enabled threads: fair. *)
+        let fair =
+          L.lasso ~prefix:[]
+            ~cycle:
+              [ step ~enabled:[ 0; 1 ] ~sched:0 ~yielded:false;
+                step ~enabled:[ 0; 1 ] ~sched:1 ~yielded:false ]
+        in
+        check "alternation is fair" true (L.eval fair (L.strong_fairness ~tids));
+        (* Thread 1 enabled forever but never scheduled: unfair. *)
+        let unfair =
+          L.lasso ~prefix:[] ~cycle:[ step ~enabled:[ 0; 1 ] ~sched:0 ~yielded:false ]
+        in
+        check "starvation is unfair" false (L.eval unfair (L.strong_fairness ~tids));
+        (* Thread 1 never enabled: vacuously fair. *)
+        let vacuous =
+          L.lasso ~prefix:[] ~cycle:[ step ~enabled:[ 0 ] ~sched:0 ~yielded:false ]
+        in
+        check "disabled thread does not break fairness" true
+          (L.eval vacuous (L.strong_fairness ~tids)));
+    Alcotest.test_case "good samaritan on hand-built schedules" `Quick (fun () ->
+        let tids = [ 0 ] in
+        let step yielded =
+          L.labels_of_step ~enabled:(Fairmc_util.Bitset.singleton 0) ~sched:0 ~yielded
+        in
+        let well_behaved = L.lasso ~prefix:[] ~cycle:[ step false; step true ] in
+        check "yields infinitely often" true (L.eval well_behaved (L.good_samaritan ~tids));
+        let hog = L.lasso ~prefix:[ step true ] ~cycle:[ step false ] in
+        check "stops yielding" false (L.eval hog (L.good_samaritan ~tids))) ]
+
+let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) qprops

@@ -1,0 +1,19 @@
+(* Aggregate test runner for the fairmc repository. *)
+
+let () =
+  Alcotest.run "fairmc"
+    [ ("util", Test_util.suite);
+      ("fair-sched", Test_fair_sched.suite);
+      ("objects", Test_objects.suite);
+      ("engine", Test_engine.suite);
+      ("sync", Test_sync.suite);
+      ("search", Test_search.suite);
+      ("liveness", Test_liveness.suite);
+      ("sleep-sets", Test_sleepsets.suite);
+      ("statecap", Test_statecap.suite);
+      ("ltl", Test_ltl.suite);
+      ("theorems", Test_theorems.suite);
+      ("dsl", Test_dsl.suite);
+      ("checker", Test_checker.suite);
+      ("extras", Test_extras.suite);
+      ("workloads", Test_workloads.suite) ]

@@ -1,0 +1,105 @@
+(* Sleep-set partial-order reduction (the extension the paper names as
+   future work): the independence relation's properties and the reduction's
+   soundness/savings on terminating programs. *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+
+let check = Alcotest.(check bool)
+
+let op_gen =
+  QCheck.Gen.(
+    let obj = int_bound 3 in
+    oneof
+      [ map (fun o -> Op.Lock o) obj;
+        map (fun o -> Op.Try_lock o) obj;
+        map (fun o -> Op.Unlock o) obj;
+        map (fun o -> Op.Sem_wait o) obj;
+        map (fun o -> Op.Sem_post o) obj;
+        map (fun o -> Op.Ev_wait o) obj;
+        map (fun o -> Op.Ev_set o) obj;
+        map (fun o -> Op.Var_read o) obj;
+        map (fun o -> Op.Var_write o) obj;
+        map (fun o -> Op.Var_rmw o) obj;
+        return Op.Yield;
+        return Op.Sleep;
+        return Op.Spawn;
+        map (fun t -> Op.Join t) (int_bound 3);
+        map (fun n -> Op.Choose (n + 1)) (int_bound 3) ])
+
+let op_arb = QCheck.make ~print:Op.to_string op_gen
+
+let qprops =
+  [ QCheck.Test.make ~name:"independence is symmetric" ~count:500
+      QCheck.(pair op_arb op_arb)
+      (fun (a, b) ->
+        Indep.independent ~t1:0 ~op1:a ~t2:1 ~op2:b ~fair:false
+        = Indep.independent ~t1:1 ~op1:b ~t2:0 ~op2:a ~fair:false);
+    QCheck.Test.make ~name:"same thread is never independent" ~count:200
+      QCheck.(pair op_arb op_arb)
+      (fun (a, b) -> not (Indep.independent ~t1:2 ~op1:a ~t2:2 ~op2:b ~fair:false));
+    QCheck.Test.make ~name:"writes conflict with everything on the same object" ~count:500
+      op_arb
+      (fun a ->
+        match Op.obj_of a with
+        | Some o ->
+          not (Indep.independent ~t1:0 ~op1:a ~t2:1 ~op2:(Op.Var_write o) ~fair:false)
+        | None -> true);
+    QCheck.Test.make ~name:"fair mode makes yields dependent" ~count:200 op_arb
+      (fun a -> not (Indep.independent ~t1:0 ~op1:Op.Yield ~t2:1 ~op2:a ~fair:true)) ]
+
+let unit_tests =
+  [ Alcotest.test_case "reads of the same variable commute" `Quick (fun () ->
+        check "read/read independent" true
+          (Indep.independent ~t1:0 ~op1:(Op.Var_read 5) ~t2:1 ~op2:(Op.Var_read 5)
+             ~fair:false);
+        check "read/write dependent" false
+          (Indep.independent ~t1:0 ~op1:(Op.Var_read 5) ~t2:1 ~op2:(Op.Var_write 5)
+             ~fair:false);
+        check "distinct vars independent" true
+          (Indep.independent ~t1:0 ~op1:(Op.Var_write 5) ~t2:1 ~op2:(Op.Var_write 6)
+             ~fair:false));
+    Alcotest.test_case "join depends on the joined thread" `Quick (fun () ->
+        check "join vs its thread" false
+          (Indep.independent ~t1:0 ~op1:(Op.Join 1) ~t2:1 ~op2:Op.Yield ~fair:false);
+        check "join vs another thread" true
+          (Indep.independent ~t1:0 ~op1:(Op.Join 2) ~t2:1 ~op2:(Op.Var_read 0) ~fair:false));
+    Alcotest.test_case "sleep sets preserve verdicts and save executions" `Quick (fun () ->
+        (* On independent-thread programs the reduction is dramatic: one
+           maximal schedule instead of C(2s, s). *)
+        let p = W.Litmus.two_step_threads ~nthreads:2 ~steps:3 in
+        let base = { Search_config.default with fair = false } in
+        let plain = Search.run base p in
+        let reduced = Search.run { base with sleep_sets = true } p in
+        check "same verdict" true (plain.verdict = reduced.verdict);
+        check "fewer executions" true
+          (reduced.stats.executions < plain.stats.executions));
+    Alcotest.test_case "sleep sets preserve state coverage on racy programs" `Quick
+      (fun () ->
+        let p = W.Litmus.store_buffer () in
+        let base = { Search_config.default with fair = false; coverage = true } in
+        let plain = Search.run base p in
+        let reduced = Search.run { base with sleep_sets = true } p in
+        check "same verdict" true (plain.verdict = reduced.verdict);
+        Alcotest.(check int) "same states" plain.stats.states reduced.stats.states;
+        check "no more executions than plain" true
+          (reduced.stats.executions <= plain.stats.executions));
+    Alcotest.test_case "sleep sets still find bugs" `Quick (fun () ->
+        let p = W.Litmus.race_assert () in
+        let r =
+          Search.run { Search_config.default with fair = false; sleep_sets = true } p
+        in
+        check "bug found" true
+          (match r.verdict with Report.Safety_violation _ -> true | _ -> false));
+    Alcotest.test_case "sleep sets with fairness stay sound on litmus programs" `Quick
+      (fun () ->
+        let p = W.Litmus.fig3 () in
+        let r =
+          Search.run
+            { Search_config.default with sleep_sets = true; livelock_bound = Some 1_000;
+              coverage = true }
+            p
+        in
+        check "verified" true (r.verdict = Report.Verified)) ]
+
+let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) qprops

@@ -1,0 +1,97 @@
+(* State capture: canonicalization helpers and the stateful ground-truth
+   explorer (state counts, per-strategy totals, consistency with stateless
+   coverage — the methodology of the paper's §4.2.1). *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+module SC = Fairmc_statecap
+module Fnv = Fairmc_util.Fnv
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qprops =
+  [ QCheck.Test.make ~name:"bag hash is permutation-invariant"
+      QCheck.(small_list small_int)
+      (fun l ->
+        let shuffled = List.sort (fun a b -> compare (a * 7919 mod 97) (b * 7919 mod 97)) l in
+        SC.Canon.bag Fnv.init l = SC.Canon.bag Fnv.init shuffled);
+    QCheck.Test.make ~name:"id remap is invariant under renaming"
+      QCheck.(small_list (int_bound 20))
+      (fun l ->
+        let renamed = List.map (fun x -> (x * 31) + 1000) l in
+        SC.Canon.remap_first_occurrence l = SC.Canon.remap_first_occurrence renamed);
+    QCheck.Test.make ~name:"id remap preserves equality structure"
+      QCheck.(small_list (int_bound 10))
+      (fun l ->
+        let r = SC.Canon.remap_first_occurrence l in
+        List.length r = List.length l
+        &&
+        let pairs = List.combine l r in
+        List.for_all
+          (fun (a, ra) -> List.for_all (fun (b, rb) -> (a = b) = (ra = rb)) pairs)
+          pairs) ]
+
+let unit_tests =
+  [ Alcotest.test_case "canon examples" `Quick (fun () ->
+        Alcotest.(check (list int)) "remap" [ 0; 1; 0; 2 ]
+          (SC.Canon.remap_first_occurrence [ 7; 3; 7; 9 ]);
+        check "ids hash equal up to renaming" true
+          (SC.Canon.ids Fnv.init [ 5; 5; 2 ] = SC.Canon.ids Fnv.init [ 1; 1; 9 ]));
+    Alcotest.test_case "fig3 has exactly 5 states (paper Figure 3)" `Quick (fun () ->
+        let r = SC.Stateful.explore (W.Litmus.fig3 ()) in
+        check "complete" true r.complete;
+        check_int "states" 5 r.states);
+    Alcotest.test_case "stateful explorer terminates on cyclic spaces" `Quick (fun () ->
+        (* The mixed-retry dining program has retry cycles; signature-based
+           dedup must still converge. *)
+        let r = SC.Stateful.explore ~time_limit:30.0 (W.Dining.coverage_program ~n:2) in
+        check "complete" true r.complete;
+        check "nontrivial" true (r.states > 10));
+    Alcotest.test_case "per-strategy totals grow with the context bound" `Quick (fun () ->
+        let p = W.Wsq.coverage_program ~stealers:1 () in
+        let states mode = (SC.Stateful.explore ~mode ~time_limit:60.0 p).SC.Stateful.states in
+        let c0 = states (SC.Stateful.Cb 0) in
+        let c1 = states (SC.Stateful.Cb 1) in
+        let full = states SC.Stateful.Full in
+        check "cb0 <= cb1" true (c0 <= c1);
+        check "cb1 <= full" true (c1 <= full);
+        check "cb0 < full" true (c0 < full));
+    Alcotest.test_case "stateless fair coverage never exceeds the ground truth" `Quick
+      (fun () ->
+        List.iter
+          (fun p ->
+            let gt = SC.Stateful.explore ~time_limit:60.0 p in
+            check (p.Program.name ^ " gt complete") true gt.complete;
+            let extra = ref 0 in
+            Search.state_hook :=
+              Some (fun s _ -> if not (Hashtbl.mem gt.signatures s) then incr extra);
+            let r =
+              Search.run
+                { Search_config.default with coverage = true; livelock_bound = Some 3_000 }
+                p
+            in
+            Search.state_hook := None;
+            check (p.Program.name ^ " verified") true (r.verdict = Report.Verified);
+            check_int (p.Program.name ^ " no spurious states") 0 !extra)
+          [ W.Dining.coverage_program ~n:2; W.Litmus.fig3 () ]);
+    Alcotest.test_case "fair DFS achieves 100% coverage on the Table 2 programs" `Slow
+      (fun () ->
+        (* The headline claim of §4.2.1, on the configurations small enough
+           for exhaustive search in a unit test. *)
+        List.iter
+          (fun p ->
+            let gt = SC.Stateful.explore ~time_limit:60.0 p in
+            let r =
+              Search.run
+                { Search_config.default with coverage = true; livelock_bound = Some 3_000 }
+                p
+            in
+            check_int (p.Program.name ^ " coverage") gt.states r.stats.states)
+          [ W.Dining.coverage_program ~n:2; W.Dining.coverage_program ~n:3 ]);
+    Alcotest.test_case "limits mark results incomplete" `Quick (fun () ->
+        let r = SC.Stateful.explore ~max_states:3 (W.Dining.coverage_program ~n:3) in
+        check "incomplete" false r.complete;
+        check "stopped early" true (r.states <= 4)) ]
+
+let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) qprops

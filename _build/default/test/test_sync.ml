@@ -1,0 +1,124 @@
+(* The user-facing Sync API, exercised through tiny checked programs. *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+
+let check = Alcotest.(check bool)
+
+let run_one name threads =
+  let p = Program.of_threads ~name (fun () -> threads ()) in
+  Search.run { Search_config.default with max_executions = Some 1 } p
+
+let verify name threads =
+  let p = Program.of_threads ~name (fun () -> threads ()) in
+  Search.run { Search_config.default with livelock_bound = Some 2_000 } p
+
+let suite =
+  [ Alcotest.test_case "svar update and cas semantics" `Quick (fun () ->
+        let r =
+          run_one "svar" (fun () ->
+              let x = Sync.int_var 10 in
+              [ (fun () ->
+                  Sync.check (Sync.Svar.update x (fun v -> v * 2) = 10) "update returns old";
+                  Sync.check (Sync.Svar.get x = 20) "update applied";
+                  Sync.check (Sync.Svar.cas x ~expected:20 7) "cas succeeds on match";
+                  Sync.check (not (Sync.Svar.cas x ~expected:20 9)) "cas fails on mismatch";
+                  Sync.check (Sync.Svar.get x = 7) "failed cas leaves value";
+                  Sync.check (Sync.Svar.incr x = 7) "incr returns old";
+                  Sync.check (Sync.Svar.get x = 8) "incr applied") ])
+        in
+        check "no error" false (Report.found_error r));
+    Alcotest.test_case "interlocked increments never lose updates" `Quick (fun () ->
+        let r =
+          verify "interlocked" (fun () ->
+              let x = Sync.int_var 0 in
+              let bump () = ignore (Sync.Svar.incr x) in
+              [ bump;
+                bump;
+                (fun () ->
+                  Sync.join 0;
+                  Sync.join 1;
+                  Sync.check (Sync.Svar.get x = 2) "interlocked increment lost") ])
+        in
+        check "verified" true (r.verdict = Report.Verified));
+    Alcotest.test_case "plain read-modify-write does lose updates" `Quick (fun () ->
+        let r = verify "racy" (fun () ->
+            match (Fairmc_workloads.Litmus.counter_race ~increments:1).Program.boot () with
+            | { threads; _ } -> threads)
+        in
+        check "found the lost update" true
+          (match r.verdict with Report.Safety_violation _ -> true | _ -> false));
+    Alcotest.test_case "events signal across threads" `Quick (fun () ->
+        let r =
+          verify "events" (fun () ->
+              let e = Sync.Event.create ~auto:true () in
+              let x = Sync.int_var 0 in
+              [ (fun () ->
+                  Sync.Svar.set x 1;
+                  Sync.Event.set e);
+                (fun () ->
+                  Sync.Event.wait e;
+                  Sync.check (Sync.Svar.get x = 1) "event ordered before write") ])
+        in
+        check "verified" true (r.verdict = Report.Verified));
+    Alcotest.test_case "semaphore as n-resource pool" `Quick (fun () ->
+        let r =
+          verify "sem-pool" (fun () ->
+              let s = Sync.Semaphore.create 2 in
+              let inside = Sync.int_var 0 in
+              let worker () =
+                Sync.Semaphore.wait s;
+                let n = Sync.Svar.incr inside in
+                Sync.check (n < 2) "more than 2 inside the pool";
+                ignore (Sync.Svar.update inside (fun v -> v - 1));
+                Sync.Semaphore.post s
+              in
+              [ worker; worker; worker ])
+        in
+        check "verified" true (r.verdict = Report.Verified));
+    Alcotest.test_case "sync calls outside a run are rejected" `Quick (fun () ->
+        try
+          Sync.yield ();
+          Alcotest.fail "yield outside an execution accepted"
+        with Failure _ -> ());
+    Alcotest.test_case "choose validates its bound" `Quick (fun () ->
+        let r =
+          run_one "choose0" (fun () ->
+              [ (fun () -> ignore (Sync.choose 0)) ])
+        in
+        check "invalid choose is a failure" true (Report.found_error r));
+    Alcotest.test_case "self returns the running tid" `Quick (fun () ->
+        let r =
+          run_one "self" (fun () ->
+              [ (fun () ->
+                  Sync.yield ();
+                  Sync.check (Sync.self () = 0) "tid 0");
+                (fun () ->
+                  Sync.yield ();
+                  Sync.check (Sync.self () = 1) "tid 1") ])
+        in
+        check "no error" false (Report.found_error r));
+    Alcotest.test_case "Sync.at refines state signatures" `Quick (fun () ->
+        (* Two control points with identical pending ops and data collapse
+           without a region marker and separate with one. *)
+        let mk with_marker =
+          Program.of_threads ~name:"regions" (fun () ->
+              let x = Sync.int_var 0 in
+              [ (fun () ->
+                  Sync.Svar.set x 0;
+                  Sync.yield ();
+                  if with_marker then Sync.at 1;
+                  Sync.Svar.set x 0;
+                  Sync.yield ()) ])
+        in
+        let states p =
+          (Search.run { Search_config.default with coverage = true } p).stats.states
+        in
+        check "marker splits the aliased states" true (states (mk true) > states (mk false)));
+    Alcotest.test_case "join on an unknown tid deadlocks rather than crashes" `Quick
+      (fun () ->
+        (* Joining a never-created tid is treated as joining an unfinished
+           thread; the run deadlocks and is reported as such. *)
+        let r = verify "bad-join" (fun () -> [ (fun () -> Sync.join 7) ]) in
+        check "deadlock" true
+          (match r.verdict with Report.Deadlock _ -> true | _ -> false)) ]

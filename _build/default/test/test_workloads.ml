@@ -1,0 +1,157 @@
+(* End-to-end workload checks: every registry program produces its expected
+   verdict under its recommended strategy (the bugs the paper's Table 3
+   reports, the liveness violations of §4.3, and the verified baselines). *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+
+let check = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let classify (r : Report.t) =
+  match r.verdict with
+  | Report.Verified | Report.Limits_reached -> "verified"
+  | Report.Safety_violation _ -> "safety"
+  | Report.Deadlock _ -> "deadlock"
+  | Report.Divergence { kind = Report.Fair_nontermination; _ } -> "livelock"
+  | Report.Divergence { kind = Report.Good_samaritan_violation _; _ } -> "good-samaritan"
+
+let cfg_for (e : W.Registry.entry) =
+  { Search_config.default with
+    livelock_bound = Some 1_500;
+    max_executions = Some 60_000;
+    time_limit = Some 20.0;
+    mode =
+      (if e.expected = "safety" then Search_config.Context_bounded 2 else Search_config.Dfs) }
+
+let registry_cases =
+  List.map
+    (fun (e : W.Registry.entry) ->
+      Alcotest.test_case e.name `Slow (fun () ->
+          let r = Checker.check ~config:(cfg_for e) e.program in
+          check_string "verdict" e.expected (classify r)))
+    (W.Registry.all ())
+
+let unit_tests =
+  [ Alcotest.test_case "registry names are unique and findable" `Quick (fun () ->
+        let names = W.Registry.names () in
+        Alcotest.(check int) "no duplicates" (List.length names)
+          (List.length (List.sort_uniq compare names));
+        List.iter (fun n -> check n true (W.Registry.find n <> None)) names;
+        check "unknown name" true (W.Registry.find "no-such-program" = None));
+    Alcotest.test_case "wsq deque operations (sequential)" `Quick (fun () ->
+        (* Drive the deque inside a trivial one-thread program. *)
+        let result = ref [] in
+        let p =
+          Program.of_threads ~name:"wsq-seq" (fun () ->
+              let q = W.Wsq.create ~capacity:4 in
+              [ (fun () ->
+                  W.Wsq.push q 1;
+                  W.Wsq.push q 2;
+                  W.Wsq.push q 3;
+                  let a = W.Wsq.pop q in
+                  let b = W.Wsq.steal q in
+                  let c = W.Wsq.pop q in
+                  let d = W.Wsq.pop q in
+                  result := [ a; b; c; d ]) ])
+        in
+        let r = Search.run { Search_config.default with max_executions = Some 1 } p in
+        check "no error" false (Report.found_error r);
+        (* LIFO at the tail, FIFO at the head, empty afterwards. *)
+        Alcotest.(check (list (option int)))
+          "pop 3, steal 1, pop 2, empty"
+          [ Some 3; Some 1; Some 2; None ]
+          !result);
+    Alcotest.test_case "channel FIFO order (sequential)" `Quick (fun () ->
+        let result = ref [] in
+        let p =
+          Program.of_threads ~name:"chan-seq" (fun () ->
+              let ch = W.Channels.create ~capacity:2 W.Channels.Correct in
+              [ (fun () ->
+                  ignore (W.Channels.send ch 10);
+                  ignore (W.Channels.send ch 20);
+                  let a = W.Channels.recv ch in
+                  ignore (W.Channels.send ch 30);
+                  W.Channels.close ch;
+                  let b = W.Channels.recv ch in
+                  let c = W.Channels.recv ch in
+                  let d = W.Channels.recv ch in
+                  result := [ a; b; c; d ]) ])
+        in
+        let r = Search.run { Search_config.default with max_executions = Some 1 } p in
+        check "no error" false (Report.found_error r);
+        Alcotest.(check (list (option int)))
+          "fifo then end-of-stream"
+          [ Some 10; Some 20; Some 30; None ]
+          !result);
+    Alcotest.test_case "channel send after close is rejected" `Quick (fun () ->
+        let p =
+          Program.of_threads ~name:"chan-close" (fun () ->
+              let ch = W.Channels.create ~capacity:2 W.Channels.Correct in
+              [ (fun () ->
+                  W.Channels.close ch;
+                  Sync.check (not (W.Channels.send ch 1)) "send accepted after close") ])
+        in
+        let r = Search.run Search_config.default p in
+        check "verified" true (r.verdict = Report.Verified));
+    Alcotest.test_case "promise combinator pipeline verifies" `Quick (fun () ->
+        let r =
+          Search.run
+            { Search_config.default with
+              mode = Search_config.Context_bounded 1;
+              livelock_bound = Some 2_000 }
+            (W.Promise.pipeline_program ~width:2 W.Promise.Blocking)
+        in
+        check "no error" false (Report.found_error r));
+    Alcotest.test_case "promise double fulfill is caught" `Quick (fun () ->
+        let p =
+          Program.of_threads ~name:"double-fulfill" (fun () ->
+              let pr = W.Promise.create W.Promise.Blocking in
+              [ (fun () -> W.Promise.fulfill pr 1); (fun () -> W.Promise.fulfill pr 2) ])
+        in
+        let r = Search.run Search_config.default p in
+        check "safety violation" true
+          (match r.verdict with Report.Safety_violation _ -> true | _ -> false));
+    Alcotest.test_case "singularity boot completes under fair cb=1" `Quick (fun () ->
+        let r =
+          Search.run
+            { Search_config.default with
+              mode = Search_config.Context_bounded 1;
+              max_executions = Some 2_000;
+              livelock_bound = Some 5_000 }
+            (W.Singularity.program ~services:2 ~apps:1 ())
+        in
+        check "no error during boot" false (Report.found_error r));
+    Alcotest.test_case "singularity scales to the paper's 14 threads" `Quick (fun () ->
+        (* One full boot/shutdown schedule of the Table 1 configuration. *)
+        let r =
+          Search.run
+            { Search_config.default with
+              mode = Search_config.Random_walk 3;
+              livelock_bound = Some 100_000;
+              max_steps = 200_000;
+              seed = 11L }
+            (W.Singularity.program ~services:8 ~apps:4 ())
+        in
+        check "no error" false (Report.found_error r);
+        check "14 threads" true (r.stats.max_threads = 14));
+    Alcotest.test_case "dryad fifo pipeline delivers in order" `Quick (fun () ->
+        let r =
+          Search.run
+            { Search_config.default with
+              mode = Search_config.Random_walk 25;
+              livelock_bound = Some 50_000;
+              max_steps = 100_000;
+              seed = 3L }
+            (W.Channels.fifo_program ~stages:5 ~items:3 ())
+        in
+        check "no error" false (Report.found_error r));
+    Alcotest.test_case "mixed-retry dining is fair-terminating" `Quick (fun () ->
+        let r =
+          Search.run
+            { Search_config.default with livelock_bound = Some 2_000 }
+            (W.Dining.program ~n:2 W.Dining.Mixed_retry)
+        in
+        check "verified" true (r.verdict = Report.Verified)) ]
+
+let suite = unit_tests @ registry_cases
