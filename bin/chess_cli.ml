@@ -69,6 +69,20 @@ let sleep_sets =
 let coverage =
   Arg.(value & flag & info [ "coverage" ] ~doc:"Count distinct state signatures.")
 
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel search: 1 (default) runs \
+                 sequentially, 0 uses all available cores. Systematic \
+                 strategies give identical results for every N; sampling \
+                 strategies are reproducible per (seed, N) pair.")
+
+let split_depth =
+  Arg.(value & opt int Search_config.default.split_depth
+       & info [ "split-depth" ] ~docv:"N"
+           ~doc:"Parallel systematic search: expand the decision tree \
+                 sequentially to depth N and hand each subtree to a worker.")
+
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the one-line summary.")
 
 let save_repro =
@@ -77,7 +91,7 @@ let save_repro =
            ~doc:"When an error is found, save its schedule to FILE for $(b,chess replay).")
 
 let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound max_execs
-    time_limit seed sleep_sets coverage =
+    time_limit seed sleep_sets coverage jobs split_depth =
   { Search_config.default with
     mode = strategy;
     fair = not no_fair;
@@ -92,11 +106,14 @@ let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound ma
     time_limit;
     seed = Int64.of_int seed;
     sleep_sets;
-    coverage }
+    coverage;
+    jobs;
+    split_depth }
 
 let config_term =
   Term.(const build_config $ strategy $ no_fair $ fair_k $ depth_bound $ max_steps
-        $ livelock_bound $ max_execs $ time_limit $ seed $ sleep_sets $ coverage)
+        $ livelock_bound $ max_execs $ time_limit $ seed $ sleep_sets $ coverage
+        $ jobs $ split_depth)
 
 let list_cmd =
   let doc = "List the built-in benchmark programs." in

@@ -45,7 +45,11 @@ type t = {
   mutable live : bool;
 }
 
-let active : t option ref = ref None
+(* The active run is tracked per domain: the parallel search runs one engine
+   in each worker domain, and takeover/stop bookkeeping must not leak across
+   domains. *)
+let active_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+let active () = Domain.DLS.get active_key
 
 let record_failure t tid f = if t.failure = None then t.failure <- Some (tid, f)
 
@@ -81,8 +85,9 @@ let start_thread t tid body =
                 let payload =
                   match op with
                   | Op.Spawn ->
-                    let b = !Runtime.spawn_body in
-                    Runtime.spawn_body := None;
+                    let c = Runtime.ctx () in
+                    let b = c.spawn_body in
+                    c.spawn_body <- None;
                     b
                   | _ -> None
                 in
@@ -90,13 +95,14 @@ let start_thread t tid body =
                 t.threads.(tid) <- Parked { op; k; payload })
           | _ -> None) }
   in
-  let saved_tid = !Runtime.current_tid in
-  let saved_in = !Runtime.in_thread in
-  Runtime.current_tid := tid;
-  Runtime.in_thread := true;
+  let c = Runtime.ctx () in
+  let saved_tid = c.current_tid in
+  let saved_in = c.in_thread in
+  c.current_tid <- tid;
+  c.in_thread <- true;
   Effect.Deep.match_with body () handler;
-  Runtime.current_tid := saved_tid;
-  Runtime.in_thread := saved_in
+  c.current_tid <- saved_tid;
+  c.in_thread <- saved_in
 
 let add_thread t body =
   if t.nthreads > B.max_capacity then failwith "Engine: too many threads";
@@ -118,13 +124,15 @@ let add_thread t body =
   tid
 
 let start (prog : Program.t) =
+  let active = active () in
   (match !active with
    | Some prev when prev.live ->
-     (* A previous run that was not [stop]ped; take over, runs do not nest. *)
+     (* A previous run that was not [stop]ped; take over, runs do not nest
+        (within a domain). *)
      prev.live <- false
    | _ -> ());
   let store = Objects.create () in
-  Runtime.reset store;
+  let c = Runtime.reset store in
   let booted = prog.Program.boot () in
   let t =
     { prog_store = store;
@@ -136,7 +144,7 @@ let start (prog : Program.t) =
       trace = Trace.create ();
       steps = 0;
       snapshot = booted.Program.snapshot;
-      snapshotters = !Runtime.snapshotters;
+      snapshotters = c.snapshotters;
       sync_ops = 0;
       var_ops = 0;
       live = true }
@@ -205,7 +213,7 @@ let step t ~tid ~alt =
           | None -> failwith "Engine: spawn without a body"
         in
         let child = add_thread t body in
-        Runtime.spawn_result := child;
+        (Runtime.ctx ()).spawn_result <- child;
         1
       | Op.Choose n ->
         if alt < 0 || alt >= n then invalid_arg "Engine.step: bad alternative";
@@ -225,13 +233,14 @@ let step t ~tid ~alt =
     t.steps <- t.steps + 1;
     if t.failure = None then begin
       t.threads.(tid) <- Running;
-      let saved_tid = !Runtime.current_tid in
-      let saved_in = !Runtime.in_thread in
-      Runtime.current_tid := tid;
-      Runtime.in_thread := true;
+      let c = Runtime.ctx () in
+      let saved_tid = c.current_tid in
+      let saved_in = c.in_thread in
+      c.current_tid <- tid;
+      c.in_thread <- true;
       Effect.Deep.continue p.k result;
-      Runtime.current_tid := saved_tid;
-      Runtime.in_thread := saved_in
+      c.current_tid <- saved_tid;
+      c.in_thread <- saved_in
     end
 
 let failure t = t.failure
@@ -247,6 +256,7 @@ let trace t = t.trace
 let store t = t.prog_store
 
 let state_signature t =
+  let regions = (Runtime.ctx ()).regions in
   let h = Objects.signature t.prog_store Fnv.init in
   let h = ref (Fnv.int h t.nthreads) in
   for tid = 0 to t.nthreads - 1 do
@@ -256,7 +266,7 @@ let state_signature t =
      | Parked p ->
        h := Fnv.string (Fnv.int !h tid) (Op.to_string p.op);
        h := Fnv.int !h t.op_repeat.(tid);
-       h := Fnv.int !h (Option.value ~default:0 (Hashtbl.find_opt Runtime.regions tid)))
+       h := Fnv.int !h (Option.value ~default:0 (Hashtbl.find_opt regions tid)))
   done;
   let h = List.fold_left (fun acc f -> f acc) !h t.snapshotters in
   match t.snapshot with None -> h | Some f -> Fnv.int h (Int64.to_int (f ()))
@@ -266,6 +276,7 @@ let var_ops t = t.var_ops
 
 let stop t =
   t.live <- false;
+  let active = active () in
   match !active with
   | Some a when a == t -> active := None
   | _ -> ()

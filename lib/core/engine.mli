@@ -8,8 +8,10 @@
     [step] next; backtracking is performed by discarding the run and starting
     a new one ([start] is cheap relative to path length).
 
-    Exactly one run may be active at a time (the engine is single-domain and
-    uses ambient per-run context); this is asserted. *)
+    Exactly one run may be active per domain (the engine keeps its ambient
+    per-run context in domain-local state); the parallel search layer runs
+    one engine in each worker domain. Within a domain, a new [start] takes
+    over from an un-[stop]ped predecessor — runs do not nest. *)
 
 module B := Fairmc_util.Bitset
 
@@ -65,8 +67,8 @@ val state_signature : t -> Fairmc_util.Fnv.t
     information (pending operation, consecutive-op counter, [Sync.at]
     region), registered [Svar] values, and the program's optional snapshot
     function. Used for coverage measurement and by the stateful ground-truth
-    search. Must be called while this run is the active one (before any
-    subsequent [start]). *)
+    search. Must be called on the run's own domain while it is the active one
+    (before any subsequent [start] there). *)
 
 val sync_ops : t -> int
 (** Synchronization operations executed (Table 1 accounting: everything

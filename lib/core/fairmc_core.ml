@@ -16,6 +16,7 @@ module Trace = Trace
 module Fair_sched = Fair_sched
 module Search_config = Search_config
 module Search = Search
+module Par_search = Par_search
 module Report = Report
 module Checker = Checker
 module Repro = Repro

@@ -1,0 +1,213 @@
+(* Parallel search over OCaml 5 domains. See DESIGN.md, "Parallel search".
+
+   Stateless model checking re-executes the program from its initial state
+   for every schedule, so executions are independent and the schedule space
+   shards cleanly:
+
+   - Systematic modes (DFS, context-bounded): the coordinator expands the
+     decision tree to [split_depth] ({!Search.expand}), producing work items
+     in DFS order. Workers pull items off a shared cursor and run the
+     ordinary sequential search confined to the item's subtree. Because the
+     expansion records nothing and every worker re-executes its item from
+     the initial state, the merged statistics (executions, transitions,
+     coverage states) equal the sequential search's exactly — and because
+     errors are resolved by *lowest item index* rather than wall-clock
+     order, the reported counterexample is the one the sequential search
+     would find, independent of [jobs] and of scheduling timing.
+
+   - Sampling modes (random walk, random priorities): the execution budget
+     is sharded across workers, each with its own RNG stream split off the
+     seed ({!Rng.streams}). The lowest-indexed erroring worker wins, so the
+     verdict and counterexample are reproducible for a fixed (seed, jobs)
+     pair; the aggregate statistics of cancelled higher-indexed workers may
+     vary from run to run. Round-robin runs a single schedule and falls back
+     to the sequential search.
+
+   Cancellation (first error wins) is an [Atomic.t] holding the lowest
+   erroring index, initially [max_int]; workers poll it at every path start
+   and every [poll_interval] steps inside a path. A unit is only ever
+   cancelled by a strictly lower index, so the winning unit always runs to
+   completion — this is what makes min-index resolution deterministic. *)
+
+module C = Search_config
+module Rng = Fairmc_util.Rng
+
+let resolve_jobs (cfg : C.t) =
+  if cfg.jobs = 1 then 1
+  else if cfg.jobs <= 0 then Domain.recommended_domain_count ()
+  else cfg.jobs
+
+let zero_stats =
+  { Report.executions = 0;
+    transitions = 0;
+    states = 0;
+    nonterminating = 0;
+    depth_bound_hits = 0;
+    max_depth = 0;
+    elapsed = 0.;
+    first_error_execution = None;
+    first_error_time = None;
+    sync_ops_per_exec = 0;
+    max_threads = 0 }
+
+(* Lower the stop index to [k] (CAS loop; concurrent errors race, lowest
+   index sticks). *)
+let rec note_error stop k =
+  let cur = Atomic.get stop in
+  if k < cur && not (Atomic.compare_and_set stop cur k) then note_error stop k
+
+let deadline_of t0 (cfg : C.t) =
+  match cfg.time_limit with None -> infinity | Some l -> t0 +. l
+
+(* Sum counters, max the maxima, union the coverage tables. *)
+let merge_parts parts =
+  let tbl = Hashtbl.create 4096 in
+  let stats =
+    List.fold_left
+      (fun acc ((r : Report.t), part_tbl) ->
+        let s = r.Report.stats in
+        Hashtbl.iter (fun k () -> Hashtbl.replace tbl k ()) part_tbl;
+        { acc with
+          Report.executions = acc.Report.executions + s.executions;
+          transitions = acc.transitions + s.transitions;
+          nonterminating = acc.nonterminating + s.nonterminating;
+          depth_bound_hits = acc.depth_bound_hits + s.depth_bound_hits;
+          max_depth = max acc.max_depth s.max_depth;
+          sync_ops_per_exec = max acc.sync_ops_per_exec s.sync_ops_per_exec;
+          max_threads = max acc.max_threads s.max_threads })
+      zero_stats parts
+  in
+  { stats with Report.states = Hashtbl.length tbl }
+
+(* Run [worker 0 .. worker (jobs-1)], workers 1.. on fresh domains and
+   worker 0 inline on the calling domain (each worker drives its own engine
+   through domain-local state, so the coordinator's domain is reusable). *)
+let spawn_workers ~jobs worker =
+  let domains = Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+  worker 0;
+  Array.iter Domain.join domains
+
+let run_systematic (cfg : C.t) prog ~jobs =
+  let t0 = Unix.gettimeofday () in
+  let deadline = deadline_of t0 cfg in
+  let items, expand_timed_out =
+    Search.expand ~deadline cfg prog ~split_depth:cfg.split_depth
+  in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  (* Per-item RNG streams: random tails (unfair depth-bounded search) draw
+     from a stream tied to the item, not the worker, so results do not
+     depend on which worker ran which item. *)
+  let streams = Rng.streams (Rng.make cfg.seed) n in
+  let shared_execs = Atomic.make 0 in
+  let stop = Atomic.make max_int in
+  let cursor = Atomic.make 0 in
+  let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make n None in
+  let worker _i =
+    let rec loop () =
+      let k = Atomic.fetch_and_add cursor 1 in
+      if k < n then begin
+        (* Items above the winner will not be merged; skip them outright. *)
+        if Atomic.get stop > k then begin
+          let r, tbl =
+            Search.run_shard
+              ~cancel:(fun () -> Atomic.get stop < k)
+              ~deadline ~rng:streams.(k) ~prefix:items.(k) ~shared_execs cfg prog
+          in
+          results.(k) <- Some (r, tbl);
+          if Report.found_error r then note_error stop k
+        end;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  spawn_workers ~jobs worker;
+  let winner = Atomic.get stop in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if winner < n then begin
+    (* Sequential equivalence: the search would have explored items
+       [0..winner-1] in full, then stopped inside [winner]. Items below the
+       winner are never cancelled, so all their results are present. *)
+    let parts = ref [] and prior_execs = ref 0 in
+    for k = winner - 1 downto 0 do
+      match results.(k) with
+      | Some ((r, _) as p) ->
+        parts := p :: !parts;
+        prior_execs := !prior_execs + r.Report.stats.Report.executions
+      | None -> ()
+    done;
+    let win_r, win_tbl = Option.get results.(winner) in
+    let stats = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
+    let ws = win_r.Report.stats in
+    { Report.verdict = win_r.Report.verdict;
+      stats =
+        { stats with
+          Report.elapsed;
+          first_error_execution =
+            Option.map (fun e -> !prior_execs + e) ws.Report.first_error_execution;
+          first_error_time = ws.Report.first_error_time } }
+  end
+  else begin
+    let parts = List.filter_map Fun.id (Array.to_list results) in
+    let stats = { (merge_parts parts) with Report.elapsed } in
+    let limited =
+      expand_timed_out
+      || Array.length items > List.length parts
+      || List.exists (fun ((r : Report.t), _) -> r.Report.verdict = Report.Limits_reached) parts
+    in
+    { Report.verdict = (if limited then Report.Limits_reached else Report.Verified); stats }
+  end
+
+let run_sampling (cfg : C.t) prog ~jobs =
+  let t0 = Unix.gettimeofday () in
+  let deadline = deadline_of t0 cfg in
+  let budget, with_budget =
+    match cfg.mode with
+    | C.Random_walk n -> (n, fun m -> C.Random_walk m)
+    | C.Priority_random n -> (n, fun m -> C.Priority_random m)
+    | C.Round_robin | C.Dfs | C.Context_bounded _ -> assert false
+  in
+  let jobs = max 1 (min jobs budget) in
+  let streams = Rng.streams (Rng.make cfg.seed) jobs in
+  let shared_execs = Atomic.make 0 in
+  let stop = Atomic.make max_int in
+  let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make jobs None in
+  let worker i =
+    let n_i = (budget / jobs) + if i < budget mod jobs then 1 else 0 in
+    let cfg_i = { cfg with C.mode = with_budget n_i } in
+    let r, tbl =
+      Search.run_shard
+        ~cancel:(fun () -> Atomic.get stop < i)
+        ~deadline ~rng:streams.(i) ~shared_execs cfg_i prog
+    in
+    results.(i) <- Some (r, tbl);
+    if Report.found_error r then note_error stop i
+  in
+  spawn_workers ~jobs worker;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let parts = List.filter_map Fun.id (Array.to_list results) in
+  let stats = { (merge_parts parts) with Report.elapsed } in
+  match Atomic.get stop with
+  | w when w < jobs ->
+    let win_r, _ = Option.get results.(w) in
+    let ws = win_r.Report.stats in
+    { Report.verdict = win_r.Report.verdict;
+      stats =
+        { stats with
+          (* Shard-local: the winner's position in its own stream. A global
+             execution index is not well defined across streams. *)
+          Report.first_error_execution = ws.Report.first_error_execution;
+          first_error_time = ws.Report.first_error_time } }
+  | _ -> { Report.verdict = Report.Limits_reached; stats }
+
+let run (cfg : C.t) prog =
+  let jobs = resolve_jobs cfg in
+  if jobs <= 1 then Search.run cfg prog
+  else
+    match cfg.mode with
+    | C.Dfs | C.Context_bounded _ -> run_systematic cfg prog ~jobs
+    | C.Random_walk _ | C.Priority_random _ -> run_sampling cfg prog ~jobs
+    | C.Round_robin ->
+      (* A single deterministic schedule; nothing to shard. *)
+      Search.run { cfg with C.jobs = 1 } prog

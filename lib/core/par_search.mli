@@ -1,0 +1,35 @@
+(** Parallel search: domain-sharded exploration of the schedule space.
+
+    Stateless model checking re-executes the program from its initial state
+    for every schedule, so executions are embarrassingly parallel. This
+    module shards a {!Search_config} across [config.jobs] OCaml 5 domains:
+
+    - {b Systematic modes} (DFS, context-bounded): the decision tree is
+      expanded sequentially to [config.split_depth] and each frontier prefix
+      becomes an independent work item, executed by workers pulling from a
+      shared queue. The merged report is {e exactly} the sequential one —
+      same verdict, same counterexample, same execution/transition/coverage
+      counts — independent of [jobs] and of thread timing (errors are
+      resolved by lowest work-item index in DFS order, and losing subtrees
+      are cancelled).
+
+    - {b Sampling modes} (random walk, random priorities): the execution
+      budget is sharded, each worker drawing from its own RNG stream split
+      off [config.seed]. The verdict and counterexample are reproducible for
+      a fixed (seed, jobs) pair; statistics of cancelled workers may vary
+      between runs. Different [jobs] values explore different (equally
+      distributed) samples.
+
+    Counterexamples replay deterministically through {!Search.replay}
+    regardless of which worker found them. Wall-clock limits apply to the
+    whole parallel run via a shared absolute deadline; [max_executions] is
+    enforced against a shared cross-domain counter (with up to one
+    in-flight path of slack per worker). *)
+
+val resolve_jobs : Search_config.t -> int
+(** [config.jobs], with [0] and negative values resolved to
+    [Domain.recommended_domain_count ()]. *)
+
+val run : Search_config.t -> Program.t -> Report.t
+(** Runs {!Search.run} unchanged when [resolve_jobs config <= 1] (and for
+    round-robin, which is a single schedule). *)

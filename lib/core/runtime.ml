@@ -2,25 +2,45 @@ type _ Effect.t += Sched : Op.t -> int Effect.t
 
 exception Assertion_failure of string
 
-let store : Objects.t option ref = ref None
+type ctx = {
+  mutable store : Objects.t option;
+  mutable in_thread : bool;
+  mutable current_tid : int;
+  mutable spawn_body : (unit -> unit) option;
+  mutable spawn_result : int;
+  mutable snapshotters : (Fairmc_util.Fnv.t -> Fairmc_util.Fnv.t) list;
+  regions : (int, int) Hashtbl.t;
+}
+
+let fresh () =
+  { store = None;
+    in_thread = false;
+    current_tid = -1;
+    spawn_body = None;
+    spawn_result = -1;
+    snapshotters = [];
+    regions = Hashtbl.create 16 }
+
+(* One context per domain: the parallel search runs one engine per worker
+   domain, and each must see its own ambient state. Within a domain the old
+   single-run discipline still holds (exactly one of {engine, one thread}
+   executes at any instant). *)
+let key = Domain.DLS.new_key fresh
+
+let ctx () = Domain.DLS.get key
 
 let get_store () =
-  match !store with
+  match (ctx ()).store with
   | Some s -> s
   | None -> failwith "Sync operation outside of a model-checked execution"
 
-let in_thread = ref false
-let current_tid = ref (-1)
-let spawn_body : (unit -> unit) option ref = ref None
-let spawn_result = ref (-1)
-let snapshotters : (Fairmc_util.Fnv.t -> Fairmc_util.Fnv.t) list ref = ref []
-let regions : (int, int) Hashtbl.t = Hashtbl.create 16
-
 let reset s =
-  store := Some s;
-  in_thread := false;
-  current_tid := -1;
-  spawn_body := None;
-  spawn_result := -1;
-  snapshotters := [];
-  Hashtbl.reset regions
+  let c = ctx () in
+  c.store <- Some s;
+  c.in_thread <- false;
+  c.current_tid <- -1;
+  c.spawn_body <- None;
+  c.spawn_result <- -1;
+  c.snapshotters <- [];
+  Hashtbl.reset c.regions;
+  c

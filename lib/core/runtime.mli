@@ -3,10 +3,12 @@
     Threads under test communicate with the engine by performing the
     {!extension-Sched} effect at every visible operation; the engine parks
     the continuation and later resumes it with the operation's result. The
-    mutable cells below carry side-band data (spawn bodies, results,
-    state-snapshot hooks) for the current execution. They are safe because
-    the checker is strictly single-domain: exactly one of {engine, one
-    thread} runs at any instant. *)
+    mutable context below carries side-band data (spawn bodies, results,
+    state-snapshot hooks) for the current execution. It is stored in
+    domain-local state: each domain runs at most one engine at a time, and
+    within a domain exactly one of {engine, one thread} executes at any
+    instant, so plain mutable fields are safe. The parallel search layer
+    ({!Par_search}) relies on this to run one engine per worker domain. *)
 
 type _ Effect.t +=
   | Sched : Op.t -> int Effect.t
@@ -17,34 +19,37 @@ type _ Effect.t +=
 exception Assertion_failure of string
 (** Raised by [Sync.check]; reported as a safety violation with the trace. *)
 
-val store : Objects.t option ref
-(** Sync-object store of the execution being built or run. *)
+type ctx = {
+  mutable store : Objects.t option;
+      (** Sync-object store of the execution being built or run. *)
+  mutable in_thread : bool;
+      (** True while control is inside a thread under test (effects are
+          handled). *)
+  mutable current_tid : int;
+  mutable spawn_body : (unit -> unit) option;
+      (** Set by [Sync.spawn] immediately before performing [Spawn]; captured
+          by the engine's handler at park time (so interleaved spawns cannot
+          clobber each other). *)
+  mutable spawn_result : int;
+      (** Tid of the most recently created thread; read by [Sync.spawn]
+          immediately after its effect returns, before any other thread can
+          run. *)
+  mutable snapshotters : (Fairmc_util.Fnv.t -> Fairmc_util.Fnv.t) list;
+      (** State-signature contributions registered during [boot] (e.g. by
+          [Sync.Svar.create ~hash]); folded into every state signature. *)
+  regions : (int, int) Hashtbl.t;
+      (** Per-thread control-region registers (see [Sync.at]): a manual
+          control abstraction hashed into state signatures, the analogue of
+          the paper's hand-written state extraction (§4.2.1). Cleared by
+          [reset]. *)
+}
+
+val ctx : unit -> ctx
+(** The calling domain's context (created on first use). *)
 
 val get_store : unit -> Objects.t
 (** @raise Failure outside [boot]/execution. *)
 
-val in_thread : bool ref
-(** True while control is inside a thread under test (effects are handled). *)
-
-val current_tid : int ref
-
-val spawn_body : (unit -> unit) option ref
-(** Set by [Sync.spawn] immediately before performing [Spawn]; captured by
-    the engine's handler at park time (so interleaved spawns cannot clobber
-    each other). *)
-
-val spawn_result : int ref
-(** Tid of the most recently created thread; read by [Sync.spawn] immediately
-    after its effect returns, before any other thread can run. *)
-
-val snapshotters : (Fairmc_util.Fnv.t -> Fairmc_util.Fnv.t) list ref
-(** State-signature contributions registered during [boot] (e.g. by
-    [Sync.Svar.create ~hash]); folded into every state signature. *)
-
-val regions : (int, int) Hashtbl.t
-(** Per-thread control-region registers (see [Sync.at]): a manual control
-    abstraction hashed into state signatures, the analogue of the paper's
-    hand-written state extraction (§4.2.1). Cleared by [reset]. *)
-
-val reset : Objects.t -> unit
-(** Install a fresh store and clear all side-band state (engine use). *)
+val reset : Objects.t -> ctx
+(** Install a fresh store in the calling domain's context, clear all
+    side-band state, and return the context (engine use). *)

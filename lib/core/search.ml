@@ -10,6 +10,14 @@ type frame = {
   mutable sleep : B.t;
 }
 
+(* A locked scheduling decision handed to a parallel work item: the worker
+   replays the prefix and explores only the subtree below it ([rest] of every
+   prefix frame is empty, so backtracking can never leave the subtree). The
+   sleep set is the one the sequential DFS would carry at the moment it
+   enters this child, which depends only on the order of elder siblings —
+   this is what makes the parallel decomposition exact. *)
+type pdecision = { p_tid : int; p_alt : int; p_cost : int; p_sleep : B.t }
+
 (* Why a path ended. *)
 type path_end =
   | P_terminated
@@ -18,7 +26,8 @@ type path_end =
   | P_divergence of Report.divergence_kind
   | P_nonterminating  (* hit the hard step cap *)
   | P_pruned  (* depth bound without random tail, or CB/sleep-set pruning *)
-  | P_timeout
+  | P_stopped  (* wall-clock budget exhausted or cancelled by a peer *)
+  | P_frontier  (* parallel expansion: the split depth was reached *)
 
 type state = {
   cfg : C.t;
@@ -28,6 +37,11 @@ type state = {
   states : (int64, unit) Hashtbl.t;
   rng : Rng.t;
   t0 : float;
+  deadline : float;  (* absolute; [infinity] when unlimited *)
+  poll_mask : int;
+  cancel : unit -> bool;
+  shared_execs : int Atomic.t option;  (* cross-domain execution counter *)
+  frontier_at : int;  (* cut fresh decisions at this depth; [max_int] = never *)
   mutable executions : int;
   mutable transitions : int;
   mutable nonterminating : int;
@@ -52,11 +66,60 @@ let push_frame st fr =
 
 let elapsed st = Unix.gettimeofday () -. st.t0
 
-let out_of_time st =
-  match st.cfg.time_limit with None -> false | Some l -> elapsed st > l
+let out_of_time st = Unix.gettimeofday () > st.deadline
+
+(* Cancellation (parallel first-error-wins) is folded into the same poll. *)
+let stopped st = out_of_time st || st.cancel ()
+
+let mask_of_interval n =
+  let n = max 1 n in
+  let rec go m = if m >= n then m - 1 else go (m * 2) in
+  go 1
+
+let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
+    ?shared_execs ?(frontier_at = max_int) (cfg : C.t) prog =
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None ->
+      (match cfg.time_limit with
+       | None -> infinity
+       | Some l -> Unix.gettimeofday () +. l)
+  in
+  let nprefix = Array.length prefix in
+  let frames = Array.make (max 64 nprefix) dummy_frame in
+  Array.iteri
+    (fun i (p : pdecision) ->
+      frames.(i) <-
+        { chosen = { tid = p.p_tid; alt = p.p_alt; cost = p.p_cost };
+          rest = [];
+          sleep = p.p_sleep })
+    prefix;
+  { cfg;
+    prog;
+    frames;
+    nframes = nprefix;
+    states = Hashtbl.create 4096;
+    rng = (match rng with Some r -> r | None -> Rng.make cfg.seed);
+    t0 = Unix.gettimeofday ();
+    deadline;
+    poll_mask = mask_of_interval cfg.poll_interval;
+    cancel;
+    shared_execs;
+    frontier_at;
+    executions = 0;
+    transitions = 0;
+    nonterminating = 0;
+    depth_bound_hits = 0;
+    max_depth = 0;
+    first_error_execution = None;
+    first_error_time = None;
+    sync_ops_per_exec = 0;
+    max_threads = 0 }
 
 (* Debug/analysis hook: receives (signature, decision prefix) for every
-   recorded state. Used by the coverage cross-checking tests. *)
+   recorded state. Used by the coverage cross-checking tests (sequential
+   searches only). *)
 let state_hook : (int64 -> Engine.t -> unit) option ref = ref None
 
 let record_state st run =
@@ -71,26 +134,38 @@ let record_state st run =
    enabled, schedulable current thread costs one unit of the context bound;
    switches forced by fairness or blocking are free (paper, Section 4), and
    so are switches right after the current thread yielded — a yield is a
-   voluntary release of the processor, not a preemption. *)
+   voluntary release of the processor, not a preemption. Built in one pass
+   over the bitset, allocating only the result cells (this is the hottest
+   allocation site of the systematic search). *)
 let compute_alts st ~tset ~sleep ~last ~last_yielded ~budget run =
-  let cur_runnable = last >= 0 && B.mem last tset && not last_yielded in
-  let for_tid tid =
-    if st.cfg.sleep_sets && B.mem tid sleep then []
+  let cur_in = last >= 0 && B.mem last tset in
+  let cur_runnable = cur_in && not last_yielded in
+  let for_tid tid tail =
+    if st.cfg.sleep_sets && B.mem tid sleep then tail
     else begin
       let cost = if tid = last then 0 else if cur_runnable then 1 else 0 in
-      if cost > budget then []
-      else
-        List.init (Engine.alternatives run tid) (fun alt -> { tid; alt; cost })
+      if cost > budget then tail
+      else begin
+        let n = Engine.alternatives run tid in
+        let rec cons alt = if alt >= n then tail else { tid; alt; cost } :: cons (alt + 1) in
+        cons 0
+      end
     end
   in
-  let current = if last >= 0 && B.mem last tset then for_tid last else [] in
-  let others =
-    List.concat_map (fun tid -> if tid = last then [] else for_tid tid) (B.elements tset)
+  let rec others s tail =
+    if B.is_empty s then tail
+    else begin
+      let tid = B.min_elt s in
+      let rest = B.remove tid s in
+      if tid = last then others rest tail else for_tid tid (others rest tail)
+    end
   in
   (* Prefer staying on the current thread (cheap, finds terminating paths
      early) — except right after it yielded, where switching is the natural
      continuation. *)
-  if last_yielded then others @ current else current @ others
+  if last_yielded then others tset (if cur_in then for_tid last [] else [])
+  else if cur_in then for_tid last (others tset [])
+  else others tset []
 
 (* Classify a divergent (livelock-bound-exceeding) fair execution by its
    tail: if an enabled thread was starved by non-yielding threads it is a
@@ -229,52 +304,60 @@ let execute_path st ~systematic =
           if cfg.fair && steps >= livelock_bound then
             P_divergence (classify_divergence st run)
           else if steps >= cfg.max_steps then P_nonterminating
-          else if steps land 4095 = 4095 && out_of_time st then P_timeout
+          else if steps land st.poll_mask = st.poll_mask && stopped st then P_stopped
           else begin
             let tset = if cfg.fair then Fair_sched.schedulable !fair ~enabled:es else es in
             (* Theorem 3: T is empty iff ES is empty. *)
             assert (not (B.is_empty tset));
-            let decision =
-              if systematic && !depth < st.nframes then begin
-                let fr = st.frames.(!depth) in
-                incr depth;
-                Some fr.chosen
-              end
-              else if not systematic then Some (sample tset)
-              else begin
-                let beyond_db =
-                  (not cfg.fair)
-                  && (match cfg.depth_bound with Some db -> steps >= db | None -> false)
-                in
-                if beyond_db then begin
-                  if not !crossed_db then begin
-                    st.depth_bound_hits <- st.depth_bound_hits + 1;
-                    crossed_db := true
-                  end;
-                  if cfg.random_tail then Some (random_from tset) else None
-                end
-                else begin
-                  match
-                    compute_alts st ~tset ~sleep:!pending_sleep ~last:!last
-                      ~last_yielded:!last_yielded ~budget:!budget run
-                  with
-                  | [] -> None  (* everything pruned by sleep sets *)
-                  | a :: rest ->
-                    push_frame st { chosen = a; rest; sleep = !pending_sleep };
-                    incr depth;
-                    Some a
-                end
-              end
-            in
-            match decision with
-            | None ->
-              if Sys.getenv_opt "FAIRMC_DEBUG" <> None then
-                Format.eprintf "PRUNE: depth=%d nframes=%d steps=%d tset=%a last=%d budget=%d@."
-                  !depth st.nframes steps B.pp tset !last !budget;
-              P_pruned
-            | Some a ->
-              apply a;
+            if systematic && !depth < st.nframes then begin
+              let fr = st.frames.(!depth) in
+              incr depth;
+              apply fr.chosen;
               loop ()
+            end
+            else if not systematic then begin
+              apply (sample tset);
+              loop ()
+            end
+            else if st.nframes >= st.frontier_at then
+              (* Parallel expansion: everything below this node is one work
+                 item; do not extend (nor count) this path. *)
+              P_frontier
+            else begin
+              let beyond_db =
+                (not cfg.fair)
+                && (match cfg.depth_bound with Some db -> steps >= db | None -> false)
+              in
+              if beyond_db then begin
+                if not !crossed_db then begin
+                  st.depth_bound_hits <- st.depth_bound_hits + 1;
+                  crossed_db := true
+                end;
+                if cfg.random_tail then begin
+                  apply (random_from tset);
+                  loop ()
+                end
+                else P_pruned
+              end
+              else begin
+                match
+                  compute_alts st ~tset ~sleep:!pending_sleep ~last:!last
+                    ~last_yielded:!last_yielded ~budget:!budget run
+                with
+                | [] ->
+                  (* everything pruned by sleep sets *)
+                  if Sys.getenv_opt "FAIRMC_DEBUG" <> None then
+                    Format.eprintf
+                      "PRUNE: depth=%d nframes=%d steps=%d tset=%a last=%d budget=%d@."
+                      !depth st.nframes steps B.pp tset !last !budget;
+                  P_pruned
+                | a :: rest ->
+                  push_frame st { chosen = a; rest; sleep = !pending_sleep };
+                  incr depth;
+                  apply a;
+                  loop ()
+              end
+            end
           end
         end
       end
@@ -284,7 +367,7 @@ let execute_path st ~systematic =
     let ends = match outcome with
       | P_terminated -> "term" | P_deadlock -> "dead" | P_safety _ -> "safe"
       | P_divergence _ -> "div" | P_nonterminating -> "nonterm" | P_pruned -> "pruned"
-      | P_timeout -> "timeout" in
+      | P_stopped -> "stopped" | P_frontier -> "frontier" in
     Format.eprintf "path[%s len=%d]: %s@." ends (Engine.steps run)
       (String.concat "" (List.map (fun (t, _) -> string_of_int t) (Trace.decisions (Engine.trace run))))
   end;
@@ -292,7 +375,9 @@ let execute_path st ~systematic =
   st.max_threads <- max st.max_threads (Engine.nthreads run);
   (outcome, run)
 
-(* Advance the DFS to the next unexplored decision; false when exhausted. *)
+(* Advance the DFS to the next unexplored decision; false when exhausted.
+   Prefix frames of a parallel work item have an empty [rest], so the walk
+   falls off the bottom of the stack exactly when the subtree is done. *)
 let backtrack st =
   let rec go () =
     if st.nframes = 0 then false
@@ -325,30 +410,14 @@ let stats_of st =
     sync_ops_per_exec = st.sync_ops_per_exec;
     max_threads = st.max_threads }
 
-let run cfg prog =
-  let st =
-    { cfg;
-      prog;
-      frames = Array.make 64 dummy_frame;
-      nframes = 0;
-      states = Hashtbl.create 4096;
-      rng = Rng.make cfg.seed;
-      t0 = Unix.gettimeofday ();
-      executions = 0;
-      transitions = 0;
-      nonterminating = 0;
-      depth_bound_hits = 0;
-      max_depth = 0;
-      first_error_execution = None;
-      first_error_time = None;
-      sync_ops_per_exec = 0;
-      max_threads = 0 }
-  in
-  let systematic =
-    match cfg.mode with
-    | C.Dfs | C.Context_bounded _ -> true
-    | C.Random_walk _ | C.Round_robin | C.Priority_random _ -> false
-  in
+let is_systematic (cfg : C.t) =
+  match cfg.mode with
+  | C.Dfs | C.Context_bounded _ -> true
+  | C.Random_walk _ | C.Round_robin | C.Priority_random _ -> false
+
+let run_loop st =
+  let cfg = st.cfg in
+  let systematic = is_systematic cfg in
   let sampling_budget =
     match cfg.mode with
     | C.Random_walk n | C.Priority_random n -> n
@@ -361,35 +430,107 @@ let run cfg prog =
     st.first_error_time <- Some (elapsed st)
   in
   while !verdict = None do
-    let outcome, run_ = execute_path st ~systematic in
-    st.executions <- st.executions + 1;
-    (match outcome with
-     | P_terminated | P_pruned -> ()
-     | P_deadlock ->
-       mark_error ();
-       verdict := Some (Report.Deadlock { cex = render_cex st run_ })
-     | P_safety (tid, failure) ->
-       mark_error ();
-       verdict := Some (Report.Safety_violation { tid; failure; cex = render_cex st run_ })
-     | P_divergence kind ->
-       mark_error ();
-       verdict := Some (Report.Divergence { kind; cex = render_cex ~tail:true st run_ })
-     | P_nonterminating -> st.nonterminating <- st.nonterminating + 1
-     | P_timeout -> verdict := Some Report.Limits_reached);
-    if !verdict = None then begin
-      (match cfg.max_executions with
-       | Some m when st.executions >= m -> verdict := Some Report.Limits_reached
-       | _ -> ());
-      if out_of_time st then verdict := Some Report.Limits_reached
-    end;
-    if !verdict = None then begin
-      if systematic then begin
-        if not (backtrack st) then verdict := Some Report.Verified
+    (* Poll the wall clock and the peer-cancellation flag at every path
+       start, so short time budgets cannot overshoot by a whole path. *)
+    if stopped st then verdict := Some Report.Limits_reached
+    else begin
+      let outcome, run_ = execute_path st ~systematic in
+      st.executions <- st.executions + 1;
+      (match st.shared_execs with Some c -> Atomic.incr c | None -> ());
+      (match outcome with
+       | P_terminated | P_pruned -> ()
+       | P_frontier -> assert false  (* only produced under [expand] *)
+       | P_deadlock ->
+         mark_error ();
+         verdict := Some (Report.Deadlock { cex = render_cex st run_ })
+       | P_safety (tid, failure) ->
+         mark_error ();
+         verdict := Some (Report.Safety_violation { tid; failure; cex = render_cex st run_ })
+       | P_divergence kind ->
+         mark_error ();
+         verdict := Some (Report.Divergence { kind; cex = render_cex ~tail:true st run_ })
+       | P_nonterminating -> st.nonterminating <- st.nonterminating + 1
+       | P_stopped -> verdict := Some Report.Limits_reached);
+      if !verdict = None then begin
+        (match cfg.max_executions with
+         | Some m ->
+           let total =
+             match st.shared_execs with
+             | Some c -> Atomic.get c
+             | None -> st.executions
+           in
+           if total >= m then verdict := Some Report.Limits_reached
+         | None -> ());
+        if stopped st then verdict := Some Report.Limits_reached
+      end;
+      if !verdict = None then begin
+        if systematic then begin
+          if not (backtrack st) then verdict := Some Report.Verified
+        end
+        else if st.executions >= sampling_budget then verdict := Some Report.Limits_reached
       end
-      else if st.executions >= sampling_budget then verdict := Some Report.Limits_reached
     end
   done;
   { Report.verdict = Option.get !verdict; stats = stats_of st }
+
+let run cfg prog = run_loop (make_state cfg prog)
+
+(* One shard of a parallel search: either a sampling worker (custom [rng]
+   stream, sharded budget already folded into [cfg]) or a systematic work
+   item (locked [prefix]). Returns the coverage table alongside the report so
+   Par_search can union tables rather than summing cardinalities. *)
+let run_shard ?cancel ?deadline ?rng ?prefix ?shared_execs cfg prog =
+  let st = make_state ?cancel ?deadline ?rng ?prefix ?shared_execs cfg prog in
+  (run_loop st, st.states)
+
+(* Sequentially expand the systematic decision tree, cutting every path at
+   [split_depth] fresh decisions. Each resulting prefix — whether it is an
+   internal node (P_frontier) or a complete shallow path — is one work item,
+   re-executed from the initial state by a worker; the expansion itself
+   records no statistics, so the merged worker stats match the sequential
+   search exactly. Items are returned in DFS order. *)
+let expand ?deadline cfg prog ~split_depth =
+  let st =
+    make_state ?deadline ~frontier_at:(max 1 split_depth)
+      { cfg with C.coverage = false }
+      prog
+  in
+  if not (is_systematic cfg) then invalid_arg "Search.expand: sampling mode";
+  let random_tail_active =
+    (not cfg.C.fair) && cfg.C.depth_bound <> None && cfg.C.random_tail
+  in
+  let items = ref [] in
+  let timed_out = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    if stopped st then begin
+      timed_out := true;
+      continue_ := false
+    end
+    else begin
+      let outcome, _ = execute_path st ~systematic:true in
+      let prefix =
+        Array.init st.nframes (fun i ->
+            let fr = st.frames.(i) in
+            { p_tid = fr.chosen.tid;
+              p_alt = fr.chosen.alt;
+              p_cost = fr.chosen.cost;
+              p_sleep = fr.sleep })
+      in
+      items := prefix :: !items;
+      match outcome with
+      | (P_safety _ | P_deadlock | P_divergence _) when not random_tail_active ->
+        (* Deterministic error below the split depth: the sequential DFS can
+           never get past it, so later units are unreachable. (With a random
+           tail the worker's re-roll may differ, so keep enumerating.) *)
+        continue_ := false
+      | P_stopped ->
+        timed_out := true;
+        continue_ := false
+      | _ -> if not (backtrack st) then continue_ := false
+    end
+  done;
+  (List.rev !items, !timed_out)
 
 let replay prog decisions callback =
   let run = Engine.start prog in

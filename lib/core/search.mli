@@ -18,9 +18,60 @@ val run : Search_config.t -> Program.t -> Report.t
 val state_hook : (int64 -> Engine.t -> unit) option ref
 (** Debug/analysis hook invoked on every state recorded during coverage
     collection (signature + live run). Used by tests that cross-check
-    stateless coverage against the stateful ground truth. *)
+    stateless coverage against the stateful ground truth (sequential searches
+    only — the hook is a plain global). *)
 
 val replay : Program.t -> (int * int) list -> (Engine.t -> unit) -> Report.counterexample option
 (** Re-execute a recorded schedule, invoking the callback after every
     transition; returns the re-rendered counterexample if the schedule ends
     in a failure. Used to confirm and inspect reported bugs. *)
+
+(** {1 Parallel-search seam}
+
+    The entry points below are consumed by {!Par_search}; they are exposed
+    here because the work-item representation is owned by the search (it is
+    a snapshot of its DFS stack). *)
+
+type pdecision = { p_tid : int; p_alt : int; p_cost : int; p_sleep : Fairmc_util.Bitset.t }
+(** One locked scheduling decision of a systematic work item: the chosen
+    (thread, alternative) pair, its context-switch cost (already charged
+    against the preemption budget on replay), and the sleep set the
+    sequential DFS would carry when entering this child. *)
+
+val expand :
+  ?deadline:float ->
+  Search_config.t ->
+  Program.t ->
+  split_depth:int ->
+  pdecision array list * bool
+(** Sequentially expand the systematic decision tree, cutting every path
+    after [split_depth] fresh decisions. Every explored prefix — an internal
+    frontier node or a complete shallow path — is returned as one work item,
+    in DFS order. The expansion records no statistics and no coverage:
+    workers re-execute each item from the initial state, so their merged
+    statistics equal the sequential search's exactly. The boolean is true if
+    [deadline] cut the expansion short. Enumeration stops early after a work
+    item whose shallow outcome is a deterministic error (the sequential
+    search could never reach the later items). Raises [Invalid_argument] for
+    sampling modes. *)
+
+val run_shard :
+  ?cancel:(unit -> bool) ->
+  ?deadline:float ->
+  ?rng:Fairmc_util.Rng.t ->
+  ?prefix:pdecision array ->
+  ?shared_execs:int Atomic.t ->
+  Search_config.t ->
+  Program.t ->
+  Report.t * (int64, unit) Hashtbl.t
+(** One shard of a parallel search: a systematic work item (locked
+    [prefix]; backtracking never leaves its subtree) or a sampling worker
+    (private [rng] stream, budget pre-sharded in the config). [cancel] is
+    polled together with the wall clock — at every path start and every
+    [poll_interval] steps within a path — and ends the shard with
+    [Limits_reached]. [deadline] overrides the config's relative
+    [time_limit] with an absolute timestamp shared by all shards.
+    [shared_execs] is incremented per completed path and used (instead of
+    the local count) to enforce [max_executions] across shards. Returns the
+    report together with the shard's coverage table so the caller can union
+    tables rather than sum cardinalities. *)

@@ -20,6 +20,9 @@ type t = {
   sleep_sets : bool;
   coverage : bool;
   verbose : bool;
+  jobs : int;
+  split_depth : int;
+  poll_interval : int;
 }
 
 let default =
@@ -36,7 +39,10 @@ let default =
     seed = 0x5EEDL;
     sleep_sets = false;
     coverage = false;
-    verbose = false }
+    verbose = false;
+    jobs = 1;
+    split_depth = 4;
+    poll_interval = 256 }
 
 let fair_dfs = default
 
@@ -60,8 +66,11 @@ let mode_name = function
   | Priority_random n -> Printf.sprintf "prio-random(%d)" n
 
 let describe t =
-  Printf.sprintf "%s%s%s%s"
+  Printf.sprintf "%s%s%s%s%s"
     (mode_name t.mode)
     (if t.fair then " fair" else " unfair")
     (match t.depth_bound with Some d -> Printf.sprintf " db=%d" d | None -> "")
     (if t.sleep_sets then " +sleepsets" else "")
+    (if t.jobs = 1 then ""
+     else if t.jobs <= 0 then " jobs=auto"
+     else Printf.sprintf " jobs=%d" t.jobs)

@@ -47,6 +47,18 @@ type t = {
   sleep_sets : bool;  (** sleep-set partial-order reduction (extension) *)
   coverage : bool;  (** record distinct state signatures *)
   verbose : bool;
+  jobs : int;
+      (** worker domains for {!Par_search}: 1 runs the sequential search,
+          [n > 1] runs [n] domains, [0] (or negative) uses
+          [Domain.recommended_domain_count ()] *)
+  split_depth : int;
+      (** parallel systematic search: the decision tree is expanded
+          sequentially to this depth and each frontier prefix becomes an
+          independent work item (see DESIGN.md, "Parallel search") *)
+  poll_interval : int;
+      (** steps between wall-clock/cancellation polls inside an execution
+          (rounded up to a power of two); small values tighten [time_limit]
+          overshoot on long paths at a slight cost per step *)
 }
 
 val default : t

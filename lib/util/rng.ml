@@ -22,3 +22,7 @@ let bool t = Int64.logand (next_int64 t) 1L = 1L
 let split t =
   let s = next_int64 t in
   make (Int64.logxor s 0x2545F4914F6CDD1DL)
+
+let streams t n =
+  if n < 0 then invalid_arg "Rng.streams";
+  Array.init n (fun _ -> split t)

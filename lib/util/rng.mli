@@ -19,3 +19,8 @@ val bool : t -> bool
 
 val split : t -> t
 (** A statistically independent generator; the original advances. *)
+
+val streams : t -> int -> t array
+(** [streams t n] is [n] independent generators obtained by repeated
+    [split]s. The parallel search gives each worker (or work item) its own
+    stream, so a run is reproducible for a fixed seed and stream count. *)

@@ -8,6 +8,7 @@ let () =
       ("engine", Test_engine.suite);
       ("sync", Test_sync.suite);
       ("search", Test_search.suite);
+      ("par-search", Test_par_search.suite);
       ("liveness", Test_liveness.suite);
       ("sleep-sets", Test_sleepsets.suite);
       ("statecap", Test_statecap.suite);

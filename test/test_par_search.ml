@@ -1,0 +1,132 @@
+(* Parallel-search tests: exact equivalence with the sequential search for
+   systematic modes (same verdict, execution count, transition count and
+   coverage-state count for every jobs value), reproducibility of sampling
+   modes for a fixed (seed, jobs) pair, and deterministic replay of
+   counterexamples found by workers. Runs multi-domain searches on however
+   many cores the host has — the invariants are scheduling-independent. *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let base = { Search_config.default with livelock_bound = Some 2_000 }
+
+let verdict_kind (r : Report.t) = Report.verdict_name r.verdict
+
+let cex_of (r : Report.t) =
+  match r.verdict with
+  | Report.Safety_violation { cex; _ } | Report.Deadlock { cex } | Report.Divergence { cex; _ } ->
+    Some cex
+  | Report.Verified | Report.Limits_reached -> None
+
+(* Systematic searches must be bit-for-bit equivalent: the parallel
+   decomposition re-executes every sequential path exactly once and resolves
+   errors in DFS order. *)
+let assert_systematic_equiv name cfg prog =
+  let seq = Search.run cfg prog in
+  List.iter
+    (fun jobs ->
+      let par = Par_search.run { cfg with Search_config.jobs } prog in
+      let tag fmt = Printf.sprintf "%s j=%d: %s" name jobs fmt in
+      Alcotest.(check string) (tag "verdict") (verdict_kind seq) (verdict_kind par);
+      check_int (tag "executions") seq.stats.executions par.stats.executions;
+      check_int (tag "transitions") seq.stats.transitions par.stats.transitions;
+      check_int (tag "states") seq.stats.states par.stats.states;
+      check_int (tag "max depth") seq.stats.max_depth par.stats.max_depth;
+      Alcotest.(check (option int))
+        (tag "first error execution")
+        seq.stats.first_error_execution par.stats.first_error_execution;
+      match (cex_of seq, cex_of par) with
+      | None, None -> ()
+      | Some c1, Some c2 ->
+        check (tag "identical counterexample") true (c1.decisions = c2.decisions)
+      | _ -> Alcotest.fail (tag "counterexample presence differs"))
+    [ 2; 4 ]
+
+let suite =
+  [ Alcotest.test_case "systematic: verified workload is bit-equal" `Quick (fun () ->
+        (* C(6,3) = 20 schedules; every one must be executed exactly once
+           across the workers. *)
+        let p = W.Litmus.two_step_threads ~nthreads:2 ~steps:3 in
+        assert_systematic_equiv "two-step" { base with fair = false; coverage = true } p);
+    Alcotest.test_case "systematic: coverage union equals sequential" `Quick (fun () ->
+        let p = W.Dining.coverage_program ~n:2 in
+        assert_systematic_equiv "dining-cov" { base with coverage = true } p);
+    Alcotest.test_case "systematic: deadlock found at the sequential position" `Quick
+      (fun () ->
+        let p = W.Dining.program ~n:2 W.Dining.Deadlock in
+        assert_systematic_equiv "dining-deadlock" { base with coverage = true } p);
+    Alcotest.test_case "systematic: known livelock is reproduced" `Quick (fun () ->
+        (* Figure 1 with yields: a fair nontermination below the livelock
+           bound. The divergence classification must survive the parallel
+           decomposition. *)
+        let p = W.Dining.program ~n:2 W.Dining.Try_acquire_yield in
+        assert_systematic_equiv "dining-livelock"
+          { base with livelock_bound = Some 500; coverage = true }
+          p);
+    Alcotest.test_case "systematic: cb + sleep sets stay exact" `Quick (fun () ->
+        let p = W.Wsq.program ~stealers:1 W.Wsq.Bug1 in
+        assert_systematic_equiv "wsq-bug1"
+          { base with
+            mode = Search_config.Context_bounded 2;
+            sleep_sets = true;
+            coverage = true }
+          p);
+    Alcotest.test_case "systematic: split depth does not change results" `Quick (fun () ->
+        let p = W.Dining.coverage_program ~n:2 in
+        let cfg = { base with coverage = true; jobs = 4 } in
+        let seq = Search.run { cfg with jobs = 1 } p in
+        List.iter
+          (fun split_depth ->
+            let par = Par_search.run { cfg with split_depth } p in
+            check_int
+              (Printf.sprintf "executions at split=%d" split_depth)
+              seq.stats.executions par.stats.executions;
+            check_int
+              (Printf.sprintf "states at split=%d" split_depth)
+              seq.stats.states par.stats.states)
+          [ 1; 2; 8 ]);
+    Alcotest.test_case "parallel counterexample replays deterministically" `Quick (fun () ->
+        let p = W.Litmus.race_assert () in
+        let r = Par_search.run { base with jobs = 4 } p in
+        match r.verdict with
+        | Report.Safety_violation { cex; _ } ->
+          (match Search.replay p cex.decisions (fun _ -> ()) with
+           | Some replayed -> check_int "replayed length" cex.length replayed.length
+           | None -> Alcotest.fail "replay did not reproduce the failure")
+        | _ -> Alcotest.fail "expected safety violation");
+    Alcotest.test_case "sampling: verdict matches sequential, runs reproduce" `Quick
+      (fun () ->
+        let p = W.Promise.program W.Promise.Stale_cache in
+        let cfg =
+          { base with mode = Search_config.Random_walk 100; livelock_bound = Some 300 }
+        in
+        let seq = Search.run cfg p in
+        let par () = Par_search.run { cfg with jobs = 4 } p in
+        let r1 = par () and r2 = par () in
+        Alcotest.(check string) "verdict kind" (verdict_kind seq) (verdict_kind r1);
+        (* Fixed (seed, jobs): the winning worker and its schedule are
+           deterministic even though worker timing is not. *)
+        Alcotest.(check string) "reproducible verdict" (verdict_kind r1) (verdict_kind r2);
+        (match (cex_of r1, cex_of r2) with
+         | Some c1, Some c2 -> check "identical schedule" true (c1.decisions = c2.decisions)
+         | None, None -> ()
+         | _ -> Alcotest.fail "runs disagree on finding an error"));
+    Alcotest.test_case "sampling: budget is sharded, not multiplied" `Quick (fun () ->
+        let p = W.Dining.coverage_program ~n:2 in
+        let cfg =
+          { base with mode = Search_config.Priority_random 21; coverage = true; jobs = 4 }
+        in
+        let r = Par_search.run cfg p in
+        check "no error" false (Report.found_error r);
+        check_int "21 executions total" 21 r.stats.executions);
+    Alcotest.test_case "jobs=0 resolves to the host's domain count" `Quick (fun () ->
+        check_int "auto"
+          (Domain.recommended_domain_count ())
+          (Par_search.resolve_jobs { base with jobs = 0 });
+        check_int "explicit" 3 (Par_search.resolve_jobs { base with jobs = 3 });
+        let p = W.Litmus.race_assert () in
+        let r = Par_search.run { base with jobs = 0 } p in
+        check "auto jobs still finds the bug" true (Report.found_error r)) ]
