@@ -13,8 +13,30 @@
 open Fairmc_core
 module W = Fairmc_workloads
 module SC = Fairmc_statecap
+module Json = Fairmc_util.Json
+module Metrics = Fairmc_obs.Metrics
 
 let full_budget = Sys.getenv_opt "FAIRMC_BENCH" = Some "full"
+
+(* Machine-readable results: every experiment appends records here and the
+   driver writes BENCH_PR2.json at the end (schema fairmc-bench/2). The
+   printed tables stay the human-facing output; the JSON mirrors them. *)
+let bench_records : Json.t list ref = ref []
+
+let record experiment fields =
+  bench_records := Json.Obj (("experiment", Json.Str experiment) :: fields) :: !bench_records
+
+let bench_out = "BENCH_PR2.json"
+
+let write_records () =
+  let doc =
+    Json.Obj
+      [ ("schema", Json.Str "fairmc-bench/2");
+        ("budget", Json.Str (if full_budget then "full" else "quick"));
+        ("records", Json.Arr (List.rev !bench_records)) ]
+  in
+  Json.to_file bench_out doc;
+  Printf.printf "\nmachine-readable results written to %s\n%!" bench_out
 
 (* Per-cell wall-clock budget (the paper used 5000 s; we keep the harness
    runnable in minutes and mark timed-out cells with '*'). *)
@@ -58,7 +80,12 @@ let table1 () =
       in
       line "%-24s %8d %12d %10d" p.Program.name r.stats.max_threads
         r.stats.sync_ops_per_exec
-        (r.stats.transitions - r.stats.sync_ops_per_exec))
+        (r.stats.transitions - r.stats.sync_ops_per_exec);
+      record "table1"
+        [ ("program", Json.Str p.Program.name);
+          ("threads", Json.Int r.stats.max_threads);
+          ("sync_ops", Json.Int r.stats.sync_ops_per_exec);
+          ("var_ops", Json.Int (r.stats.transitions - r.stats.sync_ops_per_exec)) ])
     programs
 
 (* ------------------------------------------------------------------ *)
@@ -80,7 +107,13 @@ let fig2 () =
       let r = Search.run cfg (W.Dining.program ~n:2 W.Dining.Try_acquire) in
       let star = if r.verdict = Report.Limits_reached then "*" else "" in
       line "%6d %15d%s %12d %7.2fs" db r.stats.depth_bound_hits star r.stats.executions
-        r.stats.elapsed)
+        r.stats.elapsed;
+      record "fig2"
+        [ ("depth_bound", Json.Int db);
+          ("nonterminating", Json.Int r.stats.depth_bound_hits);
+          ("executions", Json.Int r.stats.executions);
+          ("elapsed_seconds", Json.Float r.stats.elapsed);
+          ("timed_out", Json.Bool (r.verdict = Report.Limits_reached)) ])
     bounds
 
 (* ------------------------------------------------------------------ *)
@@ -156,7 +189,24 @@ let table2 () =
             (pp_cell (List.nth unfair 1))
             (pp_cell (List.nth unfair 2))
             (pp_cell (List.nth unfair 3))
-            (pp_cell (List.nth unfair 4)))
+            (pp_cell (List.nth unfair 4));
+          let cell_json c =
+            Json.Obj
+              [ ("states", Json.Int c.states);
+                ("seconds", Json.Float c.time);
+                ("complete", Json.Bool c.complete) ]
+          in
+          record "table2"
+            [ ("config", Json.Str config);
+              ("strategy", Json.Str strat);
+              ("total_states", Json.Int gt.states);
+              ("total_complete", Json.Bool gt.complete);
+              ("fair", cell_json fair);
+              ("unfair",
+               Json.Obj
+                 (List.map2
+                    (fun db c -> (Printf.sprintf "db=%d" db, cell_json c))
+                    depth_bounds unfair)) ])
         rows)
     (Lazy.force table2_data)
 
@@ -224,7 +274,17 @@ let table3 () =
         | Some (e, t) -> Printf.sprintf "%12d %9.2fs" e t
         | None -> Printf.sprintf "%12s %10s" "-" "-"
       in
-      line "%-14s | %s | %s" name (show (run_one true)) (show (run_one false)))
+      let fair = run_one true and unfair = run_one false in
+      line "%-14s | %s | %s" name (show fair) (show unfair);
+      let found_json = function
+        | Some (e, t) ->
+          Json.Obj [ ("executions", Json.Int e); ("seconds", Json.Float t) ]
+        | None -> Json.Null
+      in
+      record "table3"
+        [ ("bug", Json.Str name);
+          ("fair", found_json fair);
+          ("unfair", found_json unfair) ])
     (table3_bugs ())
 
 (* ------------------------------------------------------------------ *)
@@ -239,7 +299,12 @@ let liveness_demos () =
         prog
     in
     line "%-30s -> %s (executions: %d, %.2fs)" name (Report.verdict_name r.verdict)
-      r.stats.executions r.stats.elapsed
+      r.stats.executions r.stats.elapsed;
+    record "livelock"
+      [ ("program", Json.Str name);
+        ("verdict", Json.Str (Report.verdict_name r.verdict));
+        ("executions", Json.Int r.stats.executions);
+        ("elapsed_seconds", Json.Float r.stats.elapsed) ]
   in
   show "taskpool spin-shutdown (Fig 7)" (W.Taskpool.program W.Taskpool.Spin_shutdown);
   show "promise stale-cache (Fig 8)" (W.Promise.program W.Promise.Stale_cache);
@@ -266,7 +331,15 @@ let boot () =
     prog.Program.name r.stats.executions r.stats.transitions
     (Report.verdict_name r.verdict) r.stats.elapsed;
   line "threads: %d, sync ops per execution: %d" r.stats.max_threads
-    r.stats.sync_ops_per_exec
+    r.stats.sync_ops_per_exec;
+  record "boot"
+    [ ("program", Json.Str prog.Program.name);
+      ("executions", Json.Int r.stats.executions);
+      ("transitions", Json.Int r.stats.transitions);
+      ("verdict", Json.Str (Report.verdict_name r.verdict));
+      ("elapsed_seconds", Json.Float r.stats.elapsed);
+      ("threads", Json.Int r.stats.max_threads);
+      ("sync_ops_per_exec", Json.Int r.stats.sync_ops_per_exec) ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablations.                                                           *)
@@ -288,7 +361,16 @@ let ablation () =
       let prio = states { base with mode = Search_config.Priority_random 1_000 } in
       line
         "%-14s total=%d  fair-dfs=%d fair-cb2=%d  round-robin=%d random(1k)=%d apt-olderog(1k)=%d"
-        name total fair_dfs fair_cb2 rr rand prio)
+        name total fair_dfs fair_cb2 rr rand prio;
+      record "ablation"
+        [ ("kind", Json.Str "scheduler-coverage");
+          ("program", Json.Str name);
+          ("total_states", Json.Int total);
+          ("fair_dfs", Json.Int fair_dfs);
+          ("fair_cb2", Json.Int fair_cb2);
+          ("round_robin", Json.Int rr);
+          ("random_1k", Json.Int rand);
+          ("apt_olderog_1k", Json.Int prio) ])
     programs;
 
   header "Ablation: sleep-set partial-order reduction (executions to exhaust)";
@@ -310,7 +392,14 @@ let ablation () =
       line "%-22s plain=%d%s  sleep-sets=%d%s" name plain
         (if c1 then "" else "*")
         reduced
-        (if c2 then "" else "*"))
+        (if c2 then "" else "*");
+      record "ablation"
+        [ ("kind", Json.Str "sleep-sets");
+          ("program", Json.Str name);
+          ("plain_executions", Json.Int plain);
+          ("plain_complete", Json.Bool c1);
+          ("sleep_set_executions", Json.Int reduced);
+          ("sleep_set_complete", Json.Bool c2) ])
     [ ("independent 2x4", W.Litmus.two_step_threads ~nthreads:2 ~steps:4);
       ("store-buffer", W.Litmus.store_buffer ());
       ("ticket-lock", W.Litmus.ticket_lock ()) ];
@@ -323,7 +412,13 @@ let ablation () =
           (W.Dining.coverage_program ~n:2)
       in
       line "k=%d: states=%d executions=%d verdict=%s" k r.stats.states r.stats.executions
-        (Report.verdict_name r.verdict))
+        (Report.verdict_name r.verdict);
+      record "ablation"
+        [ ("kind", Json.Str "kth-yield");
+          ("k", Json.Int k);
+          ("states", Json.Int r.stats.states);
+          ("executions", Json.Int r.stats.executions);
+          ("verdict", Json.Str (Report.verdict_name r.verdict)) ])
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
@@ -364,7 +459,9 @@ let par () =
       let base_rate = ref None in
       List.iter
         (fun jobs ->
-          let r = Par_search.run { cfg with jobs } prog in
+          (* Metrics on: the per-jobs records carry the merged snapshot, which
+             is how the shard/worker balance gauges get archived. *)
+          let r = Par_search.run { cfg with jobs; metrics = true } prog in
           let rate = float_of_int r.stats.executions /. r.stats.elapsed in
           let speedup =
             match !base_rate with
@@ -377,7 +474,16 @@ let par () =
             r.stats.elapsed speedup
             (if r.verdict = Report.Limits_reached && cfg.time_limit <> None then ""
              else if Report.found_error r then " (error found)"
-             else ""))
+             else "");
+          record "par"
+            [ ("workload", Json.Str name);
+              ("jobs", Json.Int jobs);
+              ("executions", Json.Int r.stats.executions);
+              ("elapsed_seconds", Json.Float r.stats.elapsed);
+              ("execs_per_second", Json.Float rate);
+              ("speedup", Json.Float speedup);
+              ("verdict", Json.Str (Report.verdict_name r.verdict));
+              ("metrics", Metrics.Snapshot.to_json r.metrics) ])
         jobs_list)
     experiments
 
@@ -445,6 +551,8 @@ let bechamel () =
           let est =
             match Analyze.OLS.estimates result with
             | Some [ e ] ->
+              record "bechamel"
+                [ ("kernel", Json.Str name); ("ns_per_run", Json.Float e) ];
               if e > 1e6 then Printf.sprintf "%.3f ms/run" (e /. 1e6)
               else Printf.sprintf "%.0f ns/run" e
             | _ -> "n/a"
@@ -488,4 +596,5 @@ let () =
   in
   Printf.printf "fair stateless model checking — benchmark harness (%s budget)\n%!"
     (if full_budget then "full" else "quick");
-  List.iter (fun (_, f) -> f ()) selected
+  List.iter (fun (_, f) -> f ()) selected;
+  write_records ()

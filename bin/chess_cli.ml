@@ -83,6 +83,43 @@ let split_depth =
            ~doc:"Parallel systematic search: expand the decision tree \
                  sequentially to depth N and hand each subtree to a worker.")
 
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Collect the full telemetry instrument set (counters, gauges, \
+                 histograms) into the report. Off by default: collection is \
+                 zero-cost when disabled.")
+
+let stats_flag =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print the full metrics snapshot after the verdict (implies \
+                 $(b,--metrics)).")
+
+let progress_flag =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Emit a periodic progress line on stderr while searching.")
+
+let progress_interval =
+  Arg.(value & opt float 1.0
+       & info [ "progress-interval" ] ~docv:"SECONDS"
+           ~doc:"Seconds between progress lines (shared across worker domains).")
+
+let json_out =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable report (schema fairmc-report/1: \
+                 verdict, counterexample schedule, statistics, metrics) to FILE.")
+
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"When an error is found, write its schedule as a Chrome \
+                 trace_event document to FILE (load in ui.perfetto.dev or \
+                 chrome://tracing): one track per thread, yields and priority \
+                 changes as instant markers.")
+
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the one-line summary.")
 
 let save_repro =
@@ -91,7 +128,8 @@ let save_repro =
            ~doc:"When an error is found, save its schedule to FILE for $(b,chess replay).")
 
 let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound max_execs
-    time_limit seed sleep_sets coverage jobs split_depth =
+    time_limit seed sleep_sets coverage jobs split_depth metrics stats progress
+    progress_interval =
   { Search_config.default with
     mode = strategy;
     fair = not no_fair;
@@ -108,20 +146,29 @@ let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound ma
     sleep_sets;
     coverage;
     jobs;
-    split_depth }
+    split_depth;
+    metrics = metrics || stats;
+    progress;
+    progress_interval }
 
 let config_term =
   Term.(const build_config $ strategy $ no_fair $ fair_k $ depth_bound $ max_steps
         $ livelock_bound $ max_execs $ time_limit $ seed $ sleep_sets $ coverage
-        $ jobs $ split_depth)
+        $ jobs $ split_depth $ metrics_flag $ stats_flag $ progress_flag
+        $ progress_interval)
 
 let list_cmd =
   let doc = "List the built-in benchmark programs." in
   let run () =
+    Format.printf "%-28s %-14s %s@." "NAME" "EXPECTED" "DESCRIPTION";
     List.iter
       (fun (e : W.Registry.entry) ->
         Format.printf "%-28s %-14s %s@." e.name e.expected e.description)
-      (W.Registry.all ())
+      (W.Registry.all ());
+    Format.printf
+      "@.EXPECTED is the verdict a sufficiently deep search reaches: verified \
+       | safety (assertion/invariant failure) | deadlock | livelock (fair \
+       nontermination) | good-samaritan (a thread yields forever).@."
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -132,7 +179,7 @@ let check_cmd =
          & info [] ~docv:"PROGRAM"
              ~doc:"Built-in program name (see $(b,chess list)) or a ChessLang $(i,file.chess).")
   in
-  let run name cfg quiet save_repro =
+  let run name cfg quiet save_repro stats json_out trace_out =
     let program =
       if Filename.check_suffix name ".chess" then begin
         match D.load_file name with
@@ -161,6 +208,24 @@ let check_cmd =
     let report = Checker.check ~config:cfg program in
     if quiet then Format.printf "%a@." Report.pp_summary report
     else Format.printf "%a@." Report.pp report;
+    if stats then
+      Format.printf "@[<v>metrics:@,%a@]@." Fairmc_obs.Metrics.Snapshot.pp
+        report.Report.metrics;
+    (match json_out with
+     | None -> ()
+     | Some file ->
+       Fairmc_util.Json.to_file file
+         (Report.to_json ~program:program.Program.name
+            ~config:(Search_config.describe cfg) report);
+       Format.printf "report written to %s@." file);
+    (match trace_out with
+     | None -> ()
+     | Some file ->
+       (match Trace_export.of_report ~fair_k:cfg.Search_config.fair_k program report with
+        | Some doc ->
+          Fairmc_util.Json.to_file file doc;
+          Format.printf "trace written to %s (load in ui.perfetto.dev)@." file
+        | None -> Format.printf "no counterexample; no trace written@."));
     (match (save_repro, report.Report.verdict) with
      | Some file, (Report.Safety_violation { cex; _ } | Report.Deadlock { cex }
                   | Report.Divergence { cex; _ }) ->
@@ -171,7 +236,8 @@ let check_cmd =
     if Report.found_error report then exit 1
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ prog_arg $ config_term $ quiet $ save_repro)
+    Term.(const run $ prog_arg $ config_term $ quiet $ save_repro $ stats_flag
+          $ json_out $ trace_out)
 
 let load_program name =
   if Filename.check_suffix name ".chess" then

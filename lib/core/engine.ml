@@ -42,6 +42,9 @@ type t = {
   snapshotters : (Fnv.t -> Fnv.t) list;
   mutable sync_ops : int;
   mutable var_ops : int;
+  op_counts : int array;  (* transitions by Op.kind_index *)
+  mutable context_switches : int;
+  mutable last_stepped : int;  (* tid of the previous transition; -1 at boot *)
   mutable live : bool;
 }
 
@@ -147,6 +150,9 @@ let start (prog : Program.t) =
       snapshotters = c.snapshotters;
       sync_ops = 0;
       var_ops = 0;
+      op_counts = Array.make Op.n_kinds 0;
+      context_switches = 0;
+      last_stepped = -1;
       live = true }
   in
   active := Some t;
@@ -189,11 +195,16 @@ let alternatives t tid =
   | Parked p -> Op.alternatives p.op
   | Running | Finished -> 1
 
-let count_op t (op : Op.t) =
-  match op with
-  | Var_read _ | Var_write _ | Var_rmw _ -> t.var_ops <- t.var_ops + 1
-  | Choose _ -> ()
-  | _ -> t.sync_ops <- t.sync_ops + 1
+let count_op t tid (op : Op.t) =
+  (match op with
+   | Var_read _ | Var_write _ | Var_rmw _ -> t.var_ops <- t.var_ops + 1
+   | Choose _ -> ()
+   | _ -> t.sync_ops <- t.sync_ops + 1);
+  let k = Op.kind_index op in
+  t.op_counts.(k) <- t.op_counts.(k) + 1;
+  if t.last_stepped >= 0 && t.last_stepped <> tid then
+    t.context_switches <- t.context_switches + 1;
+  t.last_stepped <- tid
 
 let step t ~tid ~alt =
   if t.failure <> None then invalid_arg "Engine.step: execution already failed";
@@ -226,7 +237,7 @@ let step t ~tid ~alt =
            record_failure t tid (Sync_misuse m);
            0)
     in
-    count_op t p.op;
+    count_op t tid p.op;
     Trace.push t.trace
       { Trace.step = t.steps; tid; op = p.op; alt;
         result = result <> 0; yielded; enabled = enabled_before };
@@ -273,6 +284,8 @@ let state_signature t =
 
 let sync_ops t = t.sync_ops
 let var_ops t = t.var_ops
+let op_counts t = t.op_counts
+let context_switches t = t.context_switches
 
 let stop t =
   t.live <- false;

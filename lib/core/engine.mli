@@ -76,6 +76,14 @@ val sync_ops : t -> int
 
 val var_ops : t -> int
 
+val op_counts : t -> int array
+(** Transitions by operation kind, indexed by {!Op.kind_index}. Owned by the
+    run — callers must not mutate it; read after the run ends (the search
+    accumulates it into the metrics registry per path). *)
+
+val context_switches : t -> int
+(** Transitions whose thread differs from the previous transition's. *)
+
 val stop : t -> unit
 (** Mark the run as abandoned; parked continuations are dropped (they are
     garbage-collected; threads under test must not rely on finalizers). *)

@@ -56,12 +56,23 @@ let schedulable t ~enabled =
 
 let priority_blocked t ~enabled = B.diff enabled (schedulable t ~enabled)
 
-let step t ~chosen ~yielded ~es_before ~es_after =
+type obs = {
+  mutable edges_added : int;
+  mutable edges_removed : int;
+  mutable penalties : int;
+}
+
+let obs_create () = { edges_added = 0; edges_removed = 0; penalties = 0 }
+
+let step ?obs t ~chosen ~yielded ~es_before ~es_after =
   if chosen < 0 || chosen >= t.n then invalid_arg "Fair_sched.step: bad tid";
   let p = Array.copy t.p and e = Array.copy t.e and d = Array.copy t.d
   and s = Array.copy t.s and yc = Array.copy t.yc in
   (* Line 13: remove all edges with sink [chosen]. *)
   for u = 0 to t.n - 1 do
+    (match obs with
+     | Some o when B.mem chosen p.(u) -> o.edges_removed <- o.edges_removed + 1
+     | _ -> ());
     p.(u) <- B.remove chosen p.(u)
   done;
   (* Lines 14–22: window-set maintenance for every thread. *)
@@ -77,6 +88,11 @@ let step t ~chosen ~yielded ~es_before ~es_after =
     yc.(chosen) <- yc.(chosen) + 1;
     if yc.(chosen) >= t.k then begin
       let h = B.diff (B.union e.(chosen) d.(chosen)) s.(chosen) in
+      (match obs with
+       | Some o ->
+         o.penalties <- o.penalties + 1;
+         o.edges_added <- o.edges_added + B.cardinal (B.diff h p.(chosen))
+       | None -> ());
       p.(chosen) <- B.union p.(chosen) h;
       e.(chosen) <- es_after;
       d.(chosen) <- B.empty;
@@ -85,6 +101,13 @@ let step t ~chosen ~yielded ~es_before ~es_after =
     end
   end;
   { t with p; e; d; s; yc }
+
+let edge_count t =
+  let n = ref 0 in
+  for x = 0 to t.n - 1 do
+    n := !n + B.cardinal t.p.(x)
+  done;
+  !n
 
 let priority_pairs t =
   let acc = ref [] in

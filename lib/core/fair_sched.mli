@@ -46,7 +46,20 @@ val schedulable : t -> enabled:Fairmc_util.Bitset.t -> Fairmc_util.Bitset.t
     below another enabled thread. By Theorem 3, the result is empty iff
     [enabled] is empty. *)
 
+type obs = {
+  mutable edges_added : int;  (** edges inserted by yield penalties (line 24) *)
+  mutable edges_removed : int;  (** edges dropped when their sink is scheduled (line 13) *)
+  mutable penalties : int;  (** (k-th) yields that closed a window *)
+}
+(** Accumulator for priority-relation updates, filled by [step] when passed.
+    Counting is exact and costs a few extra bitset cardinals per step, which
+    is why it is opt-in — the observability layer passes one cell for the
+    whole search and exports it into the metrics registry. *)
+
+val obs_create : unit -> obs
+
 val step :
+  ?obs:obs ->
   t ->
   chosen:int ->
   yielded:bool ->
@@ -56,6 +69,9 @@ val step :
 (** Lines 12–29: update after [chosen] executed one transition. [yielded] is
     [yield(curr, chosen)] — whether that transition was a yield; [es_before]
     and [es_after] are the enabled sets of the states around the transition. *)
+
+val edge_count : t -> int
+(** Current size of the priority relation [P]. *)
 
 (** {1 Introspection (tests, theorems, diagnostics)} *)
 

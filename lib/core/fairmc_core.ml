@@ -18,6 +18,7 @@ module Search_config = Search_config
 module Search = Search
 module Par_search = Par_search
 module Report = Report
+module Trace_export = Trace_export
 module Checker = Checker
 module Repro = Repro
 module Indep = Indep

@@ -60,3 +60,36 @@ let pp ppf = function
   | Choose n -> Format.fprintf ppf "choose(%d)" n
 
 let to_string op = Format.asprintf "%a" pp op
+
+let kind_index = function
+  | Lock _ -> 0
+  | Try_lock _ -> 1
+  | Timed_lock _ -> 2
+  | Unlock _ -> 3
+  | Sem_wait _ -> 4
+  | Sem_try_wait _ -> 5
+  | Sem_timed_wait _ -> 6
+  | Sem_post _ -> 7
+  | Ev_wait _ -> 8
+  | Ev_timed_wait _ -> 9
+  | Ev_set _ -> 10
+  | Ev_reset _ -> 11
+  | Var_read _ -> 12
+  | Var_write _ -> 13
+  | Var_rmw _ -> 14
+  | Yield -> 15
+  | Sleep -> 16
+  | Join _ -> 17
+  | Spawn -> 18
+  | Choose _ -> 19
+
+let kind_names =
+  [| "lock"; "trylock"; "timedlock"; "unlock"; "sem_wait"; "sem_trywait";
+     "sem_timedwait"; "sem_post"; "ev_wait"; "ev_timedwait"; "ev_set"; "ev_reset";
+     "var_read"; "var_write"; "var_rmw"; "yield"; "sleep"; "join"; "spawn"; "choose" |]
+
+let n_kinds = Array.length kind_names
+
+let kind_name i =
+  if i < 0 || i >= n_kinds then invalid_arg "Op.kind_name";
+  kind_names.(i)

@@ -48,3 +48,15 @@ val alternatives : t -> int
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 Kind indexing}
+
+    Dense constructor indices for per-op-kind transition accounting: the
+    engine keeps an [int array] of length [n_kinds] and bumps
+    [kind_index op] on every step, so counting costs one array store. *)
+
+val n_kinds : int
+val kind_index : t -> int
+val kind_name : int -> string
+(** Lowercase stable name ("lock", "trylock", ..., "choose"); raises
+    [Invalid_argument] outside [0, n_kinds). *)

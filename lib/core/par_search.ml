@@ -31,6 +31,9 @@
 
 module C = Search_config
 module Rng = Fairmc_util.Rng
+module M = Fairmc_obs.Metrics
+module Clock = Fairmc_obs.Clock
+module Progress = Fairmc_obs.Progress
 
 let resolve_jobs (cfg : C.t) =
   if cfg.jobs = 1 then 1
@@ -43,6 +46,8 @@ let zero_stats =
     states = 0;
     nonterminating = 0;
     depth_bound_hits = 0;
+    sleep_set_prunes = 0;
+    yields = 0;
     max_depth = 0;
     elapsed = 0.;
     first_error_execution = None;
@@ -59,25 +64,29 @@ let rec note_error stop k =
 let deadline_of t0 (cfg : C.t) =
   match cfg.time_limit with None -> infinity | Some l -> t0 +. l
 
-(* Sum counters, max the maxima, union the coverage tables. *)
+(* Sum counters, max the maxima, union the coverage tables, and merge the
+   per-shard metrics snapshots (counters add, gauges max — see Metrics). *)
 let merge_parts parts =
   let tbl = Hashtbl.create 4096 in
-  let stats =
+  let stats, metrics =
     List.fold_left
-      (fun acc ((r : Report.t), part_tbl) ->
+      (fun (acc, ms) ((r : Report.t), part_tbl) ->
         let s = r.Report.stats in
         Hashtbl.iter (fun k () -> Hashtbl.replace tbl k ()) part_tbl;
-        { acc with
-          Report.executions = acc.Report.executions + s.executions;
-          transitions = acc.transitions + s.transitions;
-          nonterminating = acc.nonterminating + s.nonterminating;
-          depth_bound_hits = acc.depth_bound_hits + s.depth_bound_hits;
-          max_depth = max acc.max_depth s.max_depth;
-          sync_ops_per_exec = max acc.sync_ops_per_exec s.sync_ops_per_exec;
-          max_threads = max acc.max_threads s.max_threads })
-      zero_stats parts
+        ( { acc with
+            Report.executions = acc.Report.executions + s.executions;
+            transitions = acc.transitions + s.transitions;
+            nonterminating = acc.nonterminating + s.nonterminating;
+            depth_bound_hits = acc.depth_bound_hits + s.depth_bound_hits;
+            sleep_set_prunes = acc.sleep_set_prunes + s.sleep_set_prunes;
+            yields = acc.yields + s.yields;
+            max_depth = max acc.max_depth s.max_depth;
+            sync_ops_per_exec = max acc.sync_ops_per_exec s.sync_ops_per_exec;
+            max_threads = max acc.max_threads s.max_threads },
+          M.Snapshot.merge ms r.Report.metrics ))
+      (zero_stats, M.Snapshot.empty) parts
   in
-  { stats with Report.states = Hashtbl.length tbl }
+  ({ stats with Report.states = Hashtbl.length tbl }, metrics)
 
 (* Run [worker 0 .. worker (jobs-1)], workers 1.. on fresh domains and
    worker 0 inline on the calling domain (each worker drives its own engine
@@ -87,12 +96,16 @@ let spawn_workers ~jobs worker =
   worker 0;
   Array.iter Domain.join domains
 
+let us_since t0 = int_of_float ((Clock.now () -. t0) *. 1e6)
+
 let run_systematic (cfg : C.t) prog ~jobs =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let deadline = deadline_of t0 cfg in
+  let progress = Search.progress_of_cfg cfg in
   let items, expand_timed_out =
     Search.expand ~deadline cfg prog ~split_depth:cfg.split_depth
   in
+  let expand_us = us_since t0 in
   let items = Array.of_list items in
   let n = Array.length items in
   (* Per-item RNG streams: random tails (unfair depth-bounded search) draw
@@ -103,28 +116,73 @@ let run_systematic (cfg : C.t) prog ~jobs =
   let stop = Atomic.make max_int in
   let cursor = Atomic.make 0 in
   let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make n None in
-  let worker _i =
+  (* Run-dependent shard telemetry: each worker writes only its own slot;
+     [Domain.join] publishes the writes. The cancellation latency is the gap
+     between the winning error being posted and any shard first observing it. *)
+  let busy_us = Array.make jobs 0 in
+  let w_items = Array.make jobs 0 in
+  let w_execs = Array.make jobs 0 in
+  let stop_at_us = Atomic.make 0 in
+  let cancel_seen_us = Atomic.make 0 in
+  let worker i =
+    let w0 = Clock.now () in
     let rec loop () =
       let k = Atomic.fetch_and_add cursor 1 in
       if k < n then begin
         (* Items above the winner will not be merged; skip them outright. *)
         if Atomic.get stop > k then begin
+          let cancel () =
+            let c = Atomic.get stop < k in
+            if c && Atomic.get cancel_seen_us = 0 then
+              ignore (Atomic.compare_and_set cancel_seen_us 0 (us_since t0));
+            c
+          in
           let r, tbl =
-            Search.run_shard
-              ~cancel:(fun () -> Atomic.get stop < k)
-              ~deadline ~rng:streams.(k) ~prefix:items.(k) ~shared_execs cfg prog
+            Search.run_shard ~cancel ~deadline ~rng:streams.(k) ~prefix:items.(k)
+              ~shared_execs ?progress cfg prog
           in
           results.(k) <- Some (r, tbl);
-          if Report.found_error r then note_error stop k
+          w_items.(i) <- w_items.(i) + 1;
+          w_execs.(i) <- w_execs.(i) + r.Report.stats.Report.executions;
+          if Report.found_error r then begin
+            note_error stop k;
+            if Atomic.get stop_at_us = 0 then
+              ignore (Atomic.compare_and_set stop_at_us 0 (us_since t0))
+          end
         end;
         loop ()
       end
     in
-    loop ()
+    loop ();
+    busy_us.(i) <- us_since w0
   in
   spawn_workers ~jobs worker;
   let winner = Atomic.get stop in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Clock.now () -. t0 in
+  (match progress with
+   | None -> ()
+   | Some p ->
+     Progress.force p (fun () ->
+         { Progress.executions = Atomic.get shared_execs; elapsed; jobs; phase = "search" }));
+  (* Shard-layout telemetry rides along as gauges only when metrics were
+     requested — gauges never feed the jobs-determinism guarantee. *)
+  let add_par_gauges metrics =
+    if not cfg.C.metrics then metrics
+    else begin
+      let m = ref metrics in
+      let g name v = m := M.Snapshot.with_gauge !m name v in
+      g "par/jobs" jobs;
+      g "par/items" n;
+      g "par/expand_us" expand_us;
+      g "par/search_us" (int_of_float (elapsed *. 1e6));
+      Array.iteri (fun i v -> g (Printf.sprintf "par/worker%d/busy_us" i) v) busy_us;
+      Array.iteri (fun i v -> g (Printf.sprintf "par/worker%d/items" i) v) w_items;
+      Array.iteri (fun i v -> g (Printf.sprintf "par/worker%d/executions" i) v) w_execs;
+      let posted = Atomic.get stop_at_us and seen = Atomic.get cancel_seen_us in
+      if posted > 0 && seen >= posted then g "par/cancel_latency_us" (seen - posted);
+      !m
+    end
+  in
   if winner < n then begin
     (* Sequential equivalence: the search would have explored items
        [0..winner-1] in full, then stopped inside [winner]. Items below the
@@ -138,7 +196,7 @@ let run_systematic (cfg : C.t) prog ~jobs =
       | None -> ()
     done;
     let win_r, win_tbl = Option.get results.(winner) in
-    let stats = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
+    let stats, metrics = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
     let ws = win_r.Report.stats in
     { Report.verdict = win_r.Report.verdict;
       stats =
@@ -146,22 +204,27 @@ let run_systematic (cfg : C.t) prog ~jobs =
           Report.elapsed;
           first_error_execution =
             Option.map (fun e -> !prior_execs + e) ws.Report.first_error_execution;
-          first_error_time = ws.Report.first_error_time } }
+          first_error_time = ws.Report.first_error_time };
+      metrics = add_par_gauges metrics }
   end
   else begin
     let parts = List.filter_map Fun.id (Array.to_list results) in
-    let stats = { (merge_parts parts) with Report.elapsed } in
+    let stats, metrics = merge_parts parts in
+    let stats = { stats with Report.elapsed } in
     let limited =
       expand_timed_out
       || Array.length items > List.length parts
       || List.exists (fun ((r : Report.t), _) -> r.Report.verdict = Report.Limits_reached) parts
     in
-    { Report.verdict = (if limited then Report.Limits_reached else Report.Verified); stats }
+    { Report.verdict = (if limited then Report.Limits_reached else Report.Verified);
+      stats;
+      metrics = add_par_gauges metrics }
   end
 
 let run_sampling (cfg : C.t) prog ~jobs =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let deadline = deadline_of t0 cfg in
+  let progress = Search.progress_of_cfg cfg in
   let budget, with_budget =
     match cfg.mode with
     | C.Random_walk n -> (n, fun m -> C.Random_walk m)
@@ -179,15 +242,24 @@ let run_sampling (cfg : C.t) prog ~jobs =
     let r, tbl =
       Search.run_shard
         ~cancel:(fun () -> Atomic.get stop < i)
-        ~deadline ~rng:streams.(i) ~shared_execs cfg_i prog
+        ~deadline ~rng:streams.(i) ~shared_execs ?progress cfg_i prog
     in
     results.(i) <- Some (r, tbl);
     if Report.found_error r then note_error stop i
   in
   spawn_workers ~jobs worker;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Clock.now () -. t0 in
+  (match progress with
+   | None -> ()
+   | Some p ->
+     Progress.force p (fun () ->
+         { Progress.executions = Atomic.get shared_execs; elapsed; jobs; phase = "search" }));
   let parts = List.filter_map Fun.id (Array.to_list results) in
-  let stats = { (merge_parts parts) with Report.elapsed } in
+  let stats, metrics = merge_parts parts in
+  let stats = { stats with Report.elapsed } in
+  let metrics =
+    if cfg.C.metrics then M.Snapshot.with_gauge metrics "par/jobs" jobs else metrics
+  in
   match Atomic.get stop with
   | w when w < jobs ->
     let win_r, _ = Option.get results.(w) in
@@ -198,8 +270,9 @@ let run_sampling (cfg : C.t) prog ~jobs =
           (* Shard-local: the winner's position in its own stream. A global
              execution index is not well defined across streams. *)
           Report.first_error_execution = ws.Report.first_error_execution;
-          first_error_time = ws.Report.first_error_time } }
-  | _ -> { Report.verdict = Report.Limits_reached; stats }
+          first_error_time = ws.Report.first_error_time };
+      metrics }
+  | _ -> { Report.verdict = Report.Limits_reached; stats; metrics }
 
 let run (cfg : C.t) prog =
   let jobs = resolve_jobs cfg in

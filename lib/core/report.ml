@@ -1,3 +1,5 @@
+module Json = Fairmc_util.Json
+
 type counterexample = {
   rendered : string;
   decisions : (int * int) list;
@@ -21,6 +23,8 @@ type stats = {
   states : int;
   nonterminating : int;
   depth_bound_hits : int;
+  sleep_set_prunes : int;
+  yields : int;
   max_depth : int;
   elapsed : float;
   first_error_execution : int option;
@@ -29,7 +33,11 @@ type stats = {
   max_threads : int;
 }
 
-type t = { verdict : verdict; stats : stats }
+type t = {
+  verdict : verdict;
+  stats : stats;
+  metrics : Fairmc_obs.Metrics.Snapshot.t;
+}
 
 let found_error t =
   match t.verdict with
@@ -45,18 +53,29 @@ let verdict_name = function
     Printf.sprintf "good-samaritan violation (thread %d)" t
   | Limits_reached -> "limits reached"
 
+let cex t =
+  match t.verdict with
+  | Safety_violation { cex; _ } | Deadlock { cex } | Divergence { cex; _ } -> Some cex
+  | Verified | Limits_reached -> None
+
+let execs_per_sec s =
+  if s.elapsed > 0. then float_of_int s.executions /. s.elapsed else 0.
+
 let pp_stats ppf s =
   Format.fprintf ppf
-    "executions: %d, transitions: %d%s%s%s, max depth: %d, elapsed: %.3fs"
+    "executions: %d, transitions: %d%s%s%s%s, max depth: %d, elapsed: %.3fs"
     s.executions s.transitions
     (if s.states > 0 then Printf.sprintf ", states: %d" s.states else "")
     (if s.nonterminating > 0 then Printf.sprintf ", nonterminating: %d" s.nonterminating else "")
     (if s.depth_bound_hits > 0 then Printf.sprintf ", depth-bound hits: %d" s.depth_bound_hits
      else "")
+    (if s.sleep_set_prunes > 0 then Printf.sprintf ", sleep-set prunes: %d" s.sleep_set_prunes
+     else "")
     s.max_depth s.elapsed
 
 let pp_summary ppf t =
-  Format.fprintf ppf "%s (%a)" (verdict_name t.verdict) pp_stats t.stats
+  Format.fprintf ppf "%s (%a, %.0f execs/s)" (verdict_name t.verdict) pp_stats t.stats
+    (execs_per_sec t.stats)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>result: %s@,%a@]" (verdict_name t.verdict) pp_stats t.stats;
@@ -71,3 +90,64 @@ let pp ppf t =
   match cex with
   | None -> ()
   | Some cex -> Format.fprintf ppf "@,@[<v>counterexample (%d steps):@,%s@]" cex.length cex.rendered
+
+(* ------------------------------------------------------------------ *)
+(* JSON export.                                                        *)
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+let opt_float = function None -> Json.Null | Some f -> Json.Float f
+
+let stats_to_json s =
+  Json.Obj
+    [ ("executions", Json.Int s.executions);
+      ("transitions", Json.Int s.transitions);
+      ("states", Json.Int s.states);
+      ("nonterminating", Json.Int s.nonterminating);
+      ("depth_bound_hits", Json.Int s.depth_bound_hits);
+      ("sleep_set_prunes", Json.Int s.sleep_set_prunes);
+      ("yields", Json.Int s.yields);
+      ("max_depth", Json.Int s.max_depth);
+      ("elapsed_seconds", Json.Float s.elapsed);
+      ("executions_per_second", Json.Float (execs_per_sec s));
+      ("first_error_execution", opt_int s.first_error_execution);
+      ("first_error_seconds", opt_float s.first_error_time);
+      ("sync_ops_per_exec", Json.Int s.sync_ops_per_exec);
+      ("max_threads", Json.Int s.max_threads) ]
+
+let cex_to_json (c : counterexample) =
+  Json.Obj
+    [ ("length", Json.Int c.length);
+      ("decisions",
+       Json.Arr (List.map (fun (tid, alt) -> Json.Arr [ Json.Int tid; Json.Int alt ]) c.decisions)) ]
+
+let verdict_to_json v =
+  let kind, extra =
+    match v with
+    | Verified -> ("verified", [])
+    | Limits_reached -> ("limits_reached", [])
+    | Safety_violation { tid; failure; cex } ->
+      ( "safety_violation",
+        [ ("tid", Json.Int tid);
+          ("failure", Json.Str (Format.asprintf "%a" Engine.pp_failure failure));
+          ("counterexample", cex_to_json cex) ] )
+    | Deadlock { cex } -> ("deadlock", [ ("counterexample", cex_to_json cex) ])
+    | Divergence { kind; cex } ->
+      ( "divergence",
+        [ ("divergence_kind",
+           match kind with
+           | Fair_nontermination -> Json.Str "fair_nontermination"
+           | Good_samaritan_violation t ->
+             Json.Obj [ ("good_samaritan_violation", Json.Int t) ]);
+          ("counterexample", cex_to_json cex) ] )
+  in
+  Json.Obj (("kind", Json.Str kind) :: extra)
+
+let to_json ?program ?config t =
+  let opt_str name v = match v with None -> [] | Some s -> [ (name, Json.Str s) ] in
+  Json.Obj
+    ([ ("schema", Json.Str "fairmc-report/1") ]
+     @ opt_str "program" program
+     @ opt_str "config" config
+     @ [ ("verdict", verdict_to_json t.verdict);
+         ("stats", stats_to_json t.stats);
+         ("metrics", Fairmc_obs.Metrics.Snapshot.to_json t.metrics) ])

@@ -1,4 +1,4 @@
-(** Search results: verdicts, counterexamples, statistics. *)
+(** Search results: verdicts, counterexamples, statistics, metrics. *)
 
 type counterexample = {
   rendered : string;  (** pretty-printed trace (tail for divergences) *)
@@ -27,6 +27,8 @@ type stats = {
   states : int;  (** distinct state signatures, when coverage is enabled *)
   nonterminating : int;  (** executions that hit the hard step cap *)
   depth_bound_hits : int;  (** paths pruned at the depth bound (Figure 2) *)
+  sleep_set_prunes : int;  (** paths cut because sleep sets emptied the node *)
+  yields : int;  (** yielding transitions executed across all paths *)
   max_depth : int;
   elapsed : float;
   first_error_execution : int option;
@@ -35,9 +37,26 @@ type stats = {
   max_threads : int;
 }
 
-type t = { verdict : verdict; stats : stats }
+type t = {
+  verdict : verdict;
+  stats : stats;
+  metrics : Fairmc_obs.Metrics.Snapshot.t;
+      (** full instrument snapshot; {!Fairmc_obs.Metrics.Snapshot.empty}
+          unless [Search_config.metrics] was set *)
+}
 
 val found_error : t -> bool
 val verdict_name : verdict -> string
+val cex : t -> counterexample option
+(** The counterexample, for erroring verdicts. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_summary : Format.formatter -> t -> unit
+
+val stats_to_json : stats -> Fairmc_util.Json.t
+
+val to_json : ?program:string -> ?config:string -> t -> Fairmc_util.Json.t
+(** The machine-readable report document ([chess check --json]): schema tag,
+    program/config labels when given, verdict (with the replayable decision
+    list of the counterexample, not its rendering), stats, and the metrics
+    snapshot. *)

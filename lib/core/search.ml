@@ -1,6 +1,8 @@
 module B = Fairmc_util.Bitset
 module Rng = Fairmc_util.Rng
 module C = Search_config
+module Obs = Fairmc_obs
+module M = Fairmc_obs.Metrics
 
 type alt = { tid : int; alt : int; cost : int }
 
@@ -29,6 +31,42 @@ type path_end =
   | P_stopped  (* wall-clock budget exhausted or cancelled by a peer *)
   | P_frontier  (* parallel expansion: the split depth was reached *)
 
+(* Pre-registered instruments: registered once per search (or shard), so hot
+   paths pay a single [option] branch plus a mutable store per event. Only
+   allocated when [cfg.metrics] is set — with observability off, [meters] is
+   [None] and no registry exists (see DESIGN.md, "Observability"). *)
+type meters = {
+  reg : M.t;
+  m_replay_steps : M.counter;  (* prefix decisions re-applied after backtrack *)
+  m_fresh_steps : M.counter;  (* new systematic decision points *)
+  m_sampled_steps : M.counter;  (* random-walk / rr / prio / random-tail steps *)
+  m_path_len : M.histogram;  (* steps per execution *)
+  m_sched_size : M.histogram;  (* |T| at each scheduling point *)
+  m_e_size : M.histogram;  (* chosen thread's E window after its step *)
+  m_d_size : M.histogram;
+  m_s_size : M.histogram;
+  m_pri_edges : M.gauge;  (* peak |P| *)
+  m_ops : M.counter array;  (* per Op.kind transition counts *)
+  m_ctx_switches : M.counter;
+  m_fair_obs : Fair_sched.obs;  (* priority-relation update accounting *)
+}
+
+let make_meters () =
+  let reg = M.create () in
+  { reg;
+    m_replay_steps = M.counter reg "search/steps/replay";
+    m_fresh_steps = M.counter reg "search/steps/fresh";
+    m_sampled_steps = M.counter reg "search/steps/sampled";
+    m_path_len = M.histogram reg "search/path_length";
+    m_sched_size = M.histogram reg "sched/schedulable_size";
+    m_e_size = M.histogram reg "sched/window/e_size";
+    m_d_size = M.histogram reg "sched/window/d_size";
+    m_s_size = M.histogram reg "sched/window/s_size";
+    m_pri_edges = M.gauge reg "sched/priority_edges_peak";
+    m_ops = Array.init Op.n_kinds (fun k -> M.counter reg ("engine/op/" ^ Op.kind_name k));
+    m_ctx_switches = M.counter reg "engine/context_switches";
+    m_fair_obs = Fair_sched.obs_create () }
+
 type state = {
   cfg : C.t;
   prog : Program.t;
@@ -42,10 +80,14 @@ type state = {
   cancel : unit -> bool;
   shared_execs : int Atomic.t option;  (* cross-domain execution counter *)
   frontier_at : int;  (* cut fresh decisions at this depth; [max_int] = never *)
+  meters : meters option;
+  progress : Obs.Progress.t option;
   mutable executions : int;
   mutable transitions : int;
   mutable nonterminating : int;
   mutable depth_bound_hits : int;
+  mutable sleep_set_prunes : int;
+  mutable yields : int;
   mutable max_depth : int;
   mutable first_error_execution : int option;
   mutable first_error_time : float option;
@@ -64,12 +106,44 @@ let push_frame st fr =
   st.frames.(st.nframes) <- fr;
   st.nframes <- st.nframes + 1
 
-let elapsed st = Unix.gettimeofday () -. st.t0
+(* All elapsed-time accounting funnels through the one (monotonic-ish) clock
+   of the observability layer; [t0] is captured from it too, so [elapsed]
+   cannot go negative and deadline checks cannot flap under clock steps. *)
+let elapsed st = Obs.Clock.elapsed ~since:st.t0
 
-let out_of_time st = Unix.gettimeofday () > st.deadline
+let out_of_time st = Obs.Clock.now () > st.deadline
 
 (* Cancellation (parallel first-error-wins) is folded into the same poll. *)
 let stopped st = out_of_time st || st.cancel ()
+
+let progress_sample st () =
+  { Obs.Progress.executions =
+      (match st.shared_execs with Some c -> Atomic.get c | None -> st.executions);
+    elapsed = elapsed st;
+    jobs = max 1 st.cfg.C.jobs;
+    phase = "search" }
+
+let maybe_tick st =
+  match st.progress with
+  | None -> ()
+  | Some p -> Obs.Progress.tick p (progress_sample st)
+
+(* Poll points share one clock read: tick the progress reporter, then check
+   the deadline and the peer-cancellation flag. *)
+let poll st =
+  maybe_tick st;
+  stopped st
+
+(* The sinks of a search's progress reporter; [None] when progress reporting
+   is off. The parallel search builds this once and shares it across shards
+   so the emission throttle is search-wide. *)
+let progress_of_cfg (cfg : C.t) =
+  let sinks =
+    (if cfg.C.progress then [ Obs.Progress.stderr_sink ] else [])
+    @ (match cfg.C.on_progress with Some f -> [ f ] | None -> [])
+  in
+  if sinks = [] then None
+  else Some (Obs.Progress.create ~interval:cfg.C.progress_interval ~sinks ())
 
 let mask_of_interval n =
   let n = max 1 n in
@@ -77,14 +151,14 @@ let mask_of_interval n =
   go 1
 
 let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
-    ?shared_execs ?(frontier_at = max_int) (cfg : C.t) prog =
+    ?shared_execs ?(frontier_at = max_int) ?progress (cfg : C.t) prog =
   let deadline =
     match deadline with
     | Some d -> d
     | None ->
       (match cfg.time_limit with
        | None -> infinity
-       | Some l -> Unix.gettimeofday () +. l)
+       | Some l -> Obs.Clock.now () +. l)
   in
   let nprefix = Array.length prefix in
   let frames = Array.make (max 64 nprefix) dummy_frame in
@@ -101,16 +175,20 @@ let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
     nframes = nprefix;
     states = Hashtbl.create 4096;
     rng = (match rng with Some r -> r | None -> Rng.make cfg.seed);
-    t0 = Unix.gettimeofday ();
+    t0 = Obs.Clock.now ();
     deadline;
     poll_mask = mask_of_interval cfg.poll_interval;
     cancel;
     shared_execs;
     frontier_at;
+    meters = (if cfg.metrics then Some (make_meters ()) else None);
+    progress;
     executions = 0;
     transitions = 0;
     nonterminating = 0;
     depth_bound_hits = 0;
+    sleep_set_prunes = 0;
+    yields = 0;
     max_depth = 0;
     first_error_execution = None;
     first_error_time = None;
@@ -254,10 +332,21 @@ let execute_path st ~systematic =
     done;
     if cfg.fair then begin
       let es_after = Engine.enabled_set run in
-      fair := Fair_sched.step !fair ~chosen:a.tid ~yielded ~es_before ~es_after
+      (match st.meters with
+       | None -> fair := Fair_sched.step !fair ~chosen:a.tid ~yielded ~es_before ~es_after
+       | Some m ->
+         fair :=
+           Fair_sched.step ~obs:m.m_fair_obs !fair ~chosen:a.tid ~yielded ~es_before
+             ~es_after;
+         M.set_max m.m_pri_edges (Fair_sched.edge_count !fair);
+         let e, d, s = Fair_sched.sets !fair ~tid:a.tid in
+         M.observe m.m_e_size (B.cardinal e);
+         M.observe m.m_d_size (B.cardinal d);
+         M.observe m.m_s_size (B.cardinal s))
     end;
     last := a.tid;
     last_yielded := yielded;
+    if yielded then st.yields <- st.yields + 1;
     st.transitions <- st.transitions + 1;
     st.max_depth <- max st.max_depth (Engine.steps run);
     record_state st run
@@ -304,18 +393,23 @@ let execute_path st ~systematic =
           if cfg.fair && steps >= livelock_bound then
             P_divergence (classify_divergence st run)
           else if steps >= cfg.max_steps then P_nonterminating
-          else if steps land st.poll_mask = st.poll_mask && stopped st then P_stopped
+          else if steps land st.poll_mask = st.poll_mask && poll st then P_stopped
           else begin
             let tset = if cfg.fair then Fair_sched.schedulable !fair ~enabled:es else es in
             (* Theorem 3: T is empty iff ES is empty. *)
             assert (not (B.is_empty tset));
+            (match st.meters with
+             | Some m -> M.observe m.m_sched_size (B.cardinal tset)
+             | None -> ());
             if systematic && !depth < st.nframes then begin
+              (match st.meters with Some m -> M.incr m.m_replay_steps | None -> ());
               let fr = st.frames.(!depth) in
               incr depth;
               apply fr.chosen;
               loop ()
             end
             else if not systematic then begin
+              (match st.meters with Some m -> M.incr m.m_sampled_steps | None -> ());
               apply (sample tset);
               loop ()
             end
@@ -334,6 +428,7 @@ let execute_path st ~systematic =
                   crossed_db := true
                 end;
                 if cfg.random_tail then begin
+                  (match st.meters with Some m -> M.incr m.m_sampled_steps | None -> ());
                   apply (random_from tset);
                   loop ()
                 end
@@ -346,12 +441,14 @@ let execute_path st ~systematic =
                 with
                 | [] ->
                   (* everything pruned by sleep sets *)
+                  st.sleep_set_prunes <- st.sleep_set_prunes + 1;
                   if Sys.getenv_opt "FAIRMC_DEBUG" <> None then
                     Format.eprintf
                       "PRUNE: depth=%d nframes=%d steps=%d tset=%a last=%d budget=%d@."
                       !depth st.nframes steps B.pp tset !last !budget;
                   P_pruned
                 | a :: rest ->
+                  (match st.meters with Some m -> M.incr m.m_fresh_steps | None -> ());
                   push_frame st { chosen = a; rest; sleep = !pending_sleep };
                   incr depth;
                   apply a;
@@ -403,12 +500,39 @@ let stats_of st =
     states = Hashtbl.length st.states;
     nonterminating = st.nonterminating;
     depth_bound_hits = st.depth_bound_hits;
+    sleep_set_prunes = st.sleep_set_prunes;
+    yields = st.yields;
     max_depth = st.max_depth;
     elapsed = elapsed st;
     first_error_execution = st.first_error_execution;
     first_error_time = st.first_error_time;
     sync_ops_per_exec = st.sync_ops_per_exec;
     max_threads = st.max_threads }
+
+(* Export the plain search statistics and the fair-scheduler accounting into
+   the registry, then snapshot it. Derived quantities that depend on wall
+   time or on the shard layout are gauges, never counters — the counter
+   slice of a snapshot is deterministic across [jobs] (tested). *)
+let metrics_of st =
+  match st.meters with
+  | None -> M.Snapshot.empty
+  | Some m ->
+    let c name v = M.add (M.counter m.reg name) v in
+    c "search/executions" st.executions;
+    c "search/transitions" st.transitions;
+    c "search/nonterminating" st.nonterminating;
+    c "search/prunes/depth_bound" st.depth_bound_hits;
+    c "search/prunes/sleep_set" st.sleep_set_prunes;
+    c "sched/yields" st.yields;
+    c "sched/priority_edges_added" m.m_fair_obs.Fair_sched.edges_added;
+    c "sched/priority_edges_removed" m.m_fair_obs.Fair_sched.edges_removed;
+    c "sched/priority_penalties" m.m_fair_obs.Fair_sched.penalties;
+    let g name v = M.set_max (M.gauge m.reg name) v in
+    g "search/max_depth" st.max_depth;
+    g "search/max_threads" st.max_threads;
+    g "search/states" (Hashtbl.length st.states);
+    g "time/shard_busy_us" (int_of_float (elapsed st *. 1e6));
+    M.snapshot m.reg
 
 let is_systematic (cfg : C.t) =
   match cfg.mode with
@@ -432,11 +556,18 @@ let run_loop st =
   while !verdict = None do
     (* Poll the wall clock and the peer-cancellation flag at every path
        start, so short time budgets cannot overshoot by a whole path. *)
-    if stopped st then verdict := Some Report.Limits_reached
+    if poll st then verdict := Some Report.Limits_reached
     else begin
       let outcome, run_ = execute_path st ~systematic in
       st.executions <- st.executions + 1;
       (match st.shared_execs with Some c -> Atomic.incr c | None -> ());
+      (match st.meters with
+       | None -> ()
+       | Some m ->
+         let ops = Engine.op_counts run_ in
+         Array.iteri (fun k n -> if n > 0 then M.add m.m_ops.(k) n) ops;
+         M.add m.m_ctx_switches (Engine.context_switches run_);
+         M.observe m.m_path_len (Trace.length (Engine.trace run_)));
       (match outcome with
        | P_terminated | P_pruned -> ()
        | P_frontier -> assert false  (* only produced under [expand] *)
@@ -471,16 +602,21 @@ let run_loop st =
       end
     end
   done;
-  { Report.verdict = Option.get !verdict; stats = stats_of st }
+  { Report.verdict = Option.get !verdict; stats = stats_of st; metrics = metrics_of st }
 
-let run cfg prog = run_loop (make_state cfg prog)
+let run cfg prog =
+  let progress = progress_of_cfg cfg in
+  let st = make_state ?progress cfg prog in
+  let report = run_loop st in
+  (match progress with None -> () | Some p -> Obs.Progress.force p (progress_sample st));
+  report
 
 (* One shard of a parallel search: either a sampling worker (custom [rng]
    stream, sharded budget already folded into [cfg]) or a systematic work
    item (locked [prefix]). Returns the coverage table alongside the report so
    Par_search can union tables rather than summing cardinalities. *)
-let run_shard ?cancel ?deadline ?rng ?prefix ?shared_execs cfg prog =
-  let st = make_state ?cancel ?deadline ?rng ?prefix ?shared_execs cfg prog in
+let run_shard ?cancel ?deadline ?rng ?prefix ?shared_execs ?progress cfg prog =
+  let st = make_state ?cancel ?deadline ?rng ?prefix ?shared_execs ?progress cfg prog in
   (run_loop st, st.states)
 
 (* Sequentially expand the systematic decision tree, cutting every path at
@@ -492,7 +628,7 @@ let run_shard ?cancel ?deadline ?rng ?prefix ?shared_execs cfg prog =
 let expand ?deadline cfg prog ~split_depth =
   let st =
     make_state ?deadline ~frontier_at:(max 1 split_depth)
-      { cfg with C.coverage = false }
+      { cfg with C.coverage = false; metrics = false; progress = false; on_progress = None }
       prog
   in
   if not (is_systematic cfg) then invalid_arg "Search.expand: sampling mode";

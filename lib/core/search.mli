@@ -55,12 +55,19 @@ val expand :
     search could never reach the later items). Raises [Invalid_argument] for
     sampling modes. *)
 
+val progress_of_cfg : Search_config.t -> Fairmc_obs.Progress.t option
+(** Build the progress reporter requested by the config ([progress] flag and
+    [on_progress] callback), or [None] if neither is set. {!Par_search}
+    creates one and shares it across all worker shards so the interval
+    throttle is search-wide. *)
+
 val run_shard :
   ?cancel:(unit -> bool) ->
   ?deadline:float ->
   ?rng:Fairmc_util.Rng.t ->
   ?prefix:pdecision array ->
   ?shared_execs:int Atomic.t ->
+  ?progress:Fairmc_obs.Progress.t ->
   Search_config.t ->
   Program.t ->
   Report.t * (int64, unit) Hashtbl.t

@@ -23,6 +23,10 @@ type t = {
   jobs : int;
   split_depth : int;
   poll_interval : int;
+  metrics : bool;
+  progress : bool;
+  progress_interval : float;
+  on_progress : (Fairmc_obs.Progress.sample -> unit) option;
 }
 
 let default =
@@ -42,7 +46,11 @@ let default =
     verbose = false;
     jobs = 1;
     split_depth = 4;
-    poll_interval = 256 }
+    poll_interval = 256;
+    metrics = false;
+    progress = false;
+    progress_interval = 1.0;
+    on_progress = None }
 
 let fair_dfs = default
 

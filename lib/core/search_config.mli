@@ -59,6 +59,18 @@ type t = {
       (** steps between wall-clock/cancellation polls inside an execution
           (rounded up to a power of two); small values tighten [time_limit]
           overshoot on long paths at a slight cost per step *)
+  metrics : bool;
+      (** collect the full instrument set into {!Report.t.metrics}. Off by
+          default: when off, no registry exists and the hot paths pay one
+          branch per site (see DESIGN.md, "Observability"). *)
+  progress : bool;  (** emit a periodic progress line on stderr *)
+  progress_interval : float;
+      (** seconds between progress emissions (shared across worker domains);
+          0 emits at every poll point *)
+  on_progress : (Fairmc_obs.Progress.sample -> unit) option;
+      (** user callback, driven by the same poll points as [progress]. Under
+          parallel search it is invoked from worker domains (at most one
+          emission per interval search-wide) and must be thread-safe. *)
 }
 
 val default : t

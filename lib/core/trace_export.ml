@@ -1,0 +1,80 @@
+module B = Fairmc_util.Bitset
+module Json = Fairmc_util.Json
+module TE = Fairmc_obs.Trace_event
+
+(* Priority edges present in [after] but not in [before] (and vice versa).
+   The pair lists are tiny (|P| is bounded by yields), so quadratic diffing
+   is fine. *)
+let edge_diff before after =
+  let added = List.filter (fun e -> not (List.mem e before)) after in
+  let removed = List.filter (fun e -> not (List.mem e after)) before in
+  (added, removed)
+
+let pair_json (t, u) = Json.Arr [ Json.Int t; Json.Int u ]
+
+let of_schedule ?(fair_k = 1) prog decisions =
+  let run = Engine.start prog in
+  Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
+  let fair = ref (Fair_sched.create ~nthreads:(Engine.nthreads run) ~k:fair_k ()) in
+  let evs = ref [ TE.process_name "fairmc schedule" ] in
+  let push e = evs := e :: !evs in
+  let named = Hashtbl.create 8 in
+  let name_thread tid =
+    if not (Hashtbl.mem named tid) then begin
+      Hashtbl.add named tid ();
+      push (TE.thread_name ~tid (Printf.sprintf "thread %d" tid))
+    end
+  in
+  let step_i = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun (tid, alt) ->
+      if !ok && Engine.failure run = None then
+        match Engine.pending run tid with
+        | Some _ when B.mem tid (Engine.enabled_set run) ->
+          let es_before = Engine.enabled_set run in
+          let yielded = Engine.would_yield run tid in
+          let nth_before = Engine.nthreads run in
+          let pairs_before = Fair_sched.priority_pairs !fair in
+          Engine.step run ~tid ~alt;
+          for _ = nth_before + 1 to Engine.nthreads run do
+            fair := Fair_sched.add_thread !fair
+          done;
+          let es_after = Engine.enabled_set run in
+          fair := Fair_sched.step !fair ~chosen:tid ~yielded ~es_before ~es_after;
+          let tr = Engine.trace run in
+          let e = Trace.get tr (Trace.length tr - 1) in
+          let ts = float_of_int !step_i in
+          name_thread tid;
+          push
+            (TE.complete
+               ~name:(Format.asprintf "%a" Op.pp e.Trace.op)
+               ~tid ~ts ~dur:1.
+               ~args:
+                 [ ("step", Json.Int !step_i);
+                   ("alt", Json.Int alt);
+                   ("result", Json.Bool e.Trace.result) ]
+               ());
+          if e.Trace.yielded then push (TE.instant ~name:"yield" ~tid ~ts ());
+          let added, removed = edge_diff pairs_before (Fair_sched.priority_pairs !fair) in
+          if added <> [] || removed <> [] then
+            push
+              (TE.instant ~name:"priority change" ~tid ~ts
+                 ~args:
+                   [ ("added", Json.Arr (List.map pair_json added));
+                     ("removed", Json.Arr (List.map pair_json removed)) ]
+                 ());
+          push
+            (TE.counter ~name:"scheduler" ~tid:0 ~ts
+               ~values:
+                 [ ("enabled", B.cardinal es_after);
+                   ("priority_edges", Fair_sched.edge_count !fair) ]);
+          incr step_i
+        | _ -> ok := false)
+    decisions;
+  TE.to_json (List.rev !evs)
+
+let of_report ?fair_k prog (r : Report.t) =
+  match Report.cex r with
+  | None -> None
+  | Some cex -> Some (of_schedule ?fair_k prog cex.Report.decisions)

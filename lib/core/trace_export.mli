@@ -1,0 +1,21 @@
+(** Counterexample schedules as Chrome trace_event documents.
+
+    Re-executes a recorded schedule (the [decisions] of a
+    {!Report.counterexample}) and maps it onto the trace_event timeline:
+    one track per thread, every transition a 1-µs slice at its step index,
+    yields and fair-scheduler priority-relation changes as instant markers,
+    and a counter track sampling the enabled-thread count and the size of
+    the priority relation. The result loads in Perfetto (ui.perfetto.dev)
+    and [chrome://tracing]. *)
+
+val of_schedule : ?fair_k:int -> Program.t -> (int * int) list -> Fairmc_util.Json.t
+(** [of_schedule prog decisions] replays [decisions] on a fresh engine,
+    running the fair scheduler alongside to recover priority-change events.
+    Replay stops early if the schedule does not fit the program (wrong
+    program or stale schedule); the document then covers the feasible
+    prefix. [fair_k] must match the search that produced the schedule
+    (default 1). *)
+
+val of_report : ?fair_k:int -> Program.t -> Report.t -> Fairmc_util.Json.t option
+(** The trace document for the report's counterexample, or [None] when the
+    verdict carries none. *)

@@ -1,0 +1,48 @@
+type sample = {
+  executions : int;
+  elapsed : float;
+  jobs : int;
+  phase : string;
+}
+
+type sink = sample -> unit
+
+type t = {
+  interval_us : int;
+  last_us : int Atomic.t;  (* claimed by CAS; 0 = never emitted *)
+  sinks : sink list;
+}
+
+let us_of_clock () = int_of_float (Clock.now () *. 1e6)
+
+let create ?(interval = 1.0) ~sinks () =
+  { interval_us = int_of_float (Float.max 0. interval *. 1e6);
+    last_us = Atomic.make 0;
+    sinks }
+
+let emit t sample_fn =
+  let s = sample_fn () in
+  List.iter (fun sink -> sink s) t.sinks
+
+let tick t sample_fn =
+  if t.sinks <> [] then begin
+    let last = Atomic.get t.last_us in
+    let now = us_of_clock () in
+    (* The CAS makes the emission exclusive: concurrent shards that observed
+       the same [last] lose and skip, so sinks never double-fire for one
+       interval. *)
+    if now - last >= t.interval_us && Atomic.compare_and_set t.last_us last now then
+      emit t sample_fn
+  end
+
+let force t sample_fn =
+  if t.sinks <> [] then begin
+    Atomic.set t.last_us (us_of_clock ());
+    emit t sample_fn
+  end
+
+let stderr_sink s =
+  let rate = if s.elapsed > 0. then float_of_int s.executions /. s.elapsed else 0. in
+  Printf.eprintf "[fairmc] phase=%s execs=%d (%.0f/s) elapsed=%.1fs%s\n%!" s.phase
+    s.executions rate s.elapsed
+    (if s.jobs > 1 then Printf.sprintf " jobs=%d" s.jobs else "")

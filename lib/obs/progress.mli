@@ -1,0 +1,33 @@
+(** Throttled search-progress reporting.
+
+    A [Progress.t] is shared by every shard of a search; ticks race on a
+    single atomic timestamp, so at most one shard emits per interval and the
+    sample closure is only evaluated when an emission is actually due —
+    ticking costs one [Atomic.get] plus a clock read. Sinks run on whichever
+    domain won the race; user callbacks must be thread-safe under parallel
+    search. *)
+
+type sample = {
+  executions : int;  (** completed executions so far (search-wide) *)
+  elapsed : float;  (** seconds since the search started *)
+  jobs : int;  (** worker count of the search that emitted *)
+  phase : string;  (** ["search"] (or a mode-specific label) *)
+}
+
+type sink = sample -> unit
+
+type t
+
+val create : ?interval:float -> sinks:sink list -> unit -> t
+(** [interval] defaults to 1 second; 0 emits on every tick. *)
+
+val tick : t -> (unit -> sample) -> unit
+(** Emit to every sink if at least [interval] has passed since the last
+    emission (from any domain). *)
+
+val force : t -> (unit -> sample) -> unit
+(** Emit unconditionally (end-of-search line). *)
+
+val stderr_sink : sink
+(** One line per emission:
+    [[fairmc] phase=search execs=12345 (4821/s) elapsed=2.6s]. *)

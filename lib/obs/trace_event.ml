@@ -1,0 +1,38 @@
+module Json = Fairmc_util.Json
+
+type ev = Json.t
+
+let base ~ph ~name ~cat ~tid ~ts extra args =
+  Json.Obj
+    ([ ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str ph);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+       ("ts", Json.Float ts) ]
+     @ extra
+     @ (match args with [] -> [] | args -> [ ("args", Json.Obj args) ]))
+
+let complete ~name ?(cat = "schedule") ~tid ~ts ~dur ?(args = []) () =
+  base ~ph:"X" ~name ~cat ~tid ~ts [ ("dur", Json.Float dur) ] args
+
+let instant ~name ?(cat = "fairness") ~tid ~ts ?(args = []) () =
+  base ~ph:"i" ~name ~cat ~tid ~ts [ ("s", Json.Str "t") ] args
+
+let counter ~name ~tid ~ts ~values =
+  base ~ph:"C" ~name ~cat:"metrics" ~tid ~ts []
+    (List.map (fun (k, v) -> (k, Json.Int v)) values)
+
+let metadata ~name ~tid args =
+  Json.Obj
+    [ ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args) ]
+
+let process_name n = metadata ~name:"process_name" ~tid:0 [ ("name", Json.Str n) ]
+let thread_name ~tid n = metadata ~name:"thread_name" ~tid [ ("name", Json.Str n) ]
+
+let to_json evs =
+  Json.Obj [ ("traceEvents", Json.Arr evs); ("displayTimeUnit", Json.Str "ms") ]

@@ -1,0 +1,34 @@
+(** Chrome [trace_event] JSON builders.
+
+    The exported documents load in Perfetto (ui.perfetto.dev) and in
+    [chrome://tracing]: a counterexample schedule becomes one track per
+    thread, every transition a 1-µs "complete" slice at its step index, with
+    yields and fairness priority changes as instant markers. This module
+    only knows the trace_event envelope; mapping checker traces onto it
+    lives in {!Fairmc_core.Trace_export}.
+
+    Format reference: "Trace Event Format" (Google, catapult project) —
+    the JSON-object-format subset: [{"traceEvents": [...]}]. *)
+
+type ev
+
+val complete :
+  name:string -> ?cat:string -> tid:int -> ts:float -> dur:float ->
+  ?args:(string * Fairmc_util.Json.t) list -> unit -> ev
+(** A phase-["X"] slice. [ts]/[dur] are microseconds. *)
+
+val instant :
+  name:string -> ?cat:string -> tid:int -> ts:float ->
+  ?args:(string * Fairmc_util.Json.t) list -> unit -> ev
+(** A phase-["i"] thread-scoped marker. *)
+
+val counter :
+  name:string -> tid:int -> ts:float -> values:(string * int) list -> ev
+(** A phase-["C"] counter track sample. *)
+
+val process_name : string -> ev
+val thread_name : tid:int -> string -> ev
+
+val to_json : ev list -> Fairmc_util.Json.t
+(** The whole document: [{"traceEvents": [...], "displayTimeUnit": "ms"}].
+    All events carry [pid] 0. *)

@@ -22,7 +22,7 @@ type node = {
 
 let explore ?(mode = Full) ?(max_states = 1_000_000) ?(max_nodes = 2_000_000)
     ?(max_steps_per_path = 10_000) ?(time_limit = 120.0) (prog : Program.t) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Fairmc_obs.Clock.now () in
   let signatures : (int64, unit) Hashtbl.t = Hashtbl.create 4096 in
   (* Dedupe on (signature, scheduling context): a state reached with a
      different remaining budget can have different successors. *)
@@ -65,7 +65,7 @@ let explore ?(mode = Full) ?(max_states = 1_000_000) ?(max_nodes = 2_000_000)
   let out_of_budget () =
     Hashtbl.length signatures >= max_states
     || !nodes >= max_nodes
-    || Unix.gettimeofday () -. t0 > time_limit
+    || Fairmc_obs.Clock.now () -. t0 > time_limit
   in
 
   while (not (Queue.is_empty queue)) && not (out_of_budget ()) do

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "fairmc"
     [ ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("fair-sched", Test_fair_sched.suite);
       ("objects", Test_objects.suite);
       ("engine", Test_engine.suite);

@@ -1,0 +1,304 @@
+(* Observability tests: the JSON emitter/parser, metrics snapshot algebra,
+   jobs-invariance of the deterministic counter slice, and the progress
+   callback under sequential and parallel search. *)
+
+open Fairmc_core
+module Json = Fairmc_util.Json
+module M = Fairmc_obs.Metrics
+module W = Fairmc_workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* JSON emitter/parser.                                                *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        (* Finite floats only: non-finite values intentionally emit null. *)
+        map (fun f -> Json.Float f) (float_bound_inclusive 1e9);
+        map (fun s -> Json.Str s) string_printable;
+        map (fun s -> Json.Str s) string (* arbitrary bytes incl. controls *) ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [ (3, scalar);
+          (1, map (fun l -> Json.Arr l) (list_size (int_bound 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun l -> Json.Obj l)
+              (list_size (int_bound 4)
+                 (pair string_printable (value (depth - 1)))) ) ]
+  in
+  value 3
+
+let json_arb = QCheck.make ~print:(fun j -> Json.to_string j) json_gen
+
+let json_qprops =
+  [ QCheck.Test.make ~count:500 ~name:"json round-trip" json_arb (fun j ->
+        match Json.of_string (Json.to_string j) with
+        | Ok j' -> Json.equal j j'
+        | Error e -> QCheck.Test.fail_reportf "parse error: %s" e);
+    QCheck.Test.make ~count:500 ~name:"json round-trip (pretty)" json_arb (fun j ->
+        match Json.of_string (Json.to_string ~pretty:true j) with
+        | Ok j' -> Json.equal j j'
+        | Error e -> QCheck.Test.fail_reportf "parse error: %s" e) ]
+
+let json_unit_tests =
+  [ Alcotest.test_case "escaping of controls, quotes, backslash" `Quick (fun () ->
+        check_str "escaped" {|"a\"b\\c\n\t\r\u0001"|}
+          (Json.to_string (Json.Str "a\"b\\c\n\t\r\001"));
+        check_str "round-trips" "ok"
+          (match Json.of_string {|"a\"b\\c\n\t\r\u0001"|} with
+           | Ok (Json.Str s) when s = "a\"b\\c\n\t\r\001" -> "ok"
+           | Ok _ -> "wrong value"
+           | Error e -> e));
+    Alcotest.test_case "unicode escapes decode as UTF-8" `Quick (fun () ->
+        match Json.of_string {|"éA"|} with
+        | Ok (Json.Str s) -> check_str "utf8" "\xc3\xa9A" s
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "non-finite floats emit null" `Quick (fun () ->
+        check_str "nan" "null" (Json.to_string (Json.Float Float.nan));
+        check_str "inf" "null" (Json.to_string (Json.Float Float.infinity)));
+    Alcotest.test_case "parser rejects garbage" `Quick (fun () ->
+        let bad s = match Json.of_string s with Ok _ -> false | Error _ -> true in
+        check "trailing" true (bad "1 x");
+        check "unterminated" true (bad {|{"a": 1|});
+        check "bare word" true (bad "flase");
+        check "empty" true (bad "")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics snapshots: merge algebra.                                   *)
+
+(* A random snapshot over a small shared name pool (so merges actually
+   collide). Kind is a function of the name, as in real registries. *)
+let snapshot_gen =
+  let open QCheck.Gen in
+  let entry =
+    let* i = int_bound 5 in
+    let* v = int_bound 1_000 in
+    let* kind = int_bound 2 in
+    return (kind, Printf.sprintf "%c/%d" (Char.chr (Char.code 'a' + kind)) i, v)
+  in
+  let* entries = list_size (int_bound 8) entry in
+  return
+    (List.fold_left
+       (fun (snap : M.Snapshot.t) (kind, name, v) ->
+         match kind with
+         | 0 ->
+           let prev =
+             match M.Snapshot.find snap name with
+             | Some (M.Snapshot.Counter c) -> c
+             | _ -> 0
+           in
+           M.Snapshot.with_counter snap name (prev + v)
+         | 1 ->
+           let prev =
+             match M.Snapshot.find snap name with
+             | Some (M.Snapshot.Gauge g) -> g
+             | _ -> 0
+           in
+           M.Snapshot.with_gauge snap name (max prev v)
+         | _ ->
+           (* Histograms come from a real registry so bucket bookkeeping is
+              exercised end to end. *)
+           let reg = M.create () in
+           let h = M.histogram reg name in
+           M.observe h v;
+           M.Snapshot.merge snap (M.snapshot reg))
+       M.Snapshot.empty entries)
+
+let snapshot_arb =
+  QCheck.make
+    ~print:(fun s -> Json.to_string ~pretty:true (M.Snapshot.to_json s))
+    snapshot_gen
+
+let snap_eq a b = Json.equal (M.Snapshot.to_json a) (M.Snapshot.to_json b)
+
+let metrics_qprops =
+  [ QCheck.Test.make ~count:300 ~name:"merge is associative"
+      (QCheck.triple snapshot_arb snapshot_arb snapshot_arb)
+      (fun (a, b, c) ->
+        snap_eq
+          (M.Snapshot.merge a (M.Snapshot.merge b c))
+          (M.Snapshot.merge (M.Snapshot.merge a b) c));
+    QCheck.Test.make ~count:300 ~name:"merge is commutative"
+      (QCheck.pair snapshot_arb snapshot_arb)
+      (fun (a, b) -> snap_eq (M.Snapshot.merge a b) (M.Snapshot.merge b a));
+    QCheck.Test.make ~count:300 ~name:"empty is the merge identity" snapshot_arb
+      (fun a ->
+        snap_eq a (M.Snapshot.merge a M.Snapshot.empty)
+        && snap_eq a (M.Snapshot.merge M.Snapshot.empty a)) ]
+
+let metrics_unit_tests =
+  [ Alcotest.test_case "registry basics" `Quick (fun () ->
+        let reg = M.create () in
+        let c = M.counter reg "a" in
+        M.incr c;
+        M.add c 4;
+        check_int "counter" 5 (M.value c);
+        let g = M.gauge reg "g" in
+        M.set g 7;
+        M.set_max g 3;
+        check_int "gauge keeps max" 7
+          (match M.Snapshot.find (M.snapshot reg) "g" with
+           | Some (M.Snapshot.Gauge v) -> v
+           | _ -> -1);
+        (* Same name, same kind: same cell. Different kind: rejected. *)
+        M.incr (M.counter reg "a");
+        check_int "re-registration shares the cell" 6 (M.value c);
+        check "kind mismatch rejected" true
+          (match M.gauge reg "a" with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "histogram buckets" `Quick (fun () ->
+        let reg = M.create () in
+        let h = M.histogram reg "h" in
+        List.iter (M.observe h) [ 0; 1; 1; 2; 3; 900 ];
+        match M.Snapshot.find (M.snapshot reg) "h" with
+        | Some (M.Snapshot.Histogram hs) ->
+          check_int "count" 6 hs.M.Snapshot.count;
+          check_int "sum" 907 hs.M.Snapshot.sum;
+          check_int "max" 900 hs.M.Snapshot.max;
+          (* v=0 -> bucket 0; v=1 -> bucket 1; v in [2,4) -> bucket 2;
+             900 in [2^9, 2^10) -> bucket 10. *)
+          Alcotest.(check (list (pair int int)))
+            "buckets"
+            [ (0, 1); (1, 2); (2, 2); (10, 1) ]
+            hs.M.Snapshot.buckets
+        | _ -> Alcotest.fail "histogram missing") ]
+
+(* ------------------------------------------------------------------ *)
+(* Jobs-invariance of the deterministic counter slice.                 *)
+
+(* The replay/fresh split depends on how the tree was sharded (workers replay
+   their locked prefix); only the sum is invariant. Fold it before
+   comparing. *)
+let folded_counters snap =
+  let steps = ref 0 in
+  let rest =
+    List.filter
+      (fun (name, v) ->
+        if name = "search/steps/replay" || name = "search/steps/fresh" then begin
+          steps := !steps + v;
+          false
+        end
+        else true)
+      (M.Snapshot.counters snap)
+  in
+  ("search/steps/systematic-total", !steps) :: rest
+
+let assert_counters_jobs_invariant name cfg prog =
+  let cfg = { cfg with Search_config.metrics = true } in
+  let seq = Search.run cfg prog in
+  List.iter
+    (fun jobs ->
+      let par = Par_search.run { cfg with Search_config.jobs } prog in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "%s: counters j=1 vs j=%d" name jobs)
+        (folded_counters seq.Report.metrics)
+        (folded_counters par.Report.metrics))
+    [ 2; 4 ]
+
+let base = { Search_config.default with livelock_bound = Some 2_000 }
+
+let determinism_tests =
+  [ Alcotest.test_case "counters are jobs-invariant (verified workload)" `Quick
+      (fun () ->
+        assert_counters_jobs_invariant "dining-cov"
+          { base with coverage = true }
+          (W.Dining.coverage_program ~n:2));
+    Alcotest.test_case "counters are jobs-invariant (deadlock workload)" `Quick
+      (fun () ->
+        assert_counters_jobs_invariant "dining-deadlock" base
+          (W.Dining.program ~n:2 W.Dining.Deadlock));
+    Alcotest.test_case "counters are jobs-invariant (sleep sets)" `Quick (fun () ->
+        assert_counters_jobs_invariant "two-step-ss"
+          { base with fair = false; sleep_sets = true }
+          (W.Litmus.two_step_threads ~nthreads:2 ~steps:3)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Progress callback.                                                  *)
+
+let progress_tests =
+  [ Alcotest.test_case "callback fires (sequential)" `Quick (fun () ->
+        let hits = Atomic.make 0 in
+        let last_execs = ref (-1) in
+        let cfg =
+          { base with
+            Search_config.progress_interval = 0.0;
+            on_progress =
+              Some
+                (fun s ->
+                  Atomic.incr hits;
+                  last_execs := s.Fairmc_obs.Progress.executions)
+          }
+        in
+        let r = Search.run cfg (W.Dining.coverage_program ~n:2) in
+        check "fired" true (Atomic.get hits > 0);
+        check_int "final sample sees all executions" r.Report.stats.executions
+          !last_execs);
+    Alcotest.test_case "callback fires (parallel)" `Quick (fun () ->
+        let hits = Atomic.make 0 in
+        let cfg =
+          { base with
+            Search_config.jobs = 4;
+            progress_interval = 0.0;
+            on_progress = Some (fun _ -> Atomic.incr hits)
+          }
+        in
+        let r = Par_search.run cfg (W.Dining.coverage_program ~n:2) in
+        check "fired" true (Atomic.get hits > 0);
+        check "searched" true (r.Report.stats.executions > 0));
+    Alcotest.test_case "no callback, no reporter" `Quick (fun () ->
+        check "progress_of_cfg is None by default" true
+          (Search.progress_of_cfg Search_config.default = None)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Report JSON and trace export smoke tests.                           *)
+
+let export_tests =
+  [ Alcotest.test_case "report JSON round-trips through the parser" `Quick (fun () ->
+        let cfg = { base with Search_config.metrics = true } in
+        let r = Search.run cfg (W.Dining.program ~n:2 W.Dining.Deadlock) in
+        let doc = Report.to_json ~program:"dining-2-deadlock" r in
+        match Json.of_string (Json.to_string ~pretty:true doc) with
+        | Ok doc' -> check "round-trip" true (Json.equal doc doc')
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "trace export covers the counterexample" `Quick (fun () ->
+        let prog = W.Dining.program ~n:2 W.Dining.Deadlock in
+        let r = Search.run base prog in
+        match Trace_export.of_report prog r with
+        | None -> Alcotest.fail "expected a counterexample"
+        | Some doc ->
+          (match doc with
+           | Json.Obj fields ->
+             (match List.assoc_opt "traceEvents" fields with
+              | Some (Json.Arr evs) ->
+                let cex = Option.get (Report.cex r) in
+                let slices =
+                  List.filter
+                    (fun e ->
+                      match e with
+                      | Json.Obj f -> List.assoc_opt "ph" f = Some (Json.Str "X")
+                      | _ -> false)
+                    evs
+                in
+                check_int "one slice per step" cex.Report.length
+                  (List.length slices)
+              | _ -> Alcotest.fail "traceEvents missing")
+           | _ -> Alcotest.fail "not an object")) ]
+
+let suite =
+  json_unit_tests @ metrics_unit_tests @ determinism_tests @ progress_tests
+  @ export_tests
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) (json_qprops @ metrics_qprops)
