@@ -19,14 +19,14 @@ module Metrics = Fairmc_obs.Metrics
 let full_budget = Sys.getenv_opt "FAIRMC_BENCH" = Some "full"
 
 (* Machine-readable results: every experiment appends records here and the
-   driver writes BENCH_PR2.json at the end (schema fairmc-bench/2). The
+   driver writes BENCH_PR4.json at the end (schema fairmc-bench/2). The
    printed tables stay the human-facing output; the JSON mirrors them. *)
 let bench_records : Json.t list ref = ref []
 
 let record experiment fields =
   bench_records := Json.Obj (("experiment", Json.Str experiment) :: fields) :: !bench_records
 
-let bench_out = "BENCH_PR2.json"
+let bench_out = "BENCH_PR4.json"
 
 let write_records () =
   let doc =
@@ -488,6 +488,53 @@ let par () =
     experiments
 
 (* ------------------------------------------------------------------ *)
+(* Dynamic-analysis overhead: the observer hook must be free when unset *)
+(* and cheap when set (PR 4 acceptance).                                *)
+
+let analysis_overhead () =
+  header "Dynamic analyses: observer overhead on a race-free search";
+  line "%-24s %12s %12s %9s" "configuration" "executions" "execs/sec" "vs off";
+  let prog () = W.Dining.program ~n:3 W.Dining.Ordered in
+  let cfg =
+    { Search_config.default with
+      livelock_bound = Some 2_000;
+      max_executions = Some (if full_budget then 50_000 else 5_000) }
+  in
+  let arms =
+    [ ("observer off", []);
+      ("hb races", [ Fairmc_analysis.Hb_race.analysis ]);
+      ("lockset", [ Fairmc_analysis.Lockset.analysis ]);
+      ("lock graph", [ Fairmc_analysis.Lock_graph.analysis ]);
+      ("all three",
+       [ Fairmc_analysis.Hb_race.analysis;
+         Fairmc_analysis.Lockset.analysis;
+         Fairmc_analysis.Lock_graph.analysis ]) ]
+  in
+  let base_rate = ref None in
+  List.iter
+    (fun (label, analyses) ->
+      (* Warm once so allocator state does not bias the first arm. *)
+      ignore (Search.run { cfg with max_executions = Some 200; analyses } (prog ()));
+      let r = Search.run { cfg with analyses } (prog ()) in
+      let rate = float_of_int r.stats.executions /. r.stats.elapsed in
+      let rel =
+        match !base_rate with
+        | None ->
+          base_rate := Some rate;
+          1.0
+        | Some b -> rate /. b
+      in
+      line "%-24s %12d %12.0f %8.2fx" label r.stats.executions rate rel;
+      record "analysis"
+        [ ("configuration", Json.Str label);
+          ("executions", Json.Int r.stats.executions);
+          ("elapsed_seconds", Json.Float r.stats.elapsed);
+          ("execs_per_second", Json.Float rate);
+          ("relative_rate", Json.Float rel);
+          ("verdict", Json.Str (Report.verdict_name r.verdict)) ])
+    arms
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: the kernels behind each table/figure.      *)
 
 let bechamel () =
@@ -574,6 +621,7 @@ let all_experiments =
     ("boot", boot);
     ("ablation", ablation);
     ("par", par);
+    ("analysis", analysis_overhead);
     ("bechamel", bechamel) ]
 
 let () =

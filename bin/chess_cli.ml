@@ -106,11 +106,41 @@ let progress_interval =
        & info [ "progress-interval" ] ~docv:"SECONDS"
            ~doc:"Seconds between progress lines (shared across worker domains).")
 
+let races_flag =
+  Arg.(value & flag
+       & info [ "races" ]
+           ~doc:"Run the happens-before race detector over every explored \
+                 execution; an unordered conflicting pair of shared-variable \
+                 accesses is reported as a data race with a replayable \
+                 schedule.")
+
+let lockset_flag =
+  Arg.(value & flag
+       & info [ "lockset" ]
+           ~doc:"Run the Eraser-style lockset race detector (stricter than \
+                 $(b,--races): demands a single consistent protecting lock, so \
+                 fork/join or semaphore protocols produce false positives).")
+
+let lock_graph_flag =
+  Arg.(value & flag
+       & info [ "lock-graph" ]
+           ~doc:"Accumulate the lock-order graph across all explored \
+                 executions and report cycles as potential deadlocks, even if \
+                 no explored schedule deadlocked.")
+
+let fail_on_race =
+  Arg.(value & flag
+       & info [ "fail-on-race" ]
+           ~doc:"Exit with status 3 when a data race is the verdict (implies \
+                 $(b,--races)). Without this flag a race is reported but the \
+                 exit status stays 0.")
+
 let json_out =
   Arg.(value & opt (some string) None
        & info [ "json" ] ~docv:"FILE"
-           ~doc:"Write the machine-readable report (schema fairmc-report/1: \
-                 verdict, counterexample schedule, statistics, metrics) to FILE.")
+           ~doc:"Write the machine-readable report (schema fairmc-report/2: \
+                 verdict, counterexample schedule, statistics, metrics, \
+                 analysis results) to FILE.")
 
 let trace_out =
   Arg.(value & opt (some string) None
@@ -129,7 +159,12 @@ let save_repro =
 
 let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound max_execs
     time_limit seed sleep_sets coverage jobs split_depth metrics stats progress
-    progress_interval =
+    progress_interval races lockset lock_graph fail_on_race =
+  let analyses =
+    (if races || fail_on_race then [ Fairmc_analysis.Hb_race.analysis ] else [])
+    @ (if lockset then [ Fairmc_analysis.Lockset.analysis ] else [])
+    @ if lock_graph then [ Fairmc_analysis.Lock_graph.analysis ] else []
+  in
   { Search_config.default with
     mode = strategy;
     fair = not no_fair;
@@ -149,13 +184,15 @@ let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound ma
     split_depth;
     metrics = metrics || stats;
     progress;
-    progress_interval }
+    progress_interval;
+    analyses }
 
 let config_term =
   Term.(const build_config $ strategy $ no_fair $ fair_k $ depth_bound $ max_steps
         $ livelock_bound $ max_execs $ time_limit $ seed $ sleep_sets $ coverage
         $ jobs $ split_depth $ metrics_flag $ stats_flag $ progress_flag
-        $ progress_interval)
+        $ progress_interval $ races_flag $ lockset_flag $ lock_graph_flag
+        $ fail_on_race)
 
 let list_cmd =
   let doc = "List the built-in benchmark programs." in
@@ -168,7 +205,8 @@ let list_cmd =
     Format.printf
       "@.EXPECTED is the verdict a sufficiently deep search reaches: verified \
        | safety (assertion/invariant failure) | deadlock | livelock (fair \
-       nontermination) | good-samaritan (a thread yields forever).@."
+       nontermination) | good-samaritan (a thread yields forever) | race \
+       (data race, requires --races).@."
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -179,7 +217,7 @@ let check_cmd =
          & info [] ~docv:"PROGRAM"
              ~doc:"Built-in program name (see $(b,chess list)) or a ChessLang $(i,file.chess).")
   in
-  let run name cfg quiet save_repro stats json_out trace_out =
+  let run name cfg quiet save_repro stats json_out trace_out fail_on_race =
     let program =
       if Filename.check_suffix name ".chess" then begin
         match D.load_file name with
@@ -226,18 +264,21 @@ let check_cmd =
           Fairmc_util.Json.to_file file doc;
           Format.printf "trace written to %s (load in ui.perfetto.dev)@." file
         | None -> Format.printf "no counterexample; no trace written@."));
-    (match (save_repro, report.Report.verdict) with
-     | Some file, (Report.Safety_violation { cex; _ } | Report.Deadlock { cex }
-                  | Report.Divergence { cex; _ }) ->
-       Repro.save file { Repro.program = name; decisions = cex.decisions };
+    (match (save_repro, Report.cex report) with
+     | Some file, Some cex ->
+       Repro.save file { Repro.program = name; decisions = cex.Report.decisions };
        Format.printf "repro saved to %s@." file
-     | Some _, _ -> Format.printf "no error found; no repro written@."
+     | Some _, None -> Format.printf "no error found; no repro written@."
      | None, _ -> ());
-    if Report.found_error report then exit 1
+    (* A race is advisory unless --fail-on-race asks for a distinct status;
+       every other error keeps the historical exit code 1. *)
+    match report.Report.verdict with
+    | Report.Race _ -> if fail_on_race then exit 3
+    | _ -> if Report.found_error report then exit 1
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ prog_arg $ config_term $ quiet $ save_repro $ stats_flag
-          $ json_out $ trace_out)
+          $ json_out $ trace_out $ fail_on_race)
 
 let load_program name =
   if Filename.check_suffix name ".chess" then
@@ -285,6 +326,10 @@ let sweep_cmd =
             livelock_bound = Some 2_000;
             max_executions = Some 20_000;
             time_limit = Some 30.0;
+            (* Race-expected entries need the detector; everything else runs
+               plain so its verdict keeps testing the engine alone. *)
+            analyses =
+              (if e.expected = "race" then [ Fairmc_analysis.Hb_race.analysis ] else []);
             mode =
               (* The paper finds the seeded bugs with a context bound of 2
                  (Table 3); unguided fair DFS can wander for a long time. *)
@@ -293,12 +338,7 @@ let sweep_cmd =
         in
         let report = Checker.check ~config:cfg e.program in
         let got =
-          match report.verdict with
-          | Verified | Limits_reached -> "verified"
-          | Safety_violation _ -> "safety"
-          | Deadlock _ -> "deadlock"
-          | Divergence { kind = Fair_nontermination; _ } -> "livelock"
-          | Divergence { kind = Good_samaritan_violation _; _ } -> "good-samaritan"
+          match Report.verdict_key report.verdict with "limits" -> "verified" | k -> k
         in
         let ok = got = e.expected in
         if not ok then incr failures;

@@ -1,0 +1,14 @@
+(** Dynamic analyses over explored executions: plug any of these into
+    {!Fairmc_core.Search_config.analyses}. See DESIGN.md, "Dynamic
+    analyses". *)
+
+module Vclock = Vclock
+module Hb_race = Hb_race
+module Lockset = Lockset
+module Lock_graph = Lock_graph
+
+(** All analyses keyed by CLI name. *)
+let all =
+  [ ("races", Hb_race.analysis);
+    ("lockset", Lockset.analysis);
+    ("lock-graph", Lock_graph.analysis) ]

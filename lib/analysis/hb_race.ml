@@ -1,0 +1,215 @@
+(* Vector-clock happens-before race detection in the FastTrack style
+   (Flanagan & Freund, PLDI 2009), adapted to the checker's operation set:
+   last writes are kept as epochs (tid, clock, site); reads are an epoch
+   until concurrent readers force the full per-thread table. Everything is
+   reset per execution — the stateless search re-executes from the initial
+   state, so clocks must too. *)
+
+open Fairmc_core
+module AH = Analysis_hook
+module VC = Vclock
+
+(* One access: enough to order it against later clocks (e_clk at e_tid) and
+   to report its site (step index + operation). *)
+type epoch = { e_tid : int; e_clk : int; e_step : int; e_op : Op.t }
+
+type reads =
+  | No_reads
+  | Read_one of epoch  (* all reads since the last write are HB-ordered *)
+  | Read_many of (int, epoch) Hashtbl.t  (* per-thread last read *)
+
+type vstate = {
+  mutable w : epoch option;  (* last write *)
+  mutable r : reads;
+  mutable racy : bool;  (* one report per variable per execution *)
+}
+
+type st = {
+  mutable run : Engine.t option;
+  clocks : (int, VC.t) Hashtbl.t;
+  releases : (Op.obj, VC.t) Hashtbl.t;  (* release clock per sync object *)
+  vars : (Op.obj, vstate) Hashtbl.t;
+  mutable first : AH.race option;
+  mutable reads_n : int;
+  mutable writes_n : int;
+  mutable races_n : int;
+}
+
+let clock st tid =
+  match Hashtbl.find_opt st.clocks tid with
+  | Some c -> c
+  | None ->
+    (* Initial threads synchronize only through ops they execute; each
+       starts at its own first epoch. Spawned threads are seeded at Spawn. *)
+    let c = VC.tick VC.empty tid in
+    Hashtbl.replace st.clocks tid c;
+    c
+
+let set_clock st tid c = Hashtbl.replace st.clocks tid c
+
+(* acquire: C_t := C_t ⊔ L_o. *)
+let acquire st tid o =
+  match Hashtbl.find_opt st.releases o with
+  | None -> ()
+  | Some l -> set_clock st tid (VC.join (clock st tid) l)
+
+(* release: L_o := C_t (mutex hand-off) or L_o ⊔ C_t (semaphores/events,
+   where several posts can pair with one wait); then tick C_t so later
+   events of t are not ordered before the acquirer's. *)
+let release st tid o ~cumulative =
+  let c = clock st tid in
+  let l =
+    if cumulative then
+      match Hashtbl.find_opt st.releases o with None -> c | Some l -> VC.join l c
+    else c
+  in
+  Hashtbl.replace st.releases o l;
+  set_clock st tid (VC.tick c tid)
+
+let vstate st o =
+  match Hashtbl.find_opt st.vars o with
+  | Some v -> v
+  | None ->
+    let v = { w = None; r = No_reads; racy = false } in
+    Hashtbl.replace st.vars o v;
+    v
+
+let cur_step st =
+  (* The observer fires after the step counter was advanced. *)
+  match st.run with Some run -> Engine.steps run - 1 | None -> 0
+
+let report st v o ~prior ~cur =
+  v.racy <- true;
+  st.races_n <- st.races_n + 1;
+  if st.first = None then begin
+    let run = Option.get st.run in
+    let rendered, decisions, length = AH.snapshot_cex run in
+    st.first <-
+      Some
+        { AH.detector = "hb";
+          obj = o;
+          obj_name = Objects.name (Engine.store run) o;
+          a_tid = prior.e_tid;
+          a_step = prior.e_step;
+          a_op = prior.e_op;
+          b_tid = cur.e_tid;
+          b_step = cur.e_step;
+          b_op = cur.e_op;
+          rendered;
+          decisions;
+          length }
+  end
+
+let ordered_before c (e : epoch) = e.e_clk <= VC.get c e.e_tid
+
+let read st tid o op =
+  st.reads_n <- st.reads_n + 1;
+  let v = vstate st o in
+  if not v.racy then begin
+    let c = clock st tid in
+    let cur = { e_tid = tid; e_clk = VC.get c tid; e_step = cur_step st; e_op = op } in
+    (match v.w with
+     | Some w when w.e_tid <> tid && not (ordered_before c w) -> report st v o ~prior:w ~cur
+     | _ -> ());
+    if not v.racy then begin
+      match v.r with
+      | No_reads -> v.r <- Read_one cur
+      | Read_one e when e.e_tid = tid || ordered_before c e -> v.r <- Read_one cur
+      | Read_one e ->
+        (* Concurrent readers: promote to the per-thread table. *)
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace h e.e_tid e;
+        Hashtbl.replace h tid cur;
+        v.r <- Read_many h
+      | Read_many h -> Hashtbl.replace h tid cur
+    end
+  end
+
+let write st tid o op =
+  st.writes_n <- st.writes_n + 1;
+  let v = vstate st o in
+  if not v.racy then begin
+    let c = clock st tid in
+    let cur = { e_tid = tid; e_clk = VC.get c tid; e_step = cur_step st; e_op = op } in
+    (match v.w with
+     | Some w when w.e_tid <> tid && not (ordered_before c w) -> report st v o ~prior:w ~cur
+     | _ -> ());
+    if not v.racy then begin
+      let racing_read =
+        match v.r with
+        | No_reads -> None
+        | Read_one e ->
+          if e.e_tid <> tid && not (ordered_before c e) then Some e else None
+        | Read_many h ->
+          (* Deterministic pick: the racing reader with the smallest tid. *)
+          Hashtbl.fold
+            (fun u e acc ->
+              if u <> tid && not (ordered_before c e) then
+                match acc with Some (b : epoch) when b.e_tid < u -> acc | _ -> Some e
+              else acc)
+            h None
+      in
+      match racing_read with Some e -> report st v o ~prior:e ~cur | None -> ()
+    end;
+    if not v.racy then begin
+      v.w <- Some cur;
+      v.r <- No_reads  (* the write dominates all ordered reads *)
+    end
+  end
+
+let observe st ~tid ~op ~result =
+  match (op : Op.t) with
+  | Lock o -> acquire st tid o
+  | Try_lock o | Timed_lock o -> if result = 1 then acquire st tid o
+  | Unlock o -> release st tid o ~cumulative:false
+  | Sem_post o -> release st tid o ~cumulative:true
+  | Sem_wait o -> acquire st tid o
+  | Sem_try_wait o | Sem_timed_wait o -> if result = 1 then acquire st tid o
+  | Ev_set o -> release st tid o ~cumulative:true
+  | Ev_wait o -> acquire st tid o
+  | Ev_timed_wait o -> if result = 1 then acquire st tid o
+  | Ev_reset _ -> ()
+  | Var_read o -> read st tid o op
+  | Var_write o -> write st tid o op
+  | Var_rmw o ->
+    read st tid o op;
+    write st tid o op
+  | Spawn ->
+    (* [result] is the child tid: the child starts after the parent's
+       prefix; both sides tick so later events are concurrent. *)
+    let child = result in
+    let c = clock st tid in
+    set_clock st child (VC.tick c child);
+    set_clock st tid (VC.tick c tid)
+  | Join u -> set_clock st tid (VC.join (clock st tid) (clock st u))
+  | Yield | Sleep | Choose _ -> ()
+
+let create () =
+  let st =
+    { run = None;
+      clocks = Hashtbl.create 16;
+      releases = Hashtbl.create 64;
+      vars = Hashtbl.create 64;
+      first = None;
+      reads_n = 0;
+      writes_n = 0;
+      races_n = 0 }
+  in
+  { AH.exec_start =
+      (fun run ->
+        Hashtbl.reset st.clocks;
+        Hashtbl.reset st.releases;
+        Hashtbl.reset st.vars;
+        st.run <- Some run);
+    observe = (fun ~tid ~op ~result -> observe st ~tid ~op ~result);
+    first_race = (fun () -> st.first);
+    result =
+      (fun () ->
+        { AH.first_race = st.first;
+          lock_edges = [];
+          counters =
+            [ ("analysis/hb/reads", st.reads_n);
+              ("analysis/hb/writes", st.writes_n);
+              ("analysis/hb/races", st.races_n) ] }) }
+
+let analysis = { AH.name = "races"; create }

@@ -1,0 +1,17 @@
+(** FastTrack-style happens-before data-race detection.
+
+    Sound and complete per observed execution: a race is reported iff two
+    accesses to the same [Svar] (one of them a write) are unordered by the
+    happens-before relation of the sync operations that actually executed.
+    The HB edges per {!Fairmc_core.Op.t} are tabulated in DESIGN.md
+    ("Dynamic analyses"); in short, mutexes, semaphores, events, [Spawn] and
+    [Join] synchronize — [Svar] accesses themselves (including [rmw]) never
+    do, so spin-loop "synchronization" over bare shared variables is
+    reported as racy by design.
+
+    Per variable at most one race is reported per execution (the variable is
+    then poisoned for that execution); the instance keeps the first race it
+    ever sees. Counters: ["analysis/hb/reads"], ["analysis/hb/writes"],
+    ["analysis/hb/races"]. *)
+
+val analysis : Fairmc_core.Analysis_hook.t

@@ -1,0 +1,63 @@
+open Fairmc_core
+module AH = Analysis_hook
+
+type st = {
+  mutable run : Engine.t option;
+  held : (int, Op.obj list) Hashtbl.t;  (* per-thread held stack, exec-reset *)
+  edges : (Op.obj * Op.obj, string * string) Hashtbl.t;  (* persistent *)
+}
+
+let held st tid = Option.value ~default:[] (Hashtbl.find_opt st.held tid)
+
+let acquired st tid o =
+  let h = held st tid in
+  (match st.run with
+   | Some run ->
+     let name x = Objects.name (Engine.store run) x in
+     List.iter
+       (fun from ->
+         if from <> o && not (Hashtbl.mem st.edges (from, o)) then
+           Hashtbl.replace st.edges (from, o) (name from, name o))
+       h
+   | None -> ());
+  Hashtbl.replace st.held tid (o :: h)
+
+let released st tid o =
+  let rec drop = function
+    | [] -> []
+    | x :: rest -> if x = o then rest else x :: drop rest
+  in
+  Hashtbl.replace st.held tid (drop (held st tid))
+
+let observe st ~tid ~op ~result =
+  match (op : Op.t) with
+  | Lock o -> acquired st tid o
+  | Try_lock o | Timed_lock o -> if result = 1 then acquired st tid o
+  | Unlock o -> released st tid o
+  | _ -> ()
+
+let edge_list st =
+  AH.dedup_edges
+    (Hashtbl.fold
+       (fun (f, t) (fn, tn) acc ->
+         { AH.e_from = f; e_from_name = fn; e_to = t; e_to_name = tn } :: acc)
+       st.edges [])
+
+let create () =
+  let st = { run = None; held = Hashtbl.create 16; edges = Hashtbl.create 64 } in
+  { AH.exec_start =
+      (fun run ->
+        Hashtbl.reset st.held;
+        st.run <- Some run);
+    observe = (fun ~tid ~op ~result -> observe st ~tid ~op ~result);
+    first_race = (fun () -> None);
+    result =
+      (fun () ->
+        let edges = edge_list st in
+        { AH.first_race = None;
+          lock_edges = edges;
+          counters =
+            [ ("analysis/lockgraph/edges", List.length edges);
+              ("analysis/lockgraph/cycles", List.length (AH.cycles edges)) ] }) }
+
+let analysis = { AH.name = "lock-graph"; create }

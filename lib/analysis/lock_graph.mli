@@ -1,0 +1,13 @@
+(** Cross-execution lock-order graph for deadlock prediction.
+
+    Whenever a thread acquires mutex [b] while holding mutex [a], the edge
+    [a → b] is recorded. Unlike the race detectors, the edge set accumulates
+    across all explored executions — held sets still reset per execution.
+    A cycle in the resulting graph is a potential deadlock even if no
+    explored schedule actually deadlocked (e.g. the classic AB/BA pattern
+    where fork/join ordering happens to prevent the interleaving); cycles
+    are extracted by {!Fairmc_core.Analysis_hook.cycles} and reported as
+    [potential_deadlock_cycles]. Counters: ["analysis/lockgraph/edges"],
+    ["analysis/lockgraph/cycles"] (recomputed after parallel merge). *)
+
+val analysis : Fairmc_core.Analysis_hook.t

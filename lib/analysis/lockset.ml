@@ -1,0 +1,152 @@
+open Fairmc_core
+module AH = Analysis_hook
+module IS = Set.Make (Int)
+
+type access = { a_tid : int; a_step : int; a_op : Op.t }
+
+type phase =
+  | Virgin
+  | Exclusive of int
+  | Shared  (* read-shared: lockset refined but violations not reported *)
+  | Shared_mod
+
+type vstate = {
+  mutable phase : phase;
+  mutable ls : IS.t option;  (* candidate lockset; [None] = all locks (top) *)
+  mutable last : access option;  (* most recent access, for the report *)
+  mutable last_other : (int, access) Hashtbl.t;  (* last access per thread *)
+  mutable racy : bool;
+}
+
+type st = {
+  mutable run : Engine.t option;
+  held : (int, IS.t) Hashtbl.t;  (* per-thread held mutexes *)
+  vars : (Op.obj, vstate) Hashtbl.t;
+  mutable first : AH.race option;
+  mutable accesses_n : int;
+  mutable races_n : int;
+}
+
+let held st tid = Option.value ~default:IS.empty (Hashtbl.find_opt st.held tid)
+
+let vstate st o =
+  match Hashtbl.find_opt st.vars o with
+  | Some v -> v
+  | None ->
+    let v =
+      { phase = Virgin;
+        ls = None;
+        last = None;
+        last_other = Hashtbl.create 4;
+        racy = false }
+    in
+    Hashtbl.replace st.vars o v;
+    v
+
+let cur_step st = match st.run with Some run -> Engine.steps run - 1 | None -> 0
+
+let report st v o ~cur =
+  v.racy <- true;
+  st.races_n <- st.races_n + 1;
+  if st.first = None then begin
+    let run = Option.get st.run in
+    let rendered, decisions, length = AH.snapshot_cex run in
+    (* Prior access site: the last access by a different thread (there is
+       one — the variable is at least shared), smallest tid for
+       determinism; fall back to the last access seen. *)
+    let prior =
+      match
+        Hashtbl.fold
+          (fun u a acc ->
+            if u <> cur.a_tid then
+              match acc with Some (b : access) when b.a_tid < u -> acc | _ -> Some a
+            else acc)
+          v.last_other None
+      with
+      | Some a -> a
+      | None -> Option.value ~default:cur v.last
+    in
+    st.first <-
+      Some
+        { AH.detector = "lockset";
+          obj = o;
+          obj_name = Objects.name (Engine.store run) o;
+          a_tid = prior.a_tid;
+          a_step = prior.a_step;
+          a_op = prior.a_op;
+          b_tid = cur.a_tid;
+          b_step = cur.a_step;
+          b_op = cur.a_op;
+          rendered;
+          decisions;
+          length }
+  end
+
+let intersect v h =
+  v.ls <- Some (match v.ls with None -> h | Some ls -> IS.inter ls h)
+
+let access st tid o op ~is_write =
+  st.accesses_n <- st.accesses_n + 1;
+  let v = vstate st o in
+  if not v.racy then begin
+    let h = held st tid in
+    let cur = { a_tid = tid; a_step = cur_step st; a_op = op } in
+    (match v.phase with
+     | Virgin -> v.phase <- Exclusive tid
+     | Exclusive u when u = tid -> ()
+     | Exclusive _ ->
+       (* Second thread: enter the shared phase and start refining. *)
+       v.phase <- (if is_write then Shared_mod else Shared);
+       intersect v h;
+       if is_write && v.ls = Some IS.empty then report st v o ~cur
+     | Shared ->
+       intersect v h;
+       if is_write then begin
+         v.phase <- Shared_mod;
+         if v.ls = Some IS.empty then report st v o ~cur
+       end
+     | Shared_mod ->
+       intersect v h;
+       if v.ls = Some IS.empty then report st v o ~cur);
+    v.last <- Some cur;
+    Hashtbl.replace v.last_other tid cur
+  end
+
+let observe st ~tid ~op ~result =
+  match (op : Op.t) with
+  | Lock o -> Hashtbl.replace st.held tid (IS.add o (held st tid))
+  | Try_lock o | Timed_lock o ->
+    if result = 1 then Hashtbl.replace st.held tid (IS.add o (held st tid))
+  | Unlock o -> Hashtbl.replace st.held tid (IS.remove o (held st tid))
+  | Var_read o -> access st tid o op ~is_write:false
+  | Var_write o -> access st tid o op ~is_write:true
+  | Var_rmw o -> access st tid o op ~is_write:true
+  | Sem_wait _ | Sem_try_wait _ | Sem_timed_wait _ | Sem_post _ | Ev_wait _
+  | Ev_timed_wait _ | Ev_set _ | Ev_reset _ | Yield | Sleep | Join _ | Spawn
+  | Choose _ -> ()
+
+let create () =
+  let st =
+    { run = None;
+      held = Hashtbl.create 16;
+      vars = Hashtbl.create 64;
+      first = None;
+      accesses_n = 0;
+      races_n = 0 }
+  in
+  { AH.exec_start =
+      (fun run ->
+        Hashtbl.reset st.held;
+        Hashtbl.reset st.vars;
+        st.run <- Some run);
+    observe = (fun ~tid ~op ~result -> observe st ~tid ~op ~result);
+    first_race = (fun () -> st.first);
+    result =
+      (fun () ->
+        { AH.first_race = st.first;
+          lock_edges = [];
+          counters =
+            [ ("analysis/lockset/accesses", st.accesses_n);
+              ("analysis/lockset/races", st.races_n) ] }) }
+
+let analysis = { AH.name = "lockset"; create }

@@ -1,0 +1,16 @@
+(** Eraser-style lockset race detection (Savage et al., SOSP 1997).
+
+    The classic state machine per shared variable:
+    virgin → exclusive(t) → shared / shared-modified, with the candidate
+    lockset intersected against the accessor's held mutexes in the shared
+    states; an empty lockset in shared-modified is reported as a race.
+
+    Cheaper and stricter than happens-before: it demands a single consistent
+    protecting lock, so fork/join and semaphore/event protocols it cannot
+    see produce false positives (which the HB detector refutes), while
+    lock-protected races missed in one interleaving are still caught — it
+    does not depend on the accesses actually overlapping. See DESIGN.md for
+    the soundness comparison. Counters: ["analysis/lockset/accesses"],
+    ["analysis/lockset/races"]. *)
+
+val analysis : Fairmc_core.Analysis_hook.t

@@ -1,0 +1,30 @@
+(* Immutable vector clocks; trailing zero components are not materialized,
+   so clocks over different thread counts compare correctly. *)
+
+type t = int array
+
+let empty = [||]
+
+let get vc i = if i >= 0 && i < Array.length vc then vc.(i) else 0
+
+let tick vc i =
+  if i < 0 then invalid_arg "Vclock.tick";
+  let len = max (Array.length vc) (i + 1) in
+  Array.init len (fun j -> if j = i then get vc i + 1 else get vc j)
+
+let join a b =
+  let len = max (Array.length a) (Array.length b) in
+  Array.init len (fun i -> max (get a i) (get b i))
+
+let leq a b =
+  let rec go i = i >= Array.length a || (a.(i) <= get b i && go (i + 1)) in
+  go 0
+
+let equal a b = leq a b && leq b a
+let lt a b = leq a b && not (leq b a)
+
+let of_list l = Array.of_list l
+
+let pp ppf vc =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int vc)))

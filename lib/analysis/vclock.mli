@@ -1,0 +1,38 @@
+(** Vector clocks for the happens-before race detector.
+
+    Values are immutable (operations return fresh clocks): the detector's
+    hot operations are component lookups, and the algebraic laws below are
+    property-tested directly on values.
+
+    Laws (see [test/test_analysis.ml]):
+    - [join] is associative, commutative, and idempotent with [empty] as
+      identity — clocks form a join-semilattice under [leq];
+    - [lt] (happens-before) is a strict partial order: irreflexive,
+      asymmetric, transitive. *)
+
+type t
+
+val empty : t
+(** The zero clock (identity of [join], bottom of [leq]). *)
+
+val get : t -> int -> int
+(** Component [i]; 0 beyond the allocated length. *)
+
+val tick : t -> int -> t
+(** Increment component [i]. *)
+
+val join : t -> t -> t
+(** Pointwise maximum. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=] — the happens-before-or-equal order. *)
+
+val equal : t -> t -> bool
+
+val lt : t -> t -> bool
+(** [leq] and not [equal]: strict happens-before. *)
+
+val of_list : int list -> t
+(** Clock with the given components (index 0 first); for tests. *)
+
+val pp : Format.formatter -> t -> unit

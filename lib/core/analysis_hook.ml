@@ -1,0 +1,129 @@
+(* Types and graph utilities shared between the search and the analysis
+   layer. See analysis_hook.mli. *)
+
+type race = {
+  detector : string;
+  obj : Op.obj;
+  obj_name : string;
+  a_tid : int;
+  a_step : int;
+  a_op : Op.t;
+  b_tid : int;
+  b_step : int;
+  b_op : Op.t;
+  rendered : string;
+  decisions : (int * int) list;
+  length : int;
+}
+
+type lock_edge = {
+  e_from : Op.obj;
+  e_from_name : string;
+  e_to : Op.obj;
+  e_to_name : string;
+}
+
+type result = {
+  first_race : race option;
+  lock_edges : lock_edge list;
+  counters : (string * int) list;
+}
+
+type instance = {
+  exec_start : Engine.t -> unit;
+  observe : Engine.observer;
+  first_race : unit -> race option;
+  result : unit -> result;
+}
+
+type t = { name : string; create : unit -> instance }
+
+let snapshot_cex run =
+  let tr = Engine.trace run in
+  let names = Objects.pp_obj (Engine.store run) in
+  let tail = if Trace.length tr > 400 then Some 400 else None in
+  let rendered = Format.asprintf "@[<v>%a@]" (Trace.pp ?tail ~names) tr in
+  (rendered, Trace.decisions tr, Trace.length tr)
+
+let edge_key e = (e.e_from, e.e_to)
+
+let dedup_edges edges =
+  let sorted = List.sort (fun a b -> compare (edge_key a) (edge_key b)) edges in
+  let rec uniq = function
+    | a :: (b :: _ as rest) when edge_key a = edge_key b -> uniq rest
+    | a :: rest -> a :: uniq rest
+    | [] -> []
+  in
+  uniq sorted
+
+(* Tarjan's SCC algorithm over the (tiny) lock graph. Components of at least
+   two locks are reported; self-loops cannot arise (re-acquiring a held
+   mutex is a sync error before the edge would be recorded). *)
+let cycles edges =
+  let edges = dedup_edges edges in
+  let name_of = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace name_of e.e_from e.e_from_name;
+      Hashtbl.replace name_of e.e_to e.e_to_name)
+    edges;
+  let nodes = List.sort_uniq compare (Hashtbl.fold (fun o _ acc -> o :: acc) name_of []) in
+  let succs = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt succs e.e_from) in
+      Hashtbl.replace succs e.e_from (e.e_to :: cur))
+    edges;
+  let index = Hashtbl.create 16 and lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] and next_index = ref 0 and sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !next_index;
+    Hashtbl.replace lowlink v !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (List.sort compare (Option.value ~default:[] (Hashtbl.find_opt succs v)));
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      if List.length comp >= 2 then sccs := comp :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  let named comp =
+    List.map
+      (fun o -> (o, Option.value ~default:(Printf.sprintf "#%d" o) (Hashtbl.find_opt name_of o)))
+      (List.sort compare comp)
+  in
+  List.sort compare (List.map named !sccs)
+
+let combine results =
+  let first_race =
+    List.fold_left
+      (fun acc (r : result) ->
+        match (acc, r.first_race) with
+        | None, x -> x
+        | (Some _ as a), None -> a
+        | Some a, Some b -> Some (if b.b_step < a.b_step then b else a))
+      None results
+  in
+  { first_race;
+    lock_edges = dedup_edges (List.concat_map (fun (r : result) -> r.lock_edges) results);
+    counters = List.concat_map (fun (r : result) -> r.counters) results }

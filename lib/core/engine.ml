@@ -22,8 +22,11 @@ type tstate =
   | Running  (* transient, while its continuation executes *)
   | Finished
 
+type observer = tid:int -> op:Op.t -> result:int -> unit
+
 type t = {
   prog_store : Objects.t;
+  obs : observer option;
   mutable threads : tstate array;
   mutable prev_op : Op.t option array;
   mutable op_repeat : int array;
@@ -53,6 +56,15 @@ type t = {
    domains. *)
 let active_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 let active () = Domain.DLS.get active_key
+
+(* The step observer is a per-domain cell, like [active]: the search layer
+   installs it around a whole search, every [start] on that domain captures
+   the current value into the run, and [step] pays one immediate branch when
+   it is unset (the zero-cost-when-off contract of the obs layer). *)
+let observer_key : observer option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_observer f = Domain.DLS.get observer_key := f
 
 let record_failure t tid f = if t.failure = None then t.failure <- Some (tid, f)
 
@@ -139,6 +151,7 @@ let start (prog : Program.t) =
   let booted = prog.Program.boot () in
   let t =
     { prog_store = store;
+      obs = !(Domain.DLS.get observer_key);
       threads = Array.make 8 Finished;
       prev_op = Array.make 8 None;
       op_repeat = Array.make 8 0;
@@ -242,6 +255,16 @@ let step t ~tid ~alt =
       { Trace.step = t.steps; tid; op = p.op; alt;
         result = result <> 0; yielded; enabled = enabled_before };
     t.steps <- t.steps + 1;
+    (match t.obs with
+     | None -> ()
+     | Some f ->
+       (* After [Trace.push]: an observer that snapshots the trace here sees
+          the schedule up to and including this transition. [Spawn] reports
+          the child tid, [Choose] the chosen alternative, try/timed ops 0/1. *)
+       let result =
+         match p.op with Op.Spawn -> (Runtime.ctx ()).spawn_result | _ -> result
+       in
+       f ~tid ~op:p.op ~result);
     if t.failure = None then begin
       t.threads.(tid) <- Running;
       let c = Runtime.ctx () in

@@ -24,6 +24,20 @@ val pp_failure : Format.formatter -> failure -> unit
 
 type t
 
+type observer = tid:int -> op:Op.t -> result:int -> unit
+(** One callback per executed transition: the stepped thread, its operation
+    (object ids inside, see {!Op.obj_of}), and the semantic result — the
+    child tid for [Spawn], the chosen alternative for [Choose], 0/1 success
+    for try/timed operations, 1 otherwise. Invoked after the transition is
+    recorded in the trace, so [Trace.decisions (trace t)] at that moment is
+    a replayable schedule ending in the observed transition. *)
+
+val set_observer : observer option -> unit
+(** Install (or clear) the calling domain's step observer. Captured by each
+    subsequent {!start} on this domain for the lifetime of that run; when
+    unset, stepping pays a single branch (zero-cost contract). The analysis
+    layer ({!Search_config.analyses}) is the intended client. *)
+
 val start : Program.t -> t
 (** Boot the program: run [boot], create the initial threads, and advance
     each to its first scheduling point. *)

@@ -14,6 +14,7 @@ module Program = Program
 module Engine = Engine
 module Trace = Trace
 module Fair_sched = Fair_sched
+module Analysis_hook = Analysis_hook
 module Search_config = Search_config
 module Search = Search
 module Par_search = Par_search

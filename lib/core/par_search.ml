@@ -31,6 +31,7 @@
 
 module C = Search_config
 module Rng = Fairmc_util.Rng
+module AH = Analysis_hook
 module M = Fairmc_obs.Metrics
 module Clock = Fairmc_obs.Clock
 module Progress = Fairmc_obs.Progress
@@ -64,8 +65,37 @@ let rec note_error stop k =
 let deadline_of t0 (cfg : C.t) =
   match cfg.time_limit with None -> infinity | Some l -> t0 +. l
 
-(* Sum counters, max the maxima, union the coverage tables, and merge the
-   per-shard metrics snapshots (counters add, gauges max — see Metrics). *)
+(* Analysis results merge like coverage: the lock-order graph is a set, so
+   shard edge lists are unioned (dedup + canonical sort) and the cycles are
+   recomputed from the union — identical for every shard layout. *)
+let merge_analysis parts =
+  match List.filter_map (fun ((r : Report.t), _) -> r.Report.analysis) parts with
+  | [] -> None
+  | anas ->
+    let edges =
+      AH.dedup_edges
+        (List.concat_map (fun (a : Report.analysis) -> a.Report.lock_order_edges) anas)
+    in
+    Some { Report.lock_order_edges = edges; potential_deadlock_cycles = AH.cycles edges }
+
+(* The lock-graph counters are set-derived, so summing them across shards
+   would double-count shared edges; overwrite them from the merged union
+   (keeping the counter slice jobs-invariant, like every other counter). *)
+let fix_lockgraph_counters metrics analysis =
+  match analysis with
+  | Some (a : Report.analysis)
+    when M.Snapshot.find metrics "analysis/lockgraph/edges" <> None ->
+    let m =
+      M.Snapshot.with_counter metrics "analysis/lockgraph/edges"
+        (List.length a.Report.lock_order_edges)
+    in
+    M.Snapshot.with_counter m "analysis/lockgraph/cycles"
+      (List.length a.Report.potential_deadlock_cycles)
+  | Some _ | None -> metrics
+
+(* Sum counters, max the maxima, union the coverage tables, merge the
+   per-shard metrics snapshots (counters add, gauges max — see Metrics), and
+   union the analysis results. *)
 let merge_parts parts =
   let tbl = Hashtbl.create 4096 in
   let stats, metrics =
@@ -86,7 +116,10 @@ let merge_parts parts =
           M.Snapshot.merge ms r.Report.metrics ))
       (zero_stats, M.Snapshot.empty) parts
   in
-  ({ stats with Report.states = Hashtbl.length tbl }, metrics)
+  let analysis = merge_analysis parts in
+  ( { stats with Report.states = Hashtbl.length tbl },
+    fix_lockgraph_counters metrics analysis,
+    analysis )
 
 (* Run [worker 0 .. worker (jobs-1)], workers 1.. on fresh domains and
    worker 0 inline on the calling domain (each worker drives its own engine
@@ -196,7 +229,7 @@ let run_systematic (cfg : C.t) prog ~jobs =
       | None -> ()
     done;
     let win_r, win_tbl = Option.get results.(winner) in
-    let stats, metrics = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
+    let stats, metrics, analysis = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
     let ws = win_r.Report.stats in
     { Report.verdict = win_r.Report.verdict;
       stats =
@@ -205,11 +238,12 @@ let run_systematic (cfg : C.t) prog ~jobs =
           first_error_execution =
             Option.map (fun e -> !prior_execs + e) ws.Report.first_error_execution;
           first_error_time = ws.Report.first_error_time };
-      metrics = add_par_gauges metrics }
+      metrics = add_par_gauges metrics;
+      analysis }
   end
   else begin
     let parts = List.filter_map Fun.id (Array.to_list results) in
-    let stats, metrics = merge_parts parts in
+    let stats, metrics, analysis = merge_parts parts in
     let stats = { stats with Report.elapsed } in
     let limited =
       expand_timed_out
@@ -218,7 +252,8 @@ let run_systematic (cfg : C.t) prog ~jobs =
     in
     { Report.verdict = (if limited then Report.Limits_reached else Report.Verified);
       stats;
-      metrics = add_par_gauges metrics }
+      metrics = add_par_gauges metrics;
+      analysis }
   end
 
 let run_sampling (cfg : C.t) prog ~jobs =
@@ -255,7 +290,7 @@ let run_sampling (cfg : C.t) prog ~jobs =
      Progress.force p (fun () ->
          { Progress.executions = Atomic.get shared_execs; elapsed; jobs; phase = "search" }));
   let parts = List.filter_map Fun.id (Array.to_list results) in
-  let stats, metrics = merge_parts parts in
+  let stats, metrics, analysis = merge_parts parts in
   let stats = { stats with Report.elapsed } in
   let metrics =
     if cfg.C.metrics then M.Snapshot.with_gauge metrics "par/jobs" jobs else metrics
@@ -271,8 +306,9 @@ let run_sampling (cfg : C.t) prog ~jobs =
              execution index is not well defined across streams. *)
           Report.first_error_execution = ws.Report.first_error_execution;
           first_error_time = ws.Report.first_error_time };
-      metrics }
-  | _ -> { Report.verdict = Report.Limits_reached; stats; metrics }
+      metrics;
+      analysis }
+  | _ -> { Report.verdict = Report.Limits_reached; stats; metrics; analysis }
 
 let run (cfg : C.t) prog =
   let jobs = resolve_jobs cfg in

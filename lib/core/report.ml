@@ -15,6 +15,7 @@ type verdict =
   | Safety_violation of { tid : int; failure : Engine.failure; cex : counterexample }
   | Deadlock of { cex : counterexample }
   | Divergence of { kind : divergence_kind; cex : counterexample }
+  | Race of { race : Analysis_hook.race; cex : counterexample }
   | Limits_reached
 
 type stats = {
@@ -33,15 +34,21 @@ type stats = {
   max_threads : int;
 }
 
+type analysis = {
+  lock_order_edges : Analysis_hook.lock_edge list;
+  potential_deadlock_cycles : (Op.obj * string) list list;
+}
+
 type t = {
   verdict : verdict;
   stats : stats;
   metrics : Fairmc_obs.Metrics.Snapshot.t;
+  analysis : analysis option;
 }
 
 let found_error t =
   match t.verdict with
-  | Safety_violation _ | Deadlock _ | Divergence _ -> true
+  | Safety_violation _ | Deadlock _ | Divergence _ | Race _ -> true
   | Verified | Limits_reached -> false
 
 let verdict_name = function
@@ -51,11 +58,28 @@ let verdict_name = function
   | Divergence { kind = Fair_nontermination; _ } -> "livelock (fair nontermination)"
   | Divergence { kind = Good_samaritan_violation t; _ } ->
     Printf.sprintf "good-samaritan violation (thread %d)" t
+  | Race { race; _ } -> Printf.sprintf "data race (%s) on %s" race.detector race.obj_name
   | Limits_reached -> "limits reached"
+
+(* The canonical short keys: exactly the EXPECTED column of `chess list` and
+   the verdict selector of `chess sweep`. A round-trip test keeps the
+   registry's expectation strings in sync with this function. *)
+let verdict_key = function
+  | Verified -> "verified"
+  | Safety_violation _ -> "safety"
+  | Deadlock _ -> "deadlock"
+  | Divergence { kind = Fair_nontermination; _ } -> "livelock"
+  | Divergence { kind = Good_samaritan_violation _; _ } -> "good-samaritan"
+  | Race _ -> "race"
+  | Limits_reached -> "limits"
+
+let verdict_keys =
+  [ "verified"; "safety"; "deadlock"; "livelock"; "good-samaritan"; "race"; "limits" ]
 
 let cex t =
   match t.verdict with
-  | Safety_violation { cex; _ } | Deadlock { cex } | Divergence { cex; _ } -> Some cex
+  | Safety_violation { cex; _ } | Deadlock { cex } | Divergence { cex; _ }
+  | Race { cex; _ } -> Some cex
   | Verified | Limits_reached -> None
 
 let execs_per_sec s =
@@ -77,6 +101,11 @@ let pp_summary ppf t =
   Format.fprintf ppf "%s (%a, %.0f execs/s)" (verdict_name t.verdict) pp_stats t.stats
     (execs_per_sec t.stats)
 
+let pp_cycle ppf cycle =
+  let names = List.map snd cycle in
+  Format.fprintf ppf "%s"
+    (String.concat " -> " (names @ [ List.nth names 0 ]))
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>result: %s@,%a@]" (verdict_name t.verdict) pp_stats t.stats;
   let cex =
@@ -84,9 +113,21 @@ let pp ppf t =
     | Safety_violation { cex; failure; tid } ->
       Format.fprintf ppf "@,thread %d: %a" tid Engine.pp_failure failure;
       Some cex
+    | Race { race; cex } ->
+      Format.fprintf ppf
+        "@,%s detector: thread %d %s (step %d) races with thread %d %s (step %d) on %s"
+        race.detector race.a_tid (Op.to_string race.a_op) race.a_step race.b_tid
+        (Op.to_string race.b_op) race.b_step race.obj_name;
+      Some cex
     | Deadlock { cex } | Divergence { cex; _ } -> Some cex
     | Verified | Limits_reached -> None
   in
+  (match t.analysis with
+   | Some { potential_deadlock_cycles = (_ :: _ as cycles); _ } ->
+     Format.fprintf ppf "@,@[<v>potential deadlocks (lock-order cycles):%a@]"
+       (fun ppf -> List.iter (Format.fprintf ppf "@,  %a" pp_cycle))
+       cycles
+   | Some _ | None -> ());
   match cex with
   | None -> ()
   | Some cex -> Format.fprintf ppf "@,@[<v>counterexample (%d steps):@,%s@]" cex.length cex.rendered
@@ -131,6 +172,21 @@ let verdict_to_json v =
           ("failure", Json.Str (Format.asprintf "%a" Engine.pp_failure failure));
           ("counterexample", cex_to_json cex) ] )
     | Deadlock { cex } -> ("deadlock", [ ("counterexample", cex_to_json cex) ])
+    | Race { race; cex } ->
+      ( "race",
+        [ ("detector", Json.Str race.detector);
+          ("object", Json.Obj [ ("id", Json.Int race.obj); ("name", Json.Str race.obj_name) ]);
+          ("first",
+           Json.Obj
+             [ ("tid", Json.Int race.a_tid);
+               ("step", Json.Int race.a_step);
+               ("op", Json.Str (Op.to_string race.a_op)) ]);
+          ("second",
+           Json.Obj
+             [ ("tid", Json.Int race.b_tid);
+               ("step", Json.Int race.b_step);
+               ("op", Json.Str (Op.to_string race.b_op)) ]);
+          ("counterexample", cex_to_json cex) ] )
     | Divergence { kind; cex } ->
       ( "divergence",
         [ ("divergence_kind",
@@ -142,12 +198,33 @@ let verdict_to_json v =
   in
   Json.Obj (("kind", Json.Str kind) :: extra)
 
+let analysis_to_json (a : analysis) =
+  let obj_json (id, name) = Json.Obj [ ("id", Json.Int id); ("name", Json.Str name) ] in
+  Json.Obj
+    [ ("lock_order_edges",
+       Json.Arr
+         (List.map
+            (fun (e : Analysis_hook.lock_edge) ->
+              Json.Obj
+                [ ("from", obj_json (e.e_from, e.e_from_name));
+                  ("to", obj_json (e.e_to, e.e_to_name)) ])
+            a.lock_order_edges));
+      ("potential_deadlock_cycles",
+       Json.Arr
+         (List.map (fun c -> Json.Arr (List.map obj_json c)) a.potential_deadlock_cycles)) ]
+
+(* Schema history: /1 — initial; /2 — adds the "race" verdict kind, the
+   top-level "analysis" object (when analyses ran), and "verdict_key". *)
 let to_json ?program ?config t =
   let opt_str name v = match v with None -> [] | Some s -> [ (name, Json.Str s) ] in
   Json.Obj
-    ([ ("schema", Json.Str "fairmc-report/1") ]
+    ([ ("schema", Json.Str "fairmc-report/2") ]
      @ opt_str "program" program
      @ opt_str "config" config
      @ [ ("verdict", verdict_to_json t.verdict);
+         ("verdict_key", Json.Str (verdict_key t.verdict));
          ("stats", stats_to_json t.stats);
-         ("metrics", Fairmc_obs.Metrics.Snapshot.to_json t.metrics) ])
+         ("metrics", Fairmc_obs.Metrics.Snapshot.to_json t.metrics) ]
+     @ (match t.analysis with
+        | None -> []
+        | Some a -> [ ("analysis", analysis_to_json a) ]))

@@ -18,6 +18,10 @@ type verdict =
   | Safety_violation of { tid : int; failure : Engine.failure; cex : counterexample }
   | Deadlock of { cex : counterexample }
   | Divergence of { kind : divergence_kind; cex : counterexample }
+  | Race of { race : Analysis_hook.race; cex : counterexample }
+      (** a dynamic analysis ({!Search_config.analyses}) reported a data
+          race on this execution; [cex] replays the schedule up to and
+          including the racing access *)
   | Limits_reached
       (** execution/time budget exhausted before completing the search *)
 
@@ -37,16 +41,37 @@ type stats = {
   max_threads : int;
 }
 
+type analysis = {
+  lock_order_edges : Analysis_hook.lock_edge list;
+      (** union over all explored executions (and all shards), canonically
+          sorted ({!Analysis_hook.dedup_edges}) *)
+  potential_deadlock_cycles : (Op.obj * string) list list;
+      (** {!Analysis_hook.cycles} of the merged edge set *)
+}
+
 type t = {
   verdict : verdict;
   stats : stats;
   metrics : Fairmc_obs.Metrics.Snapshot.t;
       (** full instrument snapshot; {!Fairmc_obs.Metrics.Snapshot.empty}
           unless [Search_config.metrics] was set *)
+  analysis : analysis option;
+      (** cross-execution analysis results; [None] unless
+          [Search_config.analyses] was non-empty *)
 }
 
 val found_error : t -> bool
 val verdict_name : verdict -> string
+
+val verdict_key : verdict -> string
+(** Canonical short key: ["verified"], ["safety"], ["deadlock"],
+    ["livelock"], ["good-samaritan"], ["race"], or ["limits"] — the
+    vocabulary of the workload registry's expected verdicts and of
+    [chess sweep]. *)
+
+val verdict_keys : string list
+(** Every string {!verdict_key} can return. *)
+
 val cex : t -> counterexample option
 (** The counterexample, for erroring verdicts. *)
 
@@ -56,7 +81,9 @@ val pp_summary : Format.formatter -> t -> unit
 val stats_to_json : stats -> Fairmc_util.Json.t
 
 val to_json : ?program:string -> ?config:string -> t -> Fairmc_util.Json.t
-(** The machine-readable report document ([chess check --json]): schema tag,
-    program/config labels when given, verdict (with the replayable decision
-    list of the counterexample, not its rendering), stats, and the metrics
-    snapshot. *)
+(** The machine-readable report document ([chess check --json]), schema
+    [fairmc-report/2]: schema tag, program/config labels when given, verdict
+    (with the replayable decision list of the counterexample, not its
+    rendering), [verdict_key], stats, the metrics snapshot, and — when
+    analyses ran — the ["analysis"] object (lock-order edges and potential
+    deadlock cycles). *)

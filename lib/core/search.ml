@@ -3,6 +3,7 @@ module Rng = Fairmc_util.Rng
 module C = Search_config
 module Obs = Fairmc_obs
 module M = Fairmc_obs.Metrics
+module AH = Analysis_hook
 
 type alt = { tid : int; alt : int; cost : int }
 
@@ -82,6 +83,7 @@ type state = {
   frontier_at : int;  (* cut fresh decisions at this depth; [max_int] = never *)
   meters : meters option;
   progress : Obs.Progress.t option;
+  analysis : AH.instance list;  (* this shard's dynamic-analysis instances *)
   mutable executions : int;
   mutable transitions : int;
   mutable nonterminating : int;
@@ -183,6 +185,7 @@ let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
     frontier_at;
     meters = (if cfg.metrics then Some (make_meters ()) else None);
     progress;
+    analysis = List.map (fun (a : AH.t) -> a.create ()) cfg.analyses;
     executions = 0;
     transitions = 0;
     nonterminating = 0;
@@ -289,6 +292,7 @@ let render_cex ?(tail = false) st run =
    with fresh decisions until the path ends. *)
 let execute_path st ~systematic =
   let run = Engine.start st.prog in
+  List.iter (fun (i : AH.instance) -> i.exec_start run) st.analysis;
   Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
   let cfg = st.cfg in
   let fair = ref (Fair_sched.create ~nthreads:(Engine.nthreads run) ~k:cfg.fair_k ()) in
@@ -539,7 +543,30 @@ let is_systematic (cfg : C.t) =
   | C.Dfs | C.Context_bounded _ -> true
   | C.Random_walk _ | C.Round_robin | C.Priority_random _ -> false
 
-let run_loop st =
+(* Earliest race reported by any analysis instance so far (by step of the
+   completing access; polled after every path — no allocation when clean). *)
+let first_race_of st =
+  List.fold_left
+    (fun acc (i : AH.instance) ->
+      match (acc, i.AH.first_race ()) with
+      | None, x -> x
+      | (Some _ as a), None -> a
+      | Some (a : AH.race), Some b -> Some (if b.b_step < a.b_step then b else a))
+    None st.analysis
+
+(* Final analysis results of this shard: the report's [analysis] field plus
+   the per-analysis counters to splice into the metrics snapshot. *)
+let analysis_report st =
+  match st.analysis with
+  | [] -> (None, [])
+  | insts ->
+    let combined = AH.combine (List.map (fun (i : AH.instance) -> i.AH.result ()) insts) in
+    ( Some
+        { Report.lock_order_edges = combined.AH.lock_edges;
+          potential_deadlock_cycles = AH.cycles combined.AH.lock_edges },
+      combined.AH.counters )
+
+let run_loop_body st =
   let cfg = st.cfg in
   let systematic = is_systematic cfg in
   let sampling_budget =
@@ -582,6 +609,25 @@ let run_loop st =
          verdict := Some (Report.Divergence { kind; cex = render_cex ~tail:true st run_ })
        | P_nonterminating -> st.nonterminating <- st.nonterminating + 1
        | P_stopped -> verdict := Some Report.Limits_reached);
+      (* An analysis-reported race ends the search like an engine-detected
+         error. An engine error on the same path takes precedence (both
+         rules are deterministic, so jobs=1 and jobs=N agree); a race beats
+         a mere budget stop. *)
+      (match !verdict with
+       | None | Some Report.Limits_reached ->
+         (match first_race_of st with
+          | Some race ->
+            mark_error ();
+            verdict :=
+              Some
+                (Report.Race
+                   { race;
+                     cex =
+                       { Report.rendered = race.AH.rendered;
+                         decisions = race.AH.decisions;
+                         length = race.AH.length } })
+          | None -> ())
+       | Some _ -> ());
       if !verdict = None then begin
         (match cfg.max_executions with
          | Some m ->
@@ -602,7 +648,28 @@ let run_loop st =
       end
     end
   done;
-  { Report.verdict = Option.get !verdict; stats = stats_of st; metrics = metrics_of st }
+  let analysis, acounters = analysis_report st in
+  let metrics =
+    List.fold_left (fun m (k, v) -> M.Snapshot.with_counter m k v) (metrics_of st) acounters
+  in
+  { Report.verdict = Option.get !verdict; stats = stats_of st; metrics; analysis }
+
+(* Install the shard's analysis instances as the domain's step observer for
+   the duration of the loop. Cleared on every exit path: a leaked observer
+   would bill later searches on this domain to these instances. *)
+let run_loop st =
+  match st.analysis with
+  | [] -> run_loop_body st
+  | insts ->
+    let observe =
+      match insts with
+      | [ i ] -> i.AH.observe
+      | _ ->
+        fun ~tid ~op ~result ->
+          List.iter (fun (i : AH.instance) -> i.AH.observe ~tid ~op ~result) insts
+    in
+    Engine.set_observer (Some observe);
+    Fun.protect ~finally:(fun () -> Engine.set_observer None) (fun () -> run_loop_body st)
 
 let run cfg prog =
   let progress = progress_of_cfg cfg in
@@ -628,7 +695,15 @@ let run_shard ?cancel ?deadline ?rng ?prefix ?shared_execs ?progress cfg prog =
 let expand ?deadline cfg prog ~split_depth =
   let st =
     make_state ?deadline ~frontier_at:(max 1 split_depth)
-      { cfg with C.coverage = false; metrics = false; progress = false; on_progress = None }
+      (* Analyses are stripped too: workers re-execute every item, so
+         expansion-time observation would double-count and make analysis
+         results depend on the shard layout. *)
+      { cfg with
+        C.coverage = false;
+        metrics = false;
+        progress = false;
+        on_progress = None;
+        analyses = [] }
       prog
   in
   if not (is_systematic cfg) then invalid_arg "Search.expand: sampling mode";

@@ -27,6 +27,7 @@ type t = {
   progress : bool;
   progress_interval : float;
   on_progress : (Fairmc_obs.Progress.sample -> unit) option;
+  analyses : Analysis_hook.t list;
 }
 
 let default =
@@ -50,7 +51,8 @@ let default =
     metrics = false;
     progress = false;
     progress_interval = 1.0;
-    on_progress = None }
+    on_progress = None;
+    analyses = [] }
 
 let fair_dfs = default
 
@@ -79,6 +81,10 @@ let describe t =
     (if t.fair then " fair" else " unfair")
     (match t.depth_bound with Some d -> Printf.sprintf " db=%d" d | None -> "")
     (if t.sleep_sets then " +sleepsets" else "")
-    (if t.jobs = 1 then ""
+    ((match t.analyses with
+      | [] -> ""
+      | l -> " +" ^ String.concat "+" (List.map (fun (a : Analysis_hook.t) -> a.name) l))
+     ^
+     if t.jobs = 1 then ""
      else if t.jobs <= 0 then " jobs=auto"
      else Printf.sprintf " jobs=%d" t.jobs)

@@ -71,6 +71,14 @@ type t = {
       (** user callback, driven by the same poll points as [progress]. Under
           parallel search it is invoked from worker domains (at most one
           emission per interval search-wide) and must be thread-safe. *)
+  analyses : Analysis_hook.t list;
+      (** dynamic analyses run over every explored execution via the
+          {!Engine.set_observer} step stream (empty by default — no observer
+          installed, no cost). Each parallel shard gets its own instances;
+          results are merged deterministically (see DESIGN.md, "Dynamic
+          analyses"). A race reported by an analysis ends the search with a
+          {!Report.Race} verdict, selected by the same DFS-first-error rule
+          as engine-detected errors. *)
 }
 
 val default : t

@@ -12,7 +12,7 @@ let edge_diff before after =
 
 let pair_json (t, u) = Json.Arr [ Json.Int t; Json.Int u ]
 
-let of_schedule ?(fair_k = 1) prog decisions =
+let of_schedule ?(fair_k = 1) ?race prog decisions =
   let run = Engine.start prog in
   Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
   let fair = ref (Fair_sched.create ~nthreads:(Engine.nthreads run) ~k:fair_k ()) in
@@ -72,9 +72,33 @@ let of_schedule ?(fair_k = 1) prog decisions =
           incr step_i
         | _ -> ok := false)
     decisions;
+  (* Race markers at both access sites, so the two racing slices light up in
+     Perfetto even when hundreds of steps apart. *)
+  (match race with
+   | None -> ()
+   | Some (r : Analysis_hook.race) ->
+     let mark ~tid ~step ~op ~other =
+       if step < !step_i then begin
+         name_thread tid;
+         push
+           (TE.instant
+              ~name:(Printf.sprintf "race: %s" r.obj_name)
+              ~cat:"race" ~tid ~ts:(float_of_int step)
+              ~args:
+                [ ("detector", Json.Str r.detector);
+                  ("object", Json.Str r.obj_name);
+                  ("op", Json.Str (Op.to_string op));
+                  ("racing_step", Json.Int other) ]
+              ())
+       end
+     in
+     mark ~tid:r.a_tid ~step:r.a_step ~op:r.a_op ~other:r.b_step;
+     mark ~tid:r.b_tid ~step:r.b_step ~op:r.b_op ~other:r.a_step);
   TE.to_json (List.rev !evs)
 
 let of_report ?fair_k prog (r : Report.t) =
   match Report.cex r with
   | None -> None
-  | Some cex -> Some (of_schedule ?fair_k prog cex.Report.decisions)
+  | Some cex ->
+    let race = match r.Report.verdict with Report.Race { race; _ } -> Some race | _ -> None in
+    Some (of_schedule ?fair_k ?race prog cex.Report.decisions)

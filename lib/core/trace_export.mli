@@ -8,13 +8,16 @@
     the priority relation. The result loads in Perfetto (ui.perfetto.dev)
     and [chrome://tracing]. *)
 
-val of_schedule : ?fair_k:int -> Program.t -> (int * int) list -> Fairmc_util.Json.t
+val of_schedule :
+  ?fair_k:int -> ?race:Analysis_hook.race -> Program.t -> (int * int) list ->
+  Fairmc_util.Json.t
 (** [of_schedule prog decisions] replays [decisions] on a fresh engine,
     running the fair scheduler alongside to recover priority-change events.
     Replay stops early if the schedule does not fit the program (wrong
     program or stale schedule); the document then covers the feasible
     prefix. [fair_k] must match the search that produced the schedule
-    (default 1). *)
+    (default 1). [race] adds category-["race"] instant markers at both
+    access sites (skipped if they fall outside the replayed prefix). *)
 
 val of_report : ?fair_k:int -> Program.t -> Report.t -> Fairmc_util.Json.t option
 (** The trace document for the report's counterexample, or [None] when the

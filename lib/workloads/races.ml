@@ -1,0 +1,72 @@
+open Fairmc_core
+
+let unsync_counter () =
+  Program.of_threads ~name:"races-unsync-counter" @@ fun () ->
+  let c = Sync.int_var ~name:"counter" 0 in
+  let bump () = Sync.Svar.set c (Sync.Svar.get c + 1) in
+  [ bump; bump ]
+
+let locked_counter () =
+  Program.of_threads ~name:"races-locked-twin" @@ fun () ->
+  let c = Sync.int_var ~name:"counter" 0 in
+  let m = Sync.Mutex.create ~name:"m" () in
+  let bump () =
+    Sync.Mutex.lock m;
+    Sync.Svar.set c (Sync.Svar.get c + 1);
+    Sync.Mutex.unlock m
+  in
+  [ bump;
+    bump;
+    (fun () ->
+      Sync.join 0;
+      Sync.join 1;
+      Sync.check (Sync.Svar.get c = 2) "locked counter: lost update") ]
+
+(* Double-checked lazy initialization. [locked:false] is the textbook bug:
+   the fast path reads [initialized] (and then [data]) without holding the
+   mutex, racing with the initializer's locked writes. Under the checker's
+   sequentially consistent memory the value is still always 42, so only the
+   race detector distinguishes the two variants. *)
+let dcl_variant ~name ~locked () =
+  Program.of_threads ~name @@ fun () ->
+  let initialized = Sync.bool_var ~name:"initialized" false in
+  let data = Sync.int_var ~name:"data" 0 in
+  let m = Sync.Mutex.create ~name:"init_lock" () in
+  let init_locked () =
+    Sync.Mutex.lock m;
+    if not (Sync.Svar.get initialized) then begin
+      Sync.Svar.set data 42;
+      Sync.Svar.set initialized true
+    end;
+    let v = Sync.Svar.get data in
+    Sync.Mutex.unlock m;
+    v
+  in
+  let get_instance () =
+    if locked then init_locked ()
+    else if Sync.Svar.get initialized then Sync.Svar.get data
+    else init_locked ()
+  in
+  let use () = Sync.check (get_instance () = 42) "DCL: saw uninitialized data" in
+  [ use; use ]
+
+let dcl = dcl_variant ~name:"races-dcl" ~locked:false
+let dcl_locked = dcl_variant ~name:"races-dcl-locked" ~locked:true
+
+let ab_ba () =
+  Program.of_threads ~name:"races-ab-ba" @@ fun () ->
+  let a = Sync.Mutex.create ~name:"A" () in
+  let b = Sync.Mutex.create ~name:"B" () in
+  [ (fun () ->
+      Sync.Mutex.lock a;
+      Sync.Mutex.lock b;
+      Sync.Mutex.unlock b;
+      Sync.Mutex.unlock a);
+    (fun () ->
+      (* The join serializes the inversion: no schedule deadlocks, but the
+         lock-order cycle A→B→A is one removed join away from one. *)
+      Sync.join 0;
+      Sync.Mutex.lock b;
+      Sync.Mutex.lock a;
+      Sync.Mutex.unlock a;
+      Sync.Mutex.unlock b) ]

@@ -1,0 +1,29 @@
+(** Workloads exercising the dynamic analyses (PR 4): data races the base
+    safety checker cannot see (no assertion fails), their correctly
+    synchronized twins, and a lock-order inversion that never deadlocks in
+    any explored schedule but is flagged by the lock graph. *)
+
+val unsync_counter : unit -> Fairmc_core.Program.t
+(** Two threads increment a shared counter with plain read/write — a lost
+    update and an HB race, but no assertion, so the base checker verifies
+    it. *)
+
+val locked_counter : unit -> Fairmc_core.Program.t
+(** The mutex-protected twin of {!unsync_counter}, with a join-checker
+    asserting the final sum. Race-free. *)
+
+val dcl : unit -> Fairmc_core.Program.t
+(** Broken double-checked locking: the fast-path read of the [initialized]
+    flag (and the subsequent data read) skips the mutex. Functionally
+    correct under sequential consistency — the assertion never fires — but
+    racy. *)
+
+val dcl_locked : unit -> Fairmc_core.Program.t
+(** Double-checked locking done naively right: every access under the
+    mutex. Race-free. *)
+
+val ab_ba : unit -> Fairmc_core.Program.t
+(** Thread 0 locks A then B; thread 1 joins thread 0 first, then locks B
+    then A. The join makes a deadlock impossible, so the checker verifies
+    it — but the lock-order graph contains the A→B→A cycle: a refactor
+    that removes the join deadlocks. *)

@@ -43,7 +43,15 @@ let all () =
       "Treiber stack with version tags (correct)";
     entry (Lockfree.program Lockfree.Aba) "safety" "Treiber stack ABA bug";
     entry (Singularity.program ~services:2 ~apps:1 ()) "verified"
-      "Singularity-lite boot and shutdown (small)" ]
+      "Singularity-lite boot and shutdown (small)";
+    entry (Races.unsync_counter ()) "race"
+      "unsynchronized counter increments (no assertion: only --races sees it)";
+    entry (Races.locked_counter ()) "verified" "mutex-protected counter twin (race-free)";
+    entry (Races.dcl ()) "race" "broken double-checked locking: unlocked fast-path reads";
+    entry (Races.dcl_locked ()) "verified" "double-checked locking, fully locked (race-free)";
+    entry (Races.ab_ba ()) "verified"
+      "AB/BA lock-order inversion serialized by a join: verified, but
+       --lock-graph reports the potential-deadlock cycle" ]
 
 let find n = List.find_opt (fun e -> e.name = n) (all ())
 let names () = List.map (fun e -> e.name) (all ())

@@ -20,6 +20,7 @@ let verdict_of src =
   | Report.Safety_violation _ -> "safety"
   | Report.Deadlock _ -> "deadlock"
   | Report.Divergence _ -> "divergence"
+  | Report.Race _ -> "race"
   | Report.Limits_reached -> "limits"
 
 let expect_sema_error src =
@@ -246,6 +247,7 @@ let exec_tests =
               | Report.Divergence _ -> "divergence"
               | Report.Safety_violation _ -> "safety"
               | Report.Deadlock _ -> "deadlock"
+              | Report.Race _ -> "race"
             in
             Alcotest.(check string) file expected got
           in

@@ -18,4 +18,5 @@ let () =
       ("dsl", Test_dsl.suite);
       ("checker", Test_checker.suite);
       ("extras", Test_extras.suite);
+      ("analysis", Test_analysis.suite);
       ("workloads", Test_workloads.suite) ]

@@ -15,11 +15,7 @@ let base = { Search_config.default with livelock_bound = Some 2_000 }
 
 let verdict_kind (r : Report.t) = Report.verdict_name r.verdict
 
-let cex_of (r : Report.t) =
-  match r.verdict with
-  | Report.Safety_violation { cex; _ } | Report.Deadlock { cex } | Report.Divergence { cex; _ } ->
-    Some cex
-  | Report.Verified | Report.Limits_reached -> None
+let cex_of = Report.cex
 
 (* Systematic searches must be bit-for-bit equivalent: the parallel
    decomposition re-executes every sequential path exactly once and resolves
