@@ -19,14 +19,14 @@ module Metrics = Fairmc_obs.Metrics
 let full_budget = Sys.getenv_opt "FAIRMC_BENCH" = Some "full"
 
 (* Machine-readable results: every experiment appends records here and the
-   driver writes BENCH_PR4.json at the end (schema fairmc-bench/2). The
+   driver writes BENCH_PR5.json at the end (schema fairmc-bench/2). The
    printed tables stay the human-facing output; the JSON mirrors them. *)
 let bench_records : Json.t list ref = ref []
 
 let record experiment fields =
   bench_records := Json.Obj (("experiment", Json.Str experiment) :: fields) :: !bench_records
 
-let bench_out = "BENCH_PR4.json"
+let bench_out = "BENCH_PR5.json"
 
 let write_records () =
   let doc =
@@ -534,6 +534,51 @@ let analysis_overhead () =
           ("verdict", Json.Str (Report.verdict_name r.verdict)) ])
     arms
 
+(* Fair_sched.step used to copy all five relation arrays per transition;
+   it now mutates in place (snapshots take an explicit Fair_sched.copy).
+   This experiment quantifies that delta: the same update stream applied
+   through the in-place step vs. through copy-then-step (the old cost). *)
+let fair_sched_step () =
+  header "Fair scheduler: in-place step vs copy-per-step";
+  line "%-24s %14s %14s %9s" "configuration" "steps" "steps/sec" "vs copy";
+  let module B = Fairmc_util.Bitset in
+  let module FS = Fair_sched in
+  let steps = if full_budget then 5_000_000 else 500_000 in
+  let run_stream ~nthreads ~copy_each =
+    let rng = Fairmc_util.Rng.make 7L in
+    let fs = ref (FS.create ~nthreads ()) in
+    let es = B.full nthreads in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to steps do
+      let chosen = Fairmc_util.Rng.int rng nthreads in
+      let yielded = Fairmc_util.Rng.bool rng in
+      let base = if copy_each then FS.copy !fs else !fs in
+      fs := FS.step base ~chosen ~yielded ~es_before:es ~es_after:es
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  List.iter
+    (fun nthreads ->
+      (* Warm both paths so allocator state does not bias the first arm. *)
+      ignore (run_stream ~nthreads ~copy_each:true);
+      ignore (run_stream ~nthreads ~copy_each:false);
+      let t_copy = run_stream ~nthreads ~copy_each:true in
+      let t_inplace = run_stream ~nthreads ~copy_each:false in
+      let rate t = float_of_int steps /. t in
+      List.iter
+        (fun (label, t, rel) ->
+          line "%-24s %14d %14.0f %8.2fx" label steps (rate t) rel;
+          record "fair_sched_step"
+            [ ("configuration", Json.Str label);
+              ("nthreads", Json.Int nthreads);
+              ("steps", Json.Int steps);
+              ("elapsed_seconds", Json.Float t);
+              ("steps_per_second", Json.Float (rate t));
+              ("relative_rate", Json.Float rel) ])
+        [ (Printf.sprintf "copy+step n=%d" nthreads, t_copy, 1.0);
+          (Printf.sprintf "in-place n=%d" nthreads, t_inplace, t_copy /. t_inplace) ])
+    (if full_budget then [ 2; 4; 8; 16 ] else [ 2; 8 ])
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: the kernels behind each table/figure.      *)
 
@@ -622,6 +667,7 @@ let all_experiments =
     ("ablation", ablation);
     ("par", par);
     ("analysis", analysis_overhead);
+    ("fairsched", fair_sched_step);
     ("bechamel", bechamel) ]
 
 let () =

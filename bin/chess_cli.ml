@@ -157,9 +157,34 @@ let save_repro =
        & info [ "save-repro" ] ~docv:"FILE"
            ~doc:"When an error is found, save its schedule to FILE for $(b,chess replay).")
 
+let checkpoint_out =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Write a durable-session checkpoint (schema fairmc-ckpt/1) to \
+                 FILE at path boundaries, throttled by \
+                 $(b,--checkpoint-interval), and once when the search stops — \
+                 including on SIGINT/SIGTERM, which end the run gracefully \
+                 with a partial report. Continue later with $(b,--resume).")
+
+let checkpoint_interval =
+  Arg.(value & opt float Search_config.default.checkpoint_interval
+       & info [ "checkpoint-interval" ] ~docv:"SECONDS"
+           ~doc:"Minimum seconds between periodic checkpoint writes (0 writes \
+                 at every path boundary).")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Continue an interrupted search from a checkpoint written by \
+                 $(b,--checkpoint). The checkpoint's configuration fingerprint \
+                 must match the requested one (budgets like $(b,--max-execs) \
+                 and $(b,--time-limit) may differ); keeps checkpointing to \
+                 FILE unless $(b,--checkpoint) names another file.")
+
 let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound max_execs
     time_limit seed sleep_sets coverage jobs split_depth metrics stats progress
-    progress_interval races lockset lock_graph fail_on_race =
+    progress_interval races lockset lock_graph fail_on_race checkpoint
+    checkpoint_interval =
   let analyses =
     (if races || fail_on_race then [ Fairmc_analysis.Hb_race.analysis ] else [])
     @ (if lockset then [ Fairmc_analysis.Lockset.analysis ] else [])
@@ -185,14 +210,16 @@ let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound ma
     metrics = metrics || stats;
     progress;
     progress_interval;
-    analyses }
+    analyses;
+    checkpoint;
+    checkpoint_interval }
 
 let config_term =
   Term.(const build_config $ strategy $ no_fair $ fair_k $ depth_bound $ max_steps
         $ livelock_bound $ max_execs $ time_limit $ seed $ sleep_sets $ coverage
         $ jobs $ split_depth $ metrics_flag $ stats_flag $ progress_flag
         $ progress_interval $ races_flag $ lockset_flag $ lock_graph_flag
-        $ fail_on_race)
+        $ fail_on_race $ checkpoint_out $ checkpoint_interval)
 
 let list_cmd =
   let doc = "List the built-in benchmark programs." in
@@ -206,7 +233,9 @@ let list_cmd =
       "@.EXPECTED is the verdict a sufficiently deep search reaches: verified \
        | safety (assertion/invariant failure) | deadlock | livelock (fair \
        nontermination) | good-samaritan (a thread yields forever) | race \
-       (data race, requires --races).@."
+       (data race, requires --races).@.@.Long searches are durable: pass \
+       --checkpoint FILE (throttled by --checkpoint-interval) to chess check, \
+       interrupt freely with Ctrl-C, and continue later with --resume FILE.@."
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -217,7 +246,7 @@ let check_cmd =
          & info [] ~docv:"PROGRAM"
              ~doc:"Built-in program name (see $(b,chess list)) or a ChessLang $(i,file.chess).")
   in
-  let run name cfg quiet save_repro stats json_out trace_out fail_on_race =
+  let run name cfg quiet save_repro stats json_out trace_out fail_on_race resume =
     let program =
       if Filename.check_suffix name ".chess" then begin
         match D.load_file name with
@@ -242,8 +271,40 @@ let check_cmd =
           Format.eprintf "unknown program %S; try `chess list`@." name;
           exit 2
     in
+    (* Keep checkpointing to the resume file unless another one was named. *)
+    let cfg =
+      match (resume, cfg.Search_config.checkpoint) with
+      | Some file, None -> { cfg with Search_config.checkpoint = Some file }
+      | _ -> cfg
+    in
+    let resume_payload =
+      match resume with
+      | None -> None
+      | Some file ->
+        (match Checkpoint.load file with
+         | Error e ->
+           Format.eprintf "%s: cannot resume: %s@." file e;
+           exit 2
+         | Ok ckpt ->
+           (match Checkpoint.plan_resume ckpt cfg ~program:program.Program.name with
+            | Error e ->
+              Format.eprintf "%s: cannot resume: %s@." file e;
+              exit 2
+            | Ok payload ->
+              Format.printf "resuming from %s@." file;
+              Some payload))
+    in
+    (* SIGINT/SIGTERM request a graceful stop: the search flushes a final
+       checkpoint (when --checkpoint is set) and still emits its partial
+       report and outputs below. *)
+    Checkpoint.install_signal_handlers ();
     Format.printf "checking %s [%s]@." program.Program.name (Search_config.describe cfg);
-    let report = Checker.check ~config:cfg program in
+    let report =
+      try Checker.check ~config:cfg ?resume:resume_payload program
+      with Checkpoint.Mismatch msg ->
+        Format.eprintf "cannot resume: %s@." msg;
+        exit 2
+    in
     if quiet then Format.printf "%a@." Report.pp_summary report
     else Format.printf "%a@." Report.pp report;
     if stats then
@@ -270,6 +331,16 @@ let check_cmd =
        Format.printf "repro saved to %s@." file
      | Some _, None -> Format.printf "no error found; no repro written@."
      | None, _ -> ());
+    (match cfg.Search_config.checkpoint with
+     | Some file when report.Report.verdict = Report.Limits_reached ->
+       Format.printf "checkpoint written to %s (continue with --resume %s)@." file file
+     | _ -> ());
+    (* An interrupted run has written its partial report and final
+       checkpoint; signal the interruption with the conventional status. *)
+    if Checkpoint.interrupted () then begin
+      Format.eprintf "interrupted; partial results reported@.";
+      exit 130
+    end;
     (* A race is advisory unless --fail-on-race asks for a distinct status;
        every other error keeps the historical exit code 1. *)
     match report.Report.verdict with
@@ -278,7 +349,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ prog_arg $ config_term $ quiet $ save_repro $ stats_flag
-          $ json_out $ trace_out $ fail_on_race)
+          $ json_out $ trace_out $ fail_on_race $ resume_arg)
 
 let load_program name =
   if Filename.check_suffix name ".chess" then
@@ -307,11 +378,17 @@ let replay_cmd =
          Format.printf "replaying %d decisions against %s@." (List.length decisions)
            prog.Program.name;
          (match Search.replay prog decisions (fun _ -> ()) with
-          | Some cex ->
+          | Search.Replayed_failure cex ->
             Format.printf "failure reproduced after %d steps:@.%s@." cex.length cex.rendered;
             exit 1
-          | None ->
-            Format.printf "schedule replayed without reproducing a failure@."))
+          | Search.Replayed_no_failure ->
+            Format.printf "schedule replayed without reproducing a failure@."
+          | Search.Replay_mismatch { step; tid } ->
+            Format.eprintf
+              "replay mismatch at decision %d: thread %d has nothing pending or is \
+               disabled — the schedule does not fit this program@."
+              step tid;
+            exit 2))
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg)
 

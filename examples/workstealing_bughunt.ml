@@ -24,8 +24,10 @@ let hunt bug ~stealers ~items =
       tid report.stats.executions;
     (* Counterexamples are replayable schedules: confirm the bug. *)
     (match Search.replay prog cex.decisions (fun _ -> ()) with
-     | Some _ -> Format.printf "replay confirms the failure (%d steps)@.@." cex.length
-     | None -> Format.printf "replay did not reproduce?!@.@.")
+     | Search.Replayed_failure _ ->
+       Format.printf "replay confirms the failure (%d steps)@.@." cex.length
+     | Search.Replayed_no_failure | Search.Replay_mismatch _ ->
+       Format.printf "replay did not reproduce?!@.@.")
   | _ -> Format.printf "%a@.@." Report.pp_summary report
 
 let () =

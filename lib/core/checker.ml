@@ -1,4 +1,4 @@
-let check ?(config = Search_config.default) prog = Par_search.run config prog
+let check ?(config = Search_config.default) ?resume prog = Par_search.run ?resume config prog
 
 let check_all ~configs prog =
   let rec go acc = function

@@ -19,8 +19,11 @@
     execution (finite for safety violations and deadlocks, a divergence
     prefix for liveness violations) — the problem statement of Section 2. *)
 
-val check : ?config:Search_config.t -> Program.t -> Report.t
-(** Run the search. Defaults to fair depth-first search. *)
+val check : ?config:Search_config.t -> ?resume:Checkpoint.payload -> Program.t -> Report.t
+(** Run the search. Defaults to fair depth-first search. [resume] continues
+    a prior checkpointed session — obtain the payload from
+    {!Checkpoint.load} + {!Checkpoint.plan_resume}; raises
+    {!Checkpoint.Mismatch} if it does not fit the configuration. *)
 
 val check_all :
   configs:(string * Search_config.t) list -> Program.t -> (string * Report.t) list

@@ -1,0 +1,399 @@
+(* Durable search sessions. See checkpoint.mli and DESIGN.md ("Durable
+   sessions") for the model; the short version: a checkpoint is the complete
+   control state of the search at a path boundary, everything else is
+   recomputed by re-execution. *)
+
+module B = Fairmc_util.Bitset
+module Json = Fairmc_util.Json
+module MS = Fairmc_obs.Metrics.Snapshot
+module AH = Analysis_hook
+module C = Search_config
+
+let schema = "fairmc-ckpt/1"
+
+type decision = { c_tid : int; c_alt : int; c_cost : int }
+type frame = { c_chosen : decision; c_rest : decision list; c_sleep : B.t }
+
+type seq_state = {
+  sq_frames : frame array;
+  sq_rng : int64;
+  sq_stats : Report.stats;
+  sq_metrics : MS.t;
+  sq_states : int64 list;
+  sq_edges : AH.lock_edge list;
+  sq_complete : bool;
+}
+
+type par_item = {
+  pi_index : int;
+  pi_stats : Report.stats;
+  pi_metrics : MS.t;
+  pi_states : int64 list;
+  pi_edges : AH.lock_edge list;
+}
+
+type par_state = {
+  pa_split_depth : int;
+  pa_n_items : int;
+  pa_elapsed : float;
+  pa_items : par_item list;
+  pa_complete : bool;
+}
+
+type sampling_state = {
+  sa_round : int;
+  sa_stats : Report.stats;
+  sa_metrics : MS.t;
+  sa_states : int64 list;
+  sa_edges : AH.lock_edge list;
+  sa_complete : bool;
+}
+
+type payload =
+  | Seq of seq_state
+  | Par of par_state
+  | Par_sampling of sampling_state
+
+type t = { fingerprint : string; payload : payload }
+
+(* ------------------------------------------------------------------ *)
+(* Config fingerprint.                                                 *)
+
+(* Budgets (max_executions, time_limit, sampling counts, jobs, split_depth)
+   are excluded on purpose: resuming exists precisely to extend them. *)
+let fingerprint (cfg : C.t) ~program =
+  let b v = if v then "y" else "n" in
+  let io = function None -> "-" | Some i -> string_of_int i in
+  let mode =
+    match cfg.mode with
+    | C.Dfs -> "dfs"
+    | C.Context_bounded c -> "cb=" ^ string_of_int c
+    | C.Random_walk _ -> "random"
+    | C.Round_robin -> "rr"
+    | C.Priority_random _ -> "prio"
+  in
+  String.concat ";"
+    [ "prog=" ^ program;
+      "mode=" ^ mode;
+      "fair=" ^ b cfg.fair;
+      "k=" ^ string_of_int cfg.fair_k;
+      "db=" ^ io cfg.depth_bound;
+      "tail=" ^ b cfg.random_tail;
+      "max_steps=" ^ string_of_int cfg.max_steps;
+      "livelock=" ^ io cfg.livelock_bound;
+      "window=" ^ string_of_int cfg.tail_window;
+      "seed=" ^ Int64.to_string cfg.seed;
+      "sleep=" ^ b cfg.sleep_sets;
+      "cov=" ^ b cfg.coverage;
+      "metrics=" ^ b cfg.metrics;
+      "analyses=" ^ String.concat "," (List.map (fun (a : AH.t) -> a.AH.name) cfg.analyses) ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec.                                                         *)
+
+exception Parse of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+let field obj name =
+  match obj with
+  | Json.Obj l ->
+    (match List.assoc_opt name l with
+     | Some v -> v
+     | None -> fail "missing field %S" name)
+  | _ -> fail "expected an object for field %S" name
+
+let as_int name = function Json.Int i -> i | _ -> fail "field %S: expected int" name
+let as_bool name = function Json.Bool b -> b | _ -> fail "field %S: expected bool" name
+let as_str name = function Json.Str s -> s | _ -> fail "field %S: expected string" name
+let as_arr name = function Json.Arr l -> l | _ -> fail "field %S: expected array" name
+
+let as_float name = function
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | _ -> fail "field %S: expected number" name
+
+let int_f o name = as_int name (field o name)
+let bool_f o name = as_bool name (field o name)
+let str_f o name = as_str name (field o name)
+let arr_f o name = as_arr name (field o name)
+let float_f o name = as_float name (field o name)
+
+(* int64 values (RNG state, state signatures) do not fit a JSON double, so
+   they travel as decimal strings. *)
+let int64_to_json v = Json.Str (Int64.to_string v)
+
+let int64_of_json name = function
+  | Json.Str s ->
+    (try Int64.of_string s with Failure _ -> fail "field %S: bad int64 %S" name s)
+  | _ -> fail "field %S: expected int64 string" name
+
+let opt_to_json f = function None -> Json.Null | Some v -> f v
+let opt_of_json f = function Json.Null -> None | v -> Some (f v)
+
+(* Report.stats — own codec (Report.stats_to_json emits derived fields and
+   has no parser). *)
+let stats_to_json (s : Report.stats) =
+  Json.Obj
+    [ ("executions", Json.Int s.Report.executions);
+      ("transitions", Json.Int s.transitions);
+      ("states", Json.Int s.states);
+      ("nonterminating", Json.Int s.nonterminating);
+      ("depth_bound_hits", Json.Int s.depth_bound_hits);
+      ("sleep_set_prunes", Json.Int s.sleep_set_prunes);
+      ("yields", Json.Int s.yields);
+      ("max_depth", Json.Int s.max_depth);
+      ("elapsed", Json.Float s.elapsed);
+      ("first_error_execution", opt_to_json (fun i -> Json.Int i) s.first_error_execution);
+      ("first_error_time", opt_to_json (fun f -> Json.Float f) s.first_error_time);
+      ("sync_ops_per_exec", Json.Int s.sync_ops_per_exec);
+      ("max_threads", Json.Int s.max_threads) ]
+
+let stats_of_json o =
+  { Report.executions = int_f o "executions";
+    transitions = int_f o "transitions";
+    states = int_f o "states";
+    nonterminating = int_f o "nonterminating";
+    depth_bound_hits = int_f o "depth_bound_hits";
+    sleep_set_prunes = int_f o "sleep_set_prunes";
+    yields = int_f o "yields";
+    max_depth = int_f o "max_depth";
+    elapsed = float_f o "elapsed";
+    first_error_execution = opt_of_json (as_int "first_error_execution") (field o "first_error_execution");
+    first_error_time = opt_of_json (as_float "first_error_time") (field o "first_error_time");
+    sync_ops_per_exec = int_f o "sync_ops_per_exec";
+    max_threads = int_f o "max_threads" }
+
+(* Metrics entries carry an explicit kind tag: Snapshot.to_json flattens
+   counters and gauges to the same representation, which cannot be parsed
+   back. *)
+let entry_to_json (name, e) =
+  match e with
+  | MS.Counter v -> Json.Arr [ Json.Str name; Json.Str "c"; Json.Int v ]
+  | MS.Gauge v -> Json.Arr [ Json.Str name; Json.Str "g"; Json.Int v ]
+  | MS.Histogram h ->
+    Json.Arr
+      [ Json.Str name; Json.Str "h";
+        Json.Obj
+          [ ("count", Json.Int h.MS.count);
+            ("sum", Json.Int h.sum);
+            ("max", Json.Int h.max);
+            ("buckets",
+             Json.Arr
+               (List.map (fun (i, n) -> Json.Arr [ Json.Int i; Json.Int n ]) h.buckets)) ] ]
+
+let entry_of_json = function
+  | Json.Arr [ Json.Str name; Json.Str "c"; Json.Int v ] -> (name, MS.Counter v)
+  | Json.Arr [ Json.Str name; Json.Str "g"; Json.Int v ] -> (name, MS.Gauge v)
+  | Json.Arr [ Json.Str name; Json.Str "h"; o ] ->
+    let buckets =
+      List.map
+        (function
+          | Json.Arr [ Json.Int i; Json.Int n ] -> (i, n)
+          | _ -> fail "histogram %S: bad bucket" name)
+        (arr_f o "buckets")
+    in
+    ( name,
+      MS.Histogram
+        { MS.count = int_f o "count"; sum = int_f o "sum"; max = int_f o "max"; buckets } )
+  | _ -> fail "bad metrics entry"
+
+let metrics_to_json m = Json.Arr (List.map entry_to_json (MS.entries m))
+let metrics_of_json name v = MS.of_entries (List.map entry_of_json (as_arr name v))
+
+let decision_to_json d = Json.Arr [ Json.Int d.c_tid; Json.Int d.c_alt; Json.Int d.c_cost ]
+
+let decision_of_json = function
+  | Json.Arr [ Json.Int t; Json.Int a; Json.Int c ] -> { c_tid = t; c_alt = a; c_cost = c }
+  | _ -> fail "bad decision"
+
+let frame_to_json f =
+  Json.Obj
+    [ ("chosen", decision_to_json f.c_chosen);
+      ("rest", Json.Arr (List.map decision_to_json f.c_rest));
+      ("sleep", Json.Int (B.to_int f.c_sleep)) ]
+
+let frame_of_json o =
+  { c_chosen = decision_of_json (field o "chosen");
+    c_rest = List.map decision_of_json (arr_f o "rest");
+    c_sleep = B.unsafe_of_int (int_f o "sleep") }
+
+let states_to_json l = Json.Arr (List.map int64_to_json l)
+let states_of_json name v = List.map (int64_of_json name) (as_arr name v)
+
+let edge_to_json (e : AH.lock_edge) =
+  Json.Arr
+    [ Json.Int e.AH.e_from; Json.Str e.e_from_name; Json.Int e.e_to; Json.Str e.e_to_name ]
+
+let edge_of_json = function
+  | Json.Arr [ Json.Int f; Json.Str fn; Json.Int t; Json.Str tn ] ->
+    { AH.e_from = f; e_from_name = fn; e_to = t; e_to_name = tn }
+  | _ -> fail "bad lock edge"
+
+let edges_to_json l = Json.Arr (List.map edge_to_json l)
+let edges_of_json name v = List.map edge_of_json (as_arr name v)
+
+let payload_to_json = function
+  | Seq s ->
+    Json.Obj
+      [ ("kind", Json.Str "seq");
+        ("frames", Json.Arr (Array.to_list (Array.map frame_to_json s.sq_frames)));
+        ("rng", int64_to_json s.sq_rng);
+        ("stats", stats_to_json s.sq_stats);
+        ("metrics", metrics_to_json s.sq_metrics);
+        ("states", states_to_json s.sq_states);
+        ("edges", edges_to_json s.sq_edges);
+        ("complete", Json.Bool s.sq_complete) ]
+  | Par p ->
+    Json.Obj
+      [ ("kind", Json.Str "par");
+        ("split_depth", Json.Int p.pa_split_depth);
+        ("n_items", Json.Int p.pa_n_items);
+        ("elapsed", Json.Float p.pa_elapsed);
+        ("items",
+         Json.Arr
+           (List.map
+              (fun it ->
+                Json.Obj
+                  [ ("index", Json.Int it.pi_index);
+                    ("stats", stats_to_json it.pi_stats);
+                    ("metrics", metrics_to_json it.pi_metrics);
+                    ("states", states_to_json it.pi_states);
+                    ("edges", edges_to_json it.pi_edges) ])
+              p.pa_items));
+        ("complete", Json.Bool p.pa_complete) ]
+  | Par_sampling s ->
+    Json.Obj
+      [ ("kind", Json.Str "par-sampling");
+        ("round", Json.Int s.sa_round);
+        ("stats", stats_to_json s.sa_stats);
+        ("metrics", metrics_to_json s.sa_metrics);
+        ("states", states_to_json s.sa_states);
+        ("edges", edges_to_json s.sa_edges);
+        ("complete", Json.Bool s.sa_complete) ]
+
+let payload_of_json o =
+  match str_f o "kind" with
+  | "seq" ->
+    Seq
+      { sq_frames = Array.of_list (List.map frame_of_json (arr_f o "frames"));
+        sq_rng = int64_of_json "rng" (field o "rng");
+        sq_stats = stats_of_json (field o "stats");
+        sq_metrics = metrics_of_json "metrics" (field o "metrics");
+        sq_states = states_of_json "states" (field o "states");
+        sq_edges = edges_of_json "edges" (field o "edges");
+        sq_complete = bool_f o "complete" }
+  | "par" ->
+    Par
+      { pa_split_depth = int_f o "split_depth";
+        pa_n_items = int_f o "n_items";
+        pa_elapsed = float_f o "elapsed";
+        pa_items =
+          List.map
+            (fun io ->
+              { pi_index = int_f io "index";
+                pi_stats = stats_of_json (field io "stats");
+                pi_metrics = metrics_of_json "metrics" (field io "metrics");
+                pi_states = states_of_json "states" (field io "states");
+                pi_edges = edges_of_json "edges" (field io "edges") })
+            (arr_f o "items");
+        pa_complete = bool_f o "complete" }
+  | "par-sampling" ->
+    Par_sampling
+      { sa_round = int_f o "round";
+        sa_stats = stats_of_json (field o "stats");
+        sa_metrics = metrics_of_json "metrics" (field o "metrics");
+        sa_states = states_of_json "states" (field o "states");
+        sa_edges = edges_of_json "edges" (field o "edges");
+        sa_complete = bool_f o "complete" }
+  | k -> fail "unknown payload kind %S" k
+
+let to_json t =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("fingerprint", Json.Str t.fingerprint);
+      ("payload", payload_to_json t.payload) ]
+
+let of_json j =
+  try
+    let s = str_f j "schema" in
+    if s <> schema then fail "unsupported checkpoint schema %S (expected %S)" s schema;
+    Ok { fingerprint = str_f j "fingerprint"; payload = payload_of_json (field j "payload") }
+  with Parse msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* File I/O.                                                           *)
+
+let save path t =
+  let tmp = path ^ ".tmp" in
+  Json.to_file tmp (to_json t);
+  Sys.rename tmp path
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+    (match Json.of_string contents with
+     | Error e -> Error (Printf.sprintf "not a JSON document: %s" e)
+     | Ok j -> of_json j)
+
+(* ------------------------------------------------------------------ *)
+(* Resume validation.                                                  *)
+
+exception Mismatch of string
+
+let plan_resume t (cfg : C.t) ~program =
+  let fp = fingerprint cfg ~program in
+  if t.fingerprint <> fp then
+    Error
+      (Printf.sprintf
+         "config fingerprint mismatch\n  checkpoint: %s\n  requested:  %s" t.fingerprint fp)
+  else
+    let complete =
+      match t.payload with
+      | Seq s -> s.sq_complete
+      | Par p -> p.pa_complete
+      | Par_sampling s -> s.sa_complete
+    in
+    if complete then Error "checkpoint records a completed search; nothing to resume"
+    else Ok t.payload
+
+let merge_stats ~(prior : Report.stats) (d : Report.stats) =
+  { Report.executions = prior.Report.executions + d.Report.executions;
+    transitions = prior.transitions + d.transitions;
+    (* The resumed session preloads the coverage table, so its [states] is
+       already the union; [max] also covers the coverage-off case (both 0). *)
+    states = max prior.states d.states;
+    nonterminating = prior.nonterminating + d.nonterminating;
+    depth_bound_hits = prior.depth_bound_hits + d.depth_bound_hits;
+    sleep_set_prunes = prior.sleep_set_prunes + d.sleep_set_prunes;
+    yields = prior.yields + d.yields;
+    max_depth = max prior.max_depth d.max_depth;
+    elapsed = prior.elapsed +. d.elapsed;
+    first_error_execution =
+      (match prior.first_error_execution with
+       | Some _ as e -> e
+       | None -> Option.map (fun e -> prior.executions + e) d.first_error_execution);
+    first_error_time =
+      (match prior.first_error_time with
+       | Some _ as t -> t
+       | None -> Option.map (fun t -> prior.elapsed +. t) d.first_error_time);
+    sync_ops_per_exec = max prior.sync_ops_per_exec d.sync_ops_per_exec;
+    max_threads = max prior.max_threads d.max_threads }
+
+(* ------------------------------------------------------------------ *)
+(* Graceful interruption.                                              *)
+
+let interrupt_flag = Atomic.make false
+let interrupted () = Atomic.get interrupt_flag
+let request_interrupt () = Atomic.set interrupt_flag true
+let clear_interrupt () = Atomic.set interrupt_flag false
+
+let install_signal_handlers () =
+  let handle _ =
+    (* Second signal: the user really means it. 130 = 128 + SIGINT. *)
+    if Atomic.get interrupt_flag then Stdlib.exit 130 else Atomic.set interrupt_flag true
+  in
+  List.iter
+    (fun s -> try Sys.set_signal s (Sys.Signal_handle handle) with Invalid_argument _ -> ())
+    [ Sys.sigint; Sys.sigterm ]

@@ -1,0 +1,145 @@
+(** Durable search sessions: checkpoint files and graceful interruption.
+
+    A long stateless-model-checking run is pure re-execution from the initial
+    state, so its complete progress is captured by a small amount of control
+    state: the DFS frame stack (with the untried alternatives and sleep set
+    of every frame), the RNG state for sampling modes, the accumulated
+    statistics/metrics/coverage/analysis totals, and — for the parallel
+    systematic search — the per-work-item completion records. This module
+    serializes that state to a versioned JSON file (schema [fairmc-ckpt/1],
+    written atomically via a temp file + rename) and validates it against the
+    requesting configuration on resume, so an interrupted [chess check] can
+    continue where it stopped and produce bit-identical results (see
+    DESIGN.md, "Durable sessions").
+
+    The checkpoint also owns the process-wide graceful-interrupt flag: a
+    SIGINT/SIGTERM handler requests a stop that every search loop observes at
+    its existing poll points, letting the run flush a final checkpoint and
+    still emit its partial report. *)
+
+module B = Fairmc_util.Bitset
+
+val schema : string
+(** ["fairmc-ckpt/1"]. *)
+
+(** {1 Serialized search state} *)
+
+type decision = { c_tid : int; c_alt : int; c_cost : int }
+(** One scheduling decision: thread, nondeterministic alternative, and its
+    preemption cost (context-bounded search). *)
+
+type frame = {
+  c_chosen : decision;  (** the decision the interrupted run was exploring *)
+  c_rest : decision list;  (** untried siblings, in DFS order *)
+  c_sleep : B.t;  (** sleep set of the frame's node *)
+}
+
+type seq_state = {
+  sq_frames : frame array;
+      (** the DFS stack at a path boundary: replaying [c_chosen] of each
+          frame in order reaches exactly the next unexplored path. Empty for
+          sampling modes (they resume by remaining budget) and for a search
+          interrupted before its first backtrack. *)
+  sq_rng : int64;  (** splitmix64 state, continued exactly by the resume *)
+  sq_stats : Report.stats;  (** cumulative totals across all prior sessions *)
+  sq_metrics : Fairmc_obs.Metrics.Snapshot.t;  (** cumulative, kind-tagged *)
+  sq_states : int64 list;  (** coverage state signatures, sorted *)
+  sq_edges : Analysis_hook.lock_edge list;  (** lock-order union so far *)
+  sq_complete : bool;
+      (** the search finished (verdict reached); nothing to resume *)
+}
+
+type par_item = {
+  pi_index : int;  (** position in the DFS-ordered work-item list *)
+  pi_stats : Report.stats;
+  pi_metrics : Fairmc_obs.Metrics.Snapshot.t;
+  pi_states : int64 list;
+  pi_edges : Analysis_hook.lock_edge list;
+}
+(** A fully explored (verdict [Verified]) work item of the parallel
+    systematic search. Partially explored items are never recorded — a
+    resume re-runs them from scratch, which is what keeps the merged totals
+    bit-identical to an uninterrupted run. *)
+
+type par_state = {
+  pa_split_depth : int;  (** must match on resume: it defines the item list *)
+  pa_n_items : int;  (** expansion size, revalidated on resume *)
+  pa_elapsed : float;  (** wall time consumed by prior sessions *)
+  pa_items : par_item list;  (** ascending [pi_index] *)
+  pa_complete : bool;
+}
+
+type sampling_state = {
+  sa_round : int;
+      (** how many sessions contributed; the resume splits fresh RNG streams
+          per round so no schedule prefix repeats across sessions *)
+  sa_stats : Report.stats;
+  sa_metrics : Fairmc_obs.Metrics.Snapshot.t;
+  sa_states : int64 list;
+  sa_edges : Analysis_hook.lock_edge list;
+  sa_complete : bool;
+}
+(** Parallel sampling shards interleave nondeterministically, so only their
+    aggregate is recorded: a resume continues by {e remaining budget}, not by
+    exact RNG position (sequential sampling, which goes through {!seq_state},
+    does resume RNG-exactly). *)
+
+type payload =
+  | Seq of seq_state
+  | Par of par_state
+  | Par_sampling of sampling_state
+
+type t = { fingerprint : string; payload : payload }
+
+(** {1 Codec and file I/O} *)
+
+val to_json : t -> Fairmc_util.Json.t
+val of_json : Fairmc_util.Json.t -> (t, string) result
+
+val save : string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames over [path], so a crash
+    mid-write never corrupts an existing checkpoint. *)
+
+val load : string -> (t, string) result
+
+(** {1 Resume validation} *)
+
+val fingerprint : Search_config.t -> program:string -> string
+(** Canonical string over every configuration field that shapes the explored
+    schedule space: program name, mode (without its sampling budget), fair /
+    fair_k, depth bound, random tail, step and livelock bounds, tail window,
+    seed, sleep sets, coverage, metrics, and analysis names. Budget-style
+    limits ([max_executions], [time_limit], sampling budgets, [jobs],
+    [split_depth]) are deliberately excluded so a resume may extend them;
+    [split_depth] is instead revalidated structurally for parallel
+    checkpoints. *)
+
+exception Mismatch of string
+(** Raised by the search layers when a resume payload is structurally
+    incompatible with the run (wrong payload kind for the mode/jobs, item
+    count or split depth drift). *)
+
+val plan_resume : t -> Search_config.t -> program:string -> (payload, string) result
+(** Validate [t] against the configuration (fingerprint match, not already
+    complete) and return the payload to hand to {!Checker.check}'s [resume]
+    parameter. *)
+
+val merge_stats : prior:Report.stats -> Report.stats -> Report.stats
+(** Combine a prior session's cumulative stats with the delta accumulated
+    since: counters add, maxima max, [states] comes from the delta (the
+    resumed run preloads the coverage table, so its count is already the
+    union), [first_error_*] are offset into the combined run. *)
+
+(** {1 Graceful interruption} *)
+
+val interrupted : unit -> bool
+(** Process-wide flag, polled by {!Search.run} / {!Par_search.run} at the
+    same points as cancellation. *)
+
+val request_interrupt : unit -> unit
+val clear_interrupt : unit -> unit
+
+val install_signal_handlers : unit -> unit
+(** Route SIGINT and SIGTERM to {!request_interrupt}. A second signal while
+    the flag is already set exits immediately with status 130. No-op on
+    platforms without these signals. *)

@@ -64,10 +64,19 @@ type obs = {
 
 let obs_create () = { edges_added = 0; edges_removed = 0; penalties = 0 }
 
+let copy t =
+  { t with
+    p = Array.copy t.p; e = Array.copy t.e; d = Array.copy t.d;
+    s = Array.copy t.s; yc = Array.copy t.yc }
+
+(* Mutates [t] in place and returns it: the search holds a single scheduler
+   cell per execution ([fair := Fair_sched.step !fair ...]) and recomputes it
+   from scratch on every replay, so the previous value is always dead. Callers
+   that need the old state (tests, [Search.expand] frontier snapshots) take an
+   explicit [copy] first. *)
 let step ?obs t ~chosen ~yielded ~es_before ~es_after =
   if chosen < 0 || chosen >= t.n then invalid_arg "Fair_sched.step: bad tid";
-  let p = Array.copy t.p and e = Array.copy t.e and d = Array.copy t.d
-  and s = Array.copy t.s and yc = Array.copy t.yc in
+  let p = t.p and e = t.e and d = t.d and s = t.s and yc = t.yc in
   (* Line 13: remove all edges with sink [chosen]. *)
   for u = 0 to t.n - 1 do
     (match obs with
@@ -100,7 +109,7 @@ let step ?obs t ~chosen ~yielded ~es_before ~es_after =
       yc.(chosen) <- 0
     end
   end;
-  { t with p; e; d; s; yc }
+  t
 
 let edge_count t =
   let n = ref 0 in

@@ -16,9 +16,14 @@
     shows the schedulable set is empty only at real deadlocks, which rests on
     [P] remaining acyclic.
 
-    Values of this type are immutable; [step] returns an updated scheduler.
-    The stateless search re-executes from the initial state on every
-    backtrack, so it simply recomputes the scheduler state along the replay.
+    [step] updates the scheduler {e in place} and returns it: the stateless
+    search re-executes from the initial state on every backtrack, recomputing
+    the scheduler along the replay, so the pre-step value is always dead on
+    the hot path and copying all five per-thread arrays per transition was
+    pure overhead (see [bench fair_sched]). Callers that must keep an old
+    state alive (tests, snapshotting) take an explicit {!copy} first;
+    [create], [add_thread] and [copy] still return fresh values that share no
+    arrays with their input.
 
     The [k] parameter implements the paper's final remark in Section 3:
     process only every [k]-th yield of each thread, which extends soundness
@@ -33,6 +38,10 @@ val create : nthreads:int -> ?k:int -> unit -> t
     @param k process every [k]-th yield; default 1. *)
 
 val nthreads : t -> int
+
+val copy : t -> t
+(** A deep copy sharing no mutable arrays with the original: stepping one
+    does not affect the other. *)
 
 val add_thread : t -> t
 (** Account for a dynamically spawned thread (CHESS supports programs that
@@ -68,7 +77,9 @@ val step :
   t
 (** Lines 12–29: update after [chosen] executed one transition. [yielded] is
     [yield(curr, chosen)] — whether that transition was a yield; [es_before]
-    and [es_after] are the enabled sets of the states around the transition. *)
+    and [es_after] are the enabled sets of the states around the transition.
+    Mutates [t] in place and returns it; take a {!copy} first if the pre-step
+    state must survive. *)
 
 val edge_count : t -> int
 (** Current size of the priority relation [P]. *)

@@ -16,6 +16,7 @@ module Trace = Trace
 module Fair_sched = Fair_sched
 module Analysis_hook = Analysis_hook
 module Search_config = Search_config
+module Checkpoint = Checkpoint
 module Search = Search
 module Par_search = Par_search
 module Report = Report

@@ -78,21 +78,6 @@ let merge_analysis parts =
     in
     Some { Report.lock_order_edges = edges; potential_deadlock_cycles = AH.cycles edges }
 
-(* The lock-graph counters are set-derived, so summing them across shards
-   would double-count shared edges; overwrite them from the merged union
-   (keeping the counter slice jobs-invariant, like every other counter). *)
-let fix_lockgraph_counters metrics analysis =
-  match analysis with
-  | Some (a : Report.analysis)
-    when M.Snapshot.find metrics "analysis/lockgraph/edges" <> None ->
-    let m =
-      M.Snapshot.with_counter metrics "analysis/lockgraph/edges"
-        (List.length a.Report.lock_order_edges)
-    in
-    M.Snapshot.with_counter m "analysis/lockgraph/cycles"
-      (List.length a.Report.potential_deadlock_cycles)
-  | Some _ | None -> metrics
-
 (* Sum counters, max the maxima, union the coverage tables, merge the
    per-shard metrics snapshots (counters add, gauges max — see Metrics), and
    union the analysis results. *)
@@ -118,7 +103,7 @@ let merge_parts parts =
   in
   let analysis = merge_analysis parts in
   ( { stats with Report.states = Hashtbl.length tbl },
-    fix_lockgraph_counters metrics analysis,
+    Report.fix_lockgraph_counters metrics analysis,
     analysis )
 
 (* Run [worker 0 .. worker (jobs-1)], workers 1.. on fresh domains and
@@ -131,7 +116,18 @@ let spawn_workers ~jobs worker =
 
 let us_since t0 = int_of_float ((Clock.now () -. t0) *. 1e6)
 
-let run_systematic (cfg : C.t) prog ~jobs =
+(* Sorted union of shard coverage tables, for the checkpoint payload. *)
+let union_states parts =
+  let tbl = Hashtbl.create 4096 in
+  List.iter (fun (_, t) -> Hashtbl.iter (fun k () -> Hashtbl.replace tbl k ()) t) parts;
+  List.sort Int64.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let states_tbl l =
+  let tbl = Hashtbl.create (max 16 (List.length l)) in
+  List.iter (fun s -> Hashtbl.replace tbl s ()) l;
+  tbl
+
+let run_systematic ?resume (cfg : C.t) prog ~jobs =
   let t0 = Clock.now () in
   let deadline = deadline_of t0 cfg in
   let progress = Search.progress_of_cfg cfg in
@@ -141,6 +137,25 @@ let run_systematic (cfg : C.t) prog ~jobs =
   let expand_us = us_since t0 in
   let items = Array.of_list items in
   let n = Array.length items in
+  (* Resume validation: the work-item list is defined by (program, config,
+     split_depth), so the re-expansion must agree with the checkpoint or its
+     recorded item indices are meaningless. *)
+  (match resume with
+   | None -> ()
+   | Some (pa : Checkpoint.par_state) ->
+     if pa.Checkpoint.pa_split_depth <> cfg.split_depth then
+       raise
+         (Checkpoint.Mismatch
+            (Printf.sprintf "split depth drifted: checkpoint has %d, config has %d"
+               pa.Checkpoint.pa_split_depth cfg.split_depth));
+     if pa.Checkpoint.pa_n_items <> n then
+       raise
+         (Checkpoint.Mismatch
+            (Printf.sprintf "work-item count drifted: checkpoint has %d, expansion gives %d"
+               pa.Checkpoint.pa_n_items n)));
+  let prior_elapsed =
+    match resume with Some pa -> pa.Checkpoint.pa_elapsed | None -> 0.
+  in
   (* Per-item RNG streams: random tails (unfair depth-bounded search) draw
      from a stream tied to the item, not the worker, so results do not
      depend on which worker ran which item. *)
@@ -149,6 +164,94 @@ let run_systematic (cfg : C.t) prog ~jobs =
   let stop = Atomic.make max_int in
   let cursor = Atomic.make 0 in
   let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make n None in
+  (* Items a prior session fully explored: prepopulated as if a worker had
+     just finished them, so merging and min-index error resolution are
+     oblivious to the interruption. *)
+  (match resume with
+   | None -> ()
+   | Some pa ->
+     List.iter
+       (fun (it : Checkpoint.par_item) ->
+         if it.Checkpoint.pi_index < 0 || it.Checkpoint.pi_index >= n then
+           raise (Checkpoint.Mismatch "checkpoint work-item index out of range");
+         let analysis =
+           if cfg.C.analyses = [] then None
+           else
+             Some
+               { Report.lock_order_edges = it.Checkpoint.pi_edges;
+                 (* Recomputed from the edge union at merge time. *)
+                 potential_deadlock_cycles = [] }
+         in
+         let r =
+           { Report.verdict = Report.Verified;
+             stats = it.Checkpoint.pi_stats;
+             metrics = it.Checkpoint.pi_metrics;
+             analysis }
+         in
+         results.(it.Checkpoint.pi_index) <- Some (r, states_tbl it.Checkpoint.pi_states);
+         Atomic.set shared_execs
+           (Atomic.get shared_execs + it.Checkpoint.pi_stats.Report.executions))
+       pa.Checkpoint.pa_items);
+  (* Durable session: fully explored (Verified) items are recorded under a
+     mutex and flushed to the checkpoint file, throttled by
+     [checkpoint_interval], plus once when the run stops. Disabled when the
+     expansion itself timed out: the item list is then partial and the
+     recorded indices would not survive a resume's re-expansion. *)
+  let ck =
+    match cfg.C.checkpoint with
+    | Some path when not expand_timed_out -> Some (path, Mutex.create ())
+    | _ -> None
+  in
+  let ck_items = ref (match resume with Some pa -> pa.Checkpoint.pa_items | None -> []) in
+  let ck_last = ref (Clock.now ()) in
+  let write_par ~complete =
+    match ck with
+    | None -> ()
+    | Some (path, _) ->
+      ck_last := Clock.now ();
+      let recorded =
+        List.sort
+          (fun (a : Checkpoint.par_item) b ->
+            compare a.Checkpoint.pi_index b.Checkpoint.pi_index)
+          !ck_items
+      in
+      Checkpoint.save path
+        { Checkpoint.fingerprint = Checkpoint.fingerprint cfg ~program:prog.Program.name;
+          payload =
+            Checkpoint.Par
+              { Checkpoint.pa_split_depth = cfg.split_depth;
+                pa_n_items = n;
+                pa_elapsed = prior_elapsed +. (Clock.now () -. t0);
+                pa_items = recorded;
+                pa_complete = complete } }
+  in
+  let note_item k (r : Report.t) tbl =
+    match ck with
+    | None -> ()
+    | Some (_, mu) ->
+      if r.Report.verdict = Report.Verified then begin
+        let states =
+          if cfg.C.coverage then
+            List.sort Int64.compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl [])
+          else []
+        in
+        let edges =
+          match r.Report.analysis with
+          | Some a -> a.Report.lock_order_edges
+          | None -> []
+        in
+        Mutex.protect mu (fun () ->
+            ck_items :=
+              { Checkpoint.pi_index = k;
+                pi_stats = r.Report.stats;
+                pi_metrics = r.Report.metrics;
+                pi_states = states;
+                pi_edges = edges }
+              :: !ck_items;
+            if Clock.now () -. !ck_last >= cfg.C.checkpoint_interval then
+              write_par ~complete:false)
+      end
+  in
   (* Run-dependent shard telemetry: each worker writes only its own slot;
      [Domain.join] publishes the writes. The cancellation latency is the gap
      between the winning error being posted and any shard first observing it. *)
@@ -161,9 +264,12 @@ let run_systematic (cfg : C.t) prog ~jobs =
     let w0 = Clock.now () in
     let rec loop () =
       let k = Atomic.fetch_and_add cursor 1 in
-      if k < n then begin
-        (* Items above the winner will not be merged; skip them outright. *)
-        if Atomic.get stop > k then begin
+      (* An interrupt stops pulling items (in-flight shards notice it at
+         their own poll points); prior-session results stay in place. *)
+      if k < n && not (Checkpoint.interrupted ()) then begin
+        (* Items above the winner will not be merged, and prepopulated
+           resume items are already done; skip both outright. *)
+        if Atomic.get stop > k && results.(k) = None then begin
           let cancel () =
             let c = Atomic.get stop < k in
             if c && Atomic.get cancel_seen_us = 0 then
@@ -175,6 +281,7 @@ let run_systematic (cfg : C.t) prog ~jobs =
               ~shared_execs ?progress cfg prog
           in
           results.(k) <- Some (r, tbl);
+          note_item k r tbl;
           w_items.(i) <- w_items.(i) + 1;
           w_execs.(i) <- w_execs.(i) + r.Report.stats.Report.executions;
           if Report.found_error r then begin
@@ -191,7 +298,7 @@ let run_systematic (cfg : C.t) prog ~jobs =
   in
   spawn_workers ~jobs worker;
   let winner = Atomic.get stop in
-  let elapsed = Clock.now () -. t0 in
+  let elapsed = prior_elapsed +. (Clock.now () -. t0) in
   (match progress with
    | None -> ()
    | Some p ->
@@ -216,47 +323,68 @@ let run_systematic (cfg : C.t) prog ~jobs =
       !m
     end
   in
-  if winner < n then begin
-    (* Sequential equivalence: the search would have explored items
-       [0..winner-1] in full, then stopped inside [winner]. Items below the
-       winner are never cancelled, so all their results are present. *)
-    let parts = ref [] and prior_execs = ref 0 in
-    for k = winner - 1 downto 0 do
-      match results.(k) with
-      | Some ((r, _) as p) ->
-        parts := p :: !parts;
-        prior_execs := !prior_execs + r.Report.stats.Report.executions
-      | None -> ()
-    done;
-    let win_r, win_tbl = Option.get results.(winner) in
-    let stats, metrics, analysis = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
-    let ws = win_r.Report.stats in
-    { Report.verdict = win_r.Report.verdict;
-      stats =
-        { stats with
-          Report.elapsed;
-          first_error_execution =
-            Option.map (fun e -> !prior_execs + e) ws.Report.first_error_execution;
-          first_error_time = ws.Report.first_error_time };
-      metrics = add_par_gauges metrics;
-      analysis }
-  end
-  else begin
-    let parts = List.filter_map Fun.id (Array.to_list results) in
-    let stats, metrics, analysis = merge_parts parts in
-    let stats = { stats with Report.elapsed } in
-    let limited =
-      expand_timed_out
-      || Array.length items > List.length parts
-      || List.exists (fun ((r : Report.t), _) -> r.Report.verdict = Report.Limits_reached) parts
-    in
-    { Report.verdict = (if limited then Report.Limits_reached else Report.Verified);
-      stats;
-      metrics = add_par_gauges metrics;
-      analysis }
-  end
+  let report =
+    if winner < n then begin
+      (* Sequential equivalence: the search would have explored items
+         [0..winner-1] in full, then stopped inside [winner]. Items below the
+         winner are never cancelled, so all their results are present. *)
+      let parts = ref [] and prior_execs = ref 0 in
+      for k = winner - 1 downto 0 do
+        match results.(k) with
+        | Some ((r, _) as p) ->
+          parts := p :: !parts;
+          prior_execs := !prior_execs + r.Report.stats.Report.executions
+        | None -> ()
+      done;
+      let win_r, win_tbl = Option.get results.(winner) in
+      let stats, metrics, analysis = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
+      let ws = win_r.Report.stats in
+      { Report.verdict = win_r.Report.verdict;
+        stats =
+          { stats with
+            Report.elapsed;
+            first_error_execution =
+              Option.map (fun e -> !prior_execs + e) ws.Report.first_error_execution;
+            first_error_time = ws.Report.first_error_time };
+        metrics = add_par_gauges metrics;
+        analysis }
+    end
+    else begin
+      let parts = List.filter_map Fun.id (Array.to_list results) in
+      let stats, metrics, analysis = merge_parts parts in
+      let stats = { stats with Report.elapsed } in
+      let limited =
+        expand_timed_out
+        || Array.length items > List.length parts
+        || List.exists (fun ((r : Report.t), _) -> r.Report.verdict = Report.Limits_reached) parts
+      in
+      { Report.verdict = (if limited then Report.Limits_reached else Report.Verified);
+        stats;
+        metrics = add_par_gauges metrics;
+        analysis }
+    end
+  in
+  write_par ~complete:(report.Report.verdict <> Report.Limits_reached);
+  report
 
-let run_sampling (cfg : C.t) prog ~jobs =
+(* Prior parallel-sampling totals as a pseudo shard: merging it with the new
+   shards adds the counters and unions coverage/edges exactly like a live
+   part would. *)
+let sampling_prior_part (cfg : C.t) (sa : Checkpoint.sampling_state) =
+  let analysis =
+    if cfg.analyses = [] then None
+    else
+      Some
+        { Report.lock_order_edges = sa.Checkpoint.sa_edges;
+          potential_deadlock_cycles = AH.cycles sa.Checkpoint.sa_edges }
+  in
+  ( { Report.verdict = Report.Limits_reached;
+      stats = sa.Checkpoint.sa_stats;
+      metrics = sa.Checkpoint.sa_metrics;
+      analysis },
+    states_tbl sa.Checkpoint.sa_states )
+
+let run_sampling ?resume (cfg : C.t) prog ~jobs =
   let t0 = Clock.now () in
   let deadline = deadline_of t0 cfg in
   let progress = Search.progress_of_cfg cfg in
@@ -266,57 +394,133 @@ let run_sampling (cfg : C.t) prog ~jobs =
     | C.Priority_random n -> (n, fun m -> C.Priority_random m)
     | C.Round_robin | C.Dfs | C.Context_bounded _ -> assert false
   in
-  let jobs = max 1 (min jobs budget) in
-  let streams = Rng.streams (Rng.make cfg.seed) jobs in
-  let shared_execs = Atomic.make 0 in
-  let stop = Atomic.make max_int in
-  let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make jobs None in
-  let worker i =
-    let n_i = (budget / jobs) + if i < budget mod jobs then 1 else 0 in
-    let cfg_i = { cfg with C.mode = with_budget n_i } in
-    let r, tbl =
-      Search.run_shard
-        ~cancel:(fun () -> Atomic.get stop < i)
-        ~deadline ~rng:streams.(i) ~shared_execs ?progress cfg_i prog
+  let round, prior_part, prior_execs, prior_elapsed =
+    match resume with
+    | None -> (0, None, 0, 0.)
+    | Some (sa : Checkpoint.sampling_state) ->
+      ( sa.Checkpoint.sa_round,
+        Some (sampling_prior_part cfg sa),
+        sa.Checkpoint.sa_stats.Report.executions,
+        sa.Checkpoint.sa_stats.Report.elapsed )
+  in
+  let budget_left = budget - prior_execs in
+  if budget_left <= 0 then
+    (* Budget already spent in prior sessions: the prior totals are the
+       answer (extend the budget to sample more). *)
+    let r, _ = Option.get prior_part in
+    r
+  else begin
+    let jobs = max 1 (min jobs budget_left) in
+    (* Each session (round) advances the base generator before splitting the
+       worker streams, so no schedule prefix repeats across sessions. *)
+    let base = Rng.make cfg.seed in
+    for _ = 1 to round do
+      ignore (Rng.split base)
+    done;
+    let streams = Rng.streams base jobs in
+    let shared_execs = Atomic.make prior_execs in
+    let stop = Atomic.make max_int in
+    let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make jobs None in
+    let worker i =
+      let n_i = (budget_left / jobs) + if i < budget_left mod jobs then 1 else 0 in
+      let cfg_i = { cfg with C.mode = with_budget n_i } in
+      let r, tbl =
+        Search.run_shard
+          ~cancel:(fun () -> Atomic.get stop < i)
+          ~deadline ~rng:streams.(i) ~shared_execs ?progress cfg_i prog
+      in
+      results.(i) <- Some (r, tbl);
+      if Report.found_error r then note_error stop i
     in
-    results.(i) <- Some (r, tbl);
-    if Report.found_error r then note_error stop i
-  in
-  spawn_workers ~jobs worker;
-  let elapsed = Clock.now () -. t0 in
-  (match progress with
-   | None -> ()
-   | Some p ->
-     Progress.force p (fun () ->
-         { Progress.executions = Atomic.get shared_execs; elapsed; jobs; phase = "search" }));
-  let parts = List.filter_map Fun.id (Array.to_list results) in
-  let stats, metrics, analysis = merge_parts parts in
-  let stats = { stats with Report.elapsed } in
-  let metrics =
-    if cfg.C.metrics then M.Snapshot.with_gauge metrics "par/jobs" jobs else metrics
-  in
-  match Atomic.get stop with
-  | w when w < jobs ->
-    let win_r, _ = Option.get results.(w) in
-    let ws = win_r.Report.stats in
-    { Report.verdict = win_r.Report.verdict;
-      stats =
-        { stats with
-          (* Shard-local: the winner's position in its own stream. A global
-             execution index is not well defined across streams. *)
-          Report.first_error_execution = ws.Report.first_error_execution;
-          first_error_time = ws.Report.first_error_time };
-      metrics;
-      analysis }
-  | _ -> { Report.verdict = Report.Limits_reached; stats; metrics; analysis }
+    spawn_workers ~jobs worker;
+    let elapsed = prior_elapsed +. (Clock.now () -. t0) in
+    (match progress with
+     | None -> ()
+     | Some p ->
+       Progress.force p (fun () ->
+           { Progress.executions = Atomic.get shared_execs; elapsed; jobs; phase = "search" }));
+    let parts =
+      Option.to_list prior_part @ List.filter_map Fun.id (Array.to_list results)
+    in
+    let stats, metrics, analysis = merge_parts parts in
+    let stats = { stats with Report.elapsed } in
+    let metrics =
+      if cfg.C.metrics then M.Snapshot.with_gauge metrics "par/jobs" jobs else metrics
+    in
+    let report =
+      match Atomic.get stop with
+      | w when w < jobs ->
+        let win_r, _ = Option.get results.(w) in
+        let ws = win_r.Report.stats in
+        { Report.verdict = win_r.Report.verdict;
+          stats =
+            { stats with
+              (* Shard-local: the winner's position in its own stream. A global
+                 execution index is not well defined across streams. *)
+              Report.first_error_execution = ws.Report.first_error_execution;
+              first_error_time = ws.Report.first_error_time };
+          metrics;
+          analysis }
+      | _ -> { Report.verdict = Report.Limits_reached; stats; metrics; analysis }
+    in
+    (* Sampling shards interleave nondeterministically, so there is no
+       mid-run granularity worth recording: the aggregate is checkpointed
+       once, when the round ends (a resume continues by remaining budget). *)
+    (match cfg.C.checkpoint with
+     | None -> ()
+     | Some path ->
+       let edges =
+         match report.Report.analysis with
+         | Some a -> a.Report.lock_order_edges
+         | None -> []
+       in
+       Checkpoint.save path
+         { Checkpoint.fingerprint = Checkpoint.fingerprint cfg ~program:prog.Program.name;
+           payload =
+             Checkpoint.Par_sampling
+               { Checkpoint.sa_round = round + 1;
+                 sa_stats = report.Report.stats;
+                 sa_metrics = report.Report.metrics;
+                 sa_states = union_states parts;
+                 sa_edges = edges;
+                 sa_complete = Report.found_error report } });
+    report
+  end
 
-let run (cfg : C.t) prog =
+let run ?resume (cfg : C.t) prog =
   let jobs = resolve_jobs cfg in
-  if jobs <= 1 then Search.run cfg prog
+  if jobs <= 1 then
+    match resume with
+    | None -> Search.run cfg prog
+    | Some (Checkpoint.Seq sq) -> Search.run ~resume:sq cfg prog
+    | Some (Checkpoint.Par _ | Checkpoint.Par_sampling _) ->
+      raise
+        (Checkpoint.Mismatch
+           "checkpoint was written by a parallel search; resume it with jobs > 1")
   else
     match cfg.mode with
-    | C.Dfs | C.Context_bounded _ -> run_systematic cfg prog ~jobs
-    | C.Random_walk _ | C.Priority_random _ -> run_sampling cfg prog ~jobs
+    | C.Dfs | C.Context_bounded _ ->
+      (match resume with
+       | None -> run_systematic cfg prog ~jobs
+       | Some (Checkpoint.Par pa) -> run_systematic ~resume:pa cfg prog ~jobs
+       | Some (Checkpoint.Seq _ | Checkpoint.Par_sampling _) ->
+         raise
+           (Checkpoint.Mismatch
+              "checkpoint payload does not fit a parallel systematic search \
+               (resume with the jobs setting that wrote it)"))
+    | C.Random_walk _ | C.Priority_random _ ->
+      (match resume with
+       | None -> run_sampling cfg prog ~jobs
+       | Some (Checkpoint.Par_sampling sa) -> run_sampling ~resume:sa cfg prog ~jobs
+       | Some (Checkpoint.Seq _ | Checkpoint.Par _) ->
+         raise
+           (Checkpoint.Mismatch
+              "checkpoint payload does not fit parallel sampling \
+               (resume with the jobs setting that wrote it)"))
     | C.Round_robin ->
       (* A single deterministic schedule; nothing to shard. *)
-      Search.run { cfg with C.jobs = 1 } prog
+      (match resume with
+       | None -> Search.run { cfg with C.jobs = 1 } prog
+       | Some (Checkpoint.Seq sq) -> Search.run ~resume:sq { cfg with C.jobs = 1 } prog
+       | Some (Checkpoint.Par _ | Checkpoint.Par_sampling _) ->
+         raise (Checkpoint.Mismatch "round-robin checkpoints are sequential"))

@@ -30,6 +30,16 @@ val resolve_jobs : Search_config.t -> int
 (** [config.jobs], with [0] and negative values resolved to
     [Domain.recommended_domain_count ()]. *)
 
-val run : Search_config.t -> Program.t -> Report.t
+val run : ?resume:Checkpoint.payload -> Search_config.t -> Program.t -> Report.t
 (** Runs {!Search.run} unchanged when [resolve_jobs config <= 1] (and for
-    round-robin, which is a single schedule). *)
+    round-robin, which is a single schedule).
+
+    [resume] continues a prior checkpointed session (see {!Checkpoint} and
+    DESIGN.md, "Durable sessions"). The payload kind must fit the run shape:
+    [Seq] for sequential runs, [Par] for parallel systematic, [Par_sampling]
+    for parallel sampling — a mismatch (e.g. a checkpoint written with a
+    different [jobs] regime, or split-depth/item-count drift) raises
+    {!Checkpoint.Mismatch}. When [config.checkpoint] is set, the parallel
+    systematic search records every fully explored work item (throttled by
+    [config.checkpoint_interval]) and parallel sampling records its
+    aggregate once per session. *)

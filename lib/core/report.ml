@@ -85,6 +85,21 @@ let cex t =
 let execs_per_sec s =
   if s.elapsed > 0. then float_of_int s.executions /. s.elapsed else 0.
 
+(* The lock-graph counters are set-derived, so summing them across shards
+   (or across a resumed session and its checkpointed prefix) would
+   double-count shared edges; overwrite them from the merged union, keeping
+   the counter slice jobs- and interruption-invariant like every other
+   counter. *)
+let fix_lockgraph_counters metrics analysis =
+  let module MS = Fairmc_obs.Metrics.Snapshot in
+  match analysis with
+  | Some (a : analysis) when MS.find metrics "analysis/lockgraph/edges" <> None ->
+    let m =
+      MS.with_counter metrics "analysis/lockgraph/edges" (List.length a.lock_order_edges)
+    in
+    MS.with_counter m "analysis/lockgraph/cycles" (List.length a.potential_deadlock_cycles)
+  | Some _ | None -> metrics
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "executions: %d, transitions: %d%s%s%s%s, max depth: %d, elapsed: %.3fs"

@@ -78,6 +78,13 @@ val cex : t -> counterexample option
 val pp : Format.formatter -> t -> unit
 val pp_summary : Format.formatter -> t -> unit
 
+val fix_lockgraph_counters :
+  Fairmc_obs.Metrics.Snapshot.t -> analysis option -> Fairmc_obs.Metrics.Snapshot.t
+(** Overwrite the set-derived ["analysis/lockgraph/*"] counters from a merged
+    analysis union (shard merge, checkpoint resume): summing them would
+    double-count edges seen on both sides. No-op when the counters are absent
+    or no analysis ran. *)
+
 val stats_to_json : stats -> Fairmc_util.Json.t
 
 val to_json : ?program:string -> ?config:string -> t -> Fairmc_util.Json.t

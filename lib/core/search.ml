@@ -68,6 +68,25 @@ let make_meters () =
     m_ctx_switches = M.counter reg "engine/context_switches";
     m_fair_obs = Fair_sched.obs_create () }
 
+(* Cumulative totals carried over from a checkpoint being resumed. The
+   session itself counts from zero; the prior is folded in at every boundary
+   capture and in the final report ({!totals}). *)
+type prior = {
+  pr_stats : Report.stats;
+  pr_metrics : M.Snapshot.t;
+  pr_edges : AH.lock_edge list;
+}
+
+(* Checkpoint-writing control for this search ([--checkpoint FILE]). The
+   boundary snapshot is (re)captured at every path start; writes are
+   throttled by [ck_interval] and forced once when the search stops. *)
+type ckpt_ctl = {
+  ck_path : string;
+  ck_interval : float;
+  mutable ck_last : float;
+  mutable ck_boundary : Checkpoint.seq_state option;
+}
+
 type state = {
   cfg : C.t;
   prog : Program.t;
@@ -84,6 +103,8 @@ type state = {
   meters : meters option;
   progress : Obs.Progress.t option;
   analysis : AH.instance list;  (* this shard's dynamic-analysis instances *)
+  mutable prior : prior option;  (* resumed-session totals to merge in *)
+  mutable ckpt : ckpt_ctl option;  (* only set by [Search.run], never shards *)
   mutable executions : int;
   mutable transitions : int;
   mutable nonterminating : int;
@@ -115,8 +136,9 @@ let elapsed st = Obs.Clock.elapsed ~since:st.t0
 
 let out_of_time st = Obs.Clock.now () > st.deadline
 
-(* Cancellation (parallel first-error-wins) is folded into the same poll. *)
-let stopped st = out_of_time st || st.cancel ()
+(* Cancellation (parallel first-error-wins) and the process-wide graceful
+   interrupt (SIGINT/SIGTERM via Checkpoint) are folded into the same poll. *)
+let stopped st = out_of_time st || st.cancel () || Checkpoint.interrupted ()
 
 let progress_sample st () =
   { Obs.Progress.executions =
@@ -186,6 +208,8 @@ let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
     meters = (if cfg.metrics then Some (make_meters ()) else None);
     progress;
     analysis = List.map (fun (a : AH.t) -> a.create ()) cfg.analyses;
+    prior = None;
+    ckpt = None;
     executions = 0;
     transitions = 0;
     nonterminating = 0;
@@ -248,6 +272,19 @@ let compute_alts st ~tset ~sleep ~last ~last_yielded ~budget run =
   else if cur_in then for_tid last (others tset [])
   else others tset []
 
+(* Deterministic good-samaritan culprit over [(tid, times_scheduled,
+   yielded_in_window)] entries: the most-scheduled thread, non-yielders
+   outranking yielders, ties broken by lowest tid. (Previously the max was
+   taken under [Hashtbl.fold], whose iteration order — and hence the blamed
+   tid on equal scores — was unspecified.) Exposed for the regression test. *)
+let good_samaritan_culprit entries =
+  fst
+    (List.fold_left
+       (fun (best, bn) (tid, n, yielded) ->
+         let score = if yielded then n else n + 1_000_000 in
+         if score > bn || (score = bn && tid < best) then (tid, score) else (best, bn))
+       (-1, min_int) entries)
+
 (* Classify a divergent (livelock-bound-exceeding) fair execution by its
    tail: if an enabled thread was starved by non-yielding threads it is a
    good-samaritan violation; otherwise the tail is fair — a livelock. *)
@@ -267,14 +304,10 @@ let classify_divergence st run : Report.divergence_kind =
   else begin
     (* Blame the most-scheduled thread, preferring one that never yielded in
        the window. *)
-    let hog, _ =
-      Hashtbl.fold
-        (fun tid n (best, bn) ->
-          let score = if Hashtbl.mem yielders tid then n else n + 1_000_000 in
-          if score > bn then (tid, score) else (best, bn))
-        scheduled (-1, min_int)
+    let entries =
+      Hashtbl.fold (fun tid n acc -> (tid, n, Hashtbl.mem yielders tid) :: acc) scheduled []
     in
-    Report.Good_samaritan_violation hog
+    Report.Good_samaritan_violation (good_samaritan_culprit entries)
   end
 
 let render_cex ?(tail = false) st run =
@@ -513,15 +546,18 @@ let stats_of st =
     sync_ops_per_exec = st.sync_ops_per_exec;
     max_threads = st.max_threads }
 
-(* Export the plain search statistics and the fair-scheduler accounting into
-   the registry, then snapshot it. Derived quantities that depend on wall
-   time or on the shard layout are gauges, never counters — the counter
-   slice of a snapshot is deterministic across [jobs] (tested). *)
+(* Export the plain search statistics and the fair-scheduler accounting as
+   derived entries over a registry snapshot. Derived quantities that depend
+   on wall time or on the shard layout are gauges, never counters — the
+   counter slice of a snapshot is deterministic across [jobs] (tested). Pure
+   with respect to the registry: the checkpoint layer takes one snapshot per
+   path boundary, so exporting must not mutate the instruments. *)
 let metrics_of st =
   match st.meters with
   | None -> M.Snapshot.empty
   | Some m ->
-    let c name v = M.add (M.counter m.reg name) v in
+    let snap = ref (M.snapshot m.reg) in
+    let c name v = snap := M.Snapshot.with_counter !snap name v in
     c "search/executions" st.executions;
     c "search/transitions" st.transitions;
     c "search/nonterminating" st.nonterminating;
@@ -531,12 +567,12 @@ let metrics_of st =
     c "sched/priority_edges_added" m.m_fair_obs.Fair_sched.edges_added;
     c "sched/priority_edges_removed" m.m_fair_obs.Fair_sched.edges_removed;
     c "sched/priority_penalties" m.m_fair_obs.Fair_sched.penalties;
-    let g name v = M.set_max (M.gauge m.reg name) v in
+    let g name v = snap := M.Snapshot.with_gauge !snap name v in
     g "search/max_depth" st.max_depth;
     g "search/max_threads" st.max_threads;
     g "search/states" (Hashtbl.length st.states);
     g "time/shard_busy_us" (int_of_float (elapsed st *. 1e6));
-    M.snapshot m.reg
+    !snap
 
 let is_systematic (cfg : C.t) =
   match cfg.mode with
@@ -566,6 +602,68 @@ let analysis_report st =
           potential_deadlock_cycles = AH.cycles combined.AH.lock_edges },
       combined.AH.counters )
 
+(* This session's report pieces — stats, metrics with the per-analysis
+   counters spliced in, analysis results — with any resumed prior totals
+   folded in. Pure; taken once per path boundary when checkpointing. *)
+let totals st =
+  let analysis, acounters = analysis_report st in
+  let metrics =
+    List.fold_left (fun m (k, v) -> M.Snapshot.with_counter m k v) (metrics_of st) acounters
+  in
+  let stats = stats_of st in
+  match st.prior with
+  | None -> (stats, metrics, analysis)
+  | Some p ->
+    let stats = Checkpoint.merge_stats ~prior:p.pr_stats stats in
+    let metrics = M.Snapshot.merge p.pr_metrics metrics in
+    let analysis =
+      match analysis with
+      | None -> None
+      | Some (a : Report.analysis) ->
+        let edges = AH.dedup_edges (p.pr_edges @ a.Report.lock_order_edges) in
+        Some { Report.lock_order_edges = edges; potential_deadlock_cycles = AH.cycles edges }
+    in
+    (stats, Report.fix_lockgraph_counters metrics analysis, analysis)
+
+(* Snapshot the DFS stack plus cumulative totals — what a resume needs to
+   continue with the next unexplored path. Frames are deep-copied (the
+   backtracking mutates them in place); coverage signatures are filled in at
+   write time, where the table is only read (recording is idempotent, so a
+   resumed session re-recording a partial path's states converges to the
+   same union as the uninterrupted run). *)
+let capture_boundary st =
+  let dec (a : alt) = { Checkpoint.c_tid = a.tid; c_alt = a.alt; c_cost = a.cost } in
+  let frames =
+    Array.init st.nframes (fun i ->
+        let fr = st.frames.(i) in
+        { Checkpoint.c_chosen = dec fr.chosen;
+          c_rest = List.map dec fr.rest;
+          c_sleep = fr.sleep })
+  in
+  let stats, metrics, analysis = totals st in
+  let edges =
+    match analysis with Some a -> a.Report.lock_order_edges | None -> []
+  in
+  { Checkpoint.sq_frames = frames;
+    sq_rng = Rng.state st.rng;
+    sq_stats = stats;
+    sq_metrics = metrics;
+    sq_states = [];
+    sq_edges = edges;
+    sq_complete = false }
+
+let write_checkpoint st ck (b : Checkpoint.seq_state) ~complete =
+  let states =
+    if st.cfg.C.coverage then
+      List.sort Int64.compare (Hashtbl.fold (fun k () acc -> k :: acc) st.states [])
+    else []
+  in
+  ck.ck_last <- Obs.Clock.now ();
+  Checkpoint.save ck.ck_path
+    { Checkpoint.fingerprint = Checkpoint.fingerprint st.cfg ~program:st.prog.Program.name;
+      payload =
+        Checkpoint.Seq { b with Checkpoint.sq_states = states; sq_complete = complete } }
+
 let run_loop_body st =
   let cfg = st.cfg in
   let systematic = is_systematic cfg in
@@ -576,14 +674,30 @@ let run_loop_body st =
     | C.Dfs | C.Context_bounded _ -> max_int
   in
   let verdict = ref None in
+  (* Where the search stood when a [Limits_reached] stop hit, relative to the
+     boundary snapshot: at it, inside the following path, or after completing
+     a whole path — this decides what the final checkpoint must record. *)
+  let stop_at = ref `Boundary in
   let mark_error () =
     st.first_error_execution <- Some st.executions;
     st.first_error_time <- Some (elapsed st)
   in
   while !verdict = None do
+    (* Path boundary: (re)capture the resume snapshot and do a throttled
+       checkpoint write. *)
+    (match st.ckpt with
+     | None -> ()
+     | Some ck ->
+       let b = capture_boundary st in
+       ck.ck_boundary <- Some b;
+       if Obs.Clock.now () -. ck.ck_last >= ck.ck_interval then
+         write_checkpoint st ck b ~complete:false);
     (* Poll the wall clock and the peer-cancellation flag at every path
        start, so short time budgets cannot overshoot by a whole path. *)
-    if poll st then verdict := Some Report.Limits_reached
+    if poll st then begin
+      verdict := Some Report.Limits_reached;
+      stop_at := `Boundary
+    end
     else begin
       let outcome, run_ = execute_path st ~systematic in
       st.executions <- st.executions + 1;
@@ -608,7 +722,9 @@ let run_loop_body st =
          mark_error ();
          verdict := Some (Report.Divergence { kind; cex = render_cex ~tail:true st run_ })
        | P_nonterminating -> st.nonterminating <- st.nonterminating + 1
-       | P_stopped -> verdict := Some Report.Limits_reached);
+       | P_stopped ->
+         verdict := Some Report.Limits_reached;
+         stop_at := `Mid_path);
       (* An analysis-reported race ends the search like an engine-detected
          error. An engine error on the same path takes precedence (both
          rules are deterministic, so jobs=1 and jobs=N agree); a race beats
@@ -636,23 +752,57 @@ let run_loop_body st =
              | Some c -> Atomic.get c
              | None -> st.executions
            in
-           if total >= m then verdict := Some Report.Limits_reached
+           if total >= m then begin
+             verdict := Some Report.Limits_reached;
+             stop_at := `After_path
+           end
          | None -> ());
-        if stopped st then verdict := Some Report.Limits_reached
+        if !verdict = None && stopped st then begin
+          verdict := Some Report.Limits_reached;
+          stop_at := `After_path
+        end
       end;
       if !verdict = None then begin
         if systematic then begin
           if not (backtrack st) then verdict := Some Report.Verified
         end
-        else if st.executions >= sampling_budget then verdict := Some Report.Limits_reached
+        else if st.executions >= sampling_budget then begin
+          verdict := Some Report.Limits_reached;
+          stop_at := `After_path
+        end
       end
     end
   done;
-  let analysis, acounters = analysis_report st in
-  let metrics =
-    List.fold_left (fun m (k, v) -> M.Snapshot.with_counter m k v) (metrics_of st) acounters
-  in
-  { Report.verdict = Option.get !verdict; stats = stats_of st; metrics; analysis }
+  let final_verdict = Option.get !verdict in
+  (* Final checkpoint flush. Where the resume should pick up depends on how
+     the stop relates to the last boundary snapshot: a stop at the boundary
+     or mid-path flushes the pre-path snapshot (the partial path is excluded
+     and re-executed in full by the resume); a stop after a completed path
+     must first advance past it — if backtracking fails there is nothing
+     left and the session is complete. Sampling modes resume by remaining
+     budget, so a budget stop stays [complete:false] (a later session may
+     extend the budget). *)
+  (match st.ckpt with
+   | None -> ()
+   | Some ck ->
+     (match final_verdict with
+      | Report.Limits_reached ->
+        (match !stop_at with
+         | `Boundary | `Mid_path ->
+           let b =
+             match ck.ck_boundary with Some b -> b | None -> capture_boundary st
+           in
+           write_checkpoint st ck b ~complete:false
+         | `After_path ->
+           if systematic then begin
+             if backtrack st then
+               write_checkpoint st ck (capture_boundary st) ~complete:false
+             else write_checkpoint st ck (capture_boundary st) ~complete:true
+           end
+           else write_checkpoint st ck (capture_boundary st) ~complete:false)
+      | _ -> write_checkpoint st ck (capture_boundary st) ~complete:true));
+  let stats, metrics, analysis = totals st in
+  { Report.verdict = final_verdict; stats; metrics; analysis }
 
 (* Install the shard's analysis instances as the domain's step observer for
    the duration of the loop. Cleared on every exit path: a leaked observer
@@ -671,12 +821,100 @@ let run_loop st =
     Engine.set_observer (Some observe);
     Fun.protect ~finally:(fun () -> Engine.set_observer None) (fun () -> run_loop_body st)
 
-let run cfg prog =
-  let progress = progress_of_cfg cfg in
-  let st = make_state ?progress cfg prog in
-  let report = run_loop st in
-  (match progress with None -> () | Some p -> Obs.Progress.force p (progress_sample st));
-  report
+(* Executions left for a resumed session: the mode's sampling budget and
+   [max_executions] both count across sessions. [max_int] when unlimited. *)
+let remaining_budget (cfg : C.t) prior_execs =
+  let mode_left =
+    match cfg.mode with
+    | C.Random_walk n | C.Priority_random n -> n - prior_execs
+    | C.Round_robin -> 1 - prior_execs
+    | C.Dfs | C.Context_bounded _ -> max_int
+  in
+  let cap_left =
+    match cfg.max_executions with Some m -> m - prior_execs | None -> max_int
+  in
+  min mode_left cap_left
+
+(* The resumed session runs only the remaining budget; [totals] then folds
+   the prior totals back in, so the merged report matches an uninterrupted
+   run with the original budgets. *)
+let adjust_budgets (cfg : C.t) prior_execs =
+  let clamp n = max 0 n in
+  let mode =
+    match cfg.mode with
+    | C.Random_walk n -> C.Random_walk (clamp (n - prior_execs))
+    | C.Priority_random n -> C.Priority_random (clamp (n - prior_execs))
+    | (C.Round_robin | C.Dfs | C.Context_bounded _) as m -> m
+  in
+  let max_executions = Option.map (fun m -> clamp (m - prior_execs)) cfg.max_executions in
+  { cfg with C.mode; max_executions }
+
+(* Resuming with no budget left: the prior totals are already the answer. *)
+let report_of_prior (cfg : C.t) (sq : Checkpoint.seq_state) =
+  let analysis =
+    if cfg.analyses = [] then None
+    else
+      Some
+        { Report.lock_order_edges = sq.Checkpoint.sq_edges;
+          potential_deadlock_cycles = AH.cycles sq.Checkpoint.sq_edges }
+  in
+  { Report.verdict = Report.Limits_reached;
+    stats = sq.Checkpoint.sq_stats;
+    metrics = sq.Checkpoint.sq_metrics;
+    analysis }
+
+let run ?resume cfg prog =
+  match resume with
+  | Some (sq : Checkpoint.seq_state)
+    when remaining_budget cfg sq.Checkpoint.sq_stats.Report.executions <= 0 ->
+    report_of_prior cfg sq
+  | _ ->
+    let progress = progress_of_cfg cfg in
+    let cfg_run, rng =
+      match resume with
+      | None -> (cfg, None)
+      | Some sq ->
+        ( adjust_budgets cfg sq.Checkpoint.sq_stats.Report.executions,
+          Some (Rng.of_state sq.Checkpoint.sq_rng) )
+    in
+    let st = make_state ?rng ?progress cfg_run prog in
+    (match resume with
+     | None -> ()
+     | Some sq ->
+       (* Rebuild the DFS stack at the recorded path boundary: replaying the
+          [chosen] decision of each frame reaches exactly the next
+          unexplored path, as if the backtrack had just happened here. *)
+       let alt_of (d : Checkpoint.decision) =
+         { tid = d.Checkpoint.c_tid; alt = d.Checkpoint.c_alt; cost = d.Checkpoint.c_cost }
+       in
+       Array.iter
+         (fun (fr : Checkpoint.frame) ->
+           push_frame st
+             { chosen = alt_of fr.Checkpoint.c_chosen;
+               rest = List.map alt_of fr.Checkpoint.c_rest;
+               sleep = fr.Checkpoint.c_sleep })
+         sq.Checkpoint.sq_frames;
+       (* Preload coverage so the union across sessions matches the
+          uninterrupted run (recording is idempotent). *)
+       if cfg.C.coverage then
+         List.iter (fun s -> Hashtbl.replace st.states s ()) sq.Checkpoint.sq_states;
+       st.prior <-
+         Some
+           { pr_stats = sq.Checkpoint.sq_stats;
+             pr_metrics = sq.Checkpoint.sq_metrics;
+             pr_edges = sq.Checkpoint.sq_edges });
+    (match cfg.C.checkpoint with
+     | None -> ()
+     | Some path ->
+       st.ckpt <-
+         Some
+           { ck_path = path;
+             ck_interval = cfg.C.checkpoint_interval;
+             ck_last = Obs.Clock.now ();
+             ck_boundary = None });
+    let report = run_loop st in
+    (match progress with None -> () | Some p -> Obs.Progress.force p (progress_sample st));
+    report
 
 (* One shard of a parallel search: either a sampling worker (custom [rng]
    stream, sharded budget already folded into [cfg]) or a systematic work
@@ -743,23 +981,34 @@ let expand ?deadline cfg prog ~split_depth =
   done;
   (List.rev !items, !timed_out)
 
+type replay_outcome =
+  | Replayed_failure of Report.counterexample
+  | Replayed_no_failure
+  | Replay_mismatch of { step : int; tid : int }
+
 let replay prog decisions callback =
   let run = Engine.start prog in
   Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
-  let ok = ref true in
-  List.iter
-    (fun (tid, alt) ->
-      if !ok && Engine.failure run = None then begin
+  (* First decision that could not be applied (its thread had nothing
+     pending or was disabled): the schedule does not fit this program, e.g.
+     a stale repro file after the program changed. *)
+  let mismatch = ref None in
+  List.iteri
+    (fun i (tid, alt) ->
+      if !mismatch = None && Engine.failure run = None then begin
         match Engine.pending run tid with
         | Some _ when B.mem tid (Engine.enabled_set run) ->
           Engine.step run ~tid ~alt;
           callback run
-        | _ -> ok := false
+        | _ -> mismatch := Some (i, tid)
       end)
     decisions;
   match Engine.failure run with
   | Some _ ->
     let names = Objects.pp_obj (Engine.store run) in
     let rendered = Format.asprintf "@[<v>%a@]" (Trace.pp ?tail:None ~names) (Engine.trace run) in
-    Some { Report.rendered; decisions; length = Trace.length (Engine.trace run) }
-  | None -> None
+    Replayed_failure { Report.rendered; decisions; length = Trace.length (Engine.trace run) }
+  | None ->
+    (match !mismatch with
+     | Some (step, tid) -> Replay_mismatch { step; tid }
+     | None -> Replayed_no_failure)

@@ -13,7 +13,23 @@
     divergences and classified (good-samaritan violation vs. fair
     nontermination, the paper's outcomes 2 and 3). *)
 
-val run : Search_config.t -> Program.t -> Report.t
+val run : ?resume:Checkpoint.seq_state -> Search_config.t -> Program.t -> Report.t
+(** Run the configured search. With [resume], continue a prior session from
+    its checkpointed path boundary: the DFS stack, RNG state and coverage
+    table are reloaded, budgets ([max_executions], sampling counts) are
+    reduced by the prior session's executions, and the prior totals are
+    folded back into the final report — an interrupted-then-resumed run
+    reports the same verdict, counterexample and statistics as an
+    uninterrupted one. When [config.checkpoint] is set, the search snapshots
+    its state at every path boundary and writes the file at most every
+    [checkpoint_interval] seconds, plus exactly once when it stops. *)
+
+val good_samaritan_culprit : (int * int * bool) list -> int
+(** Pick the culprit thread of a good-samaritan divergence from
+    [(tid, times_scheduled, yielded)] entries of the tail window: threads
+    that never yield dominate threads that do; more occurrences dominate
+    fewer; the lowest tid breaks exact ties, making the classification
+    independent of hash-table iteration order. Exposed for tests. *)
 
 val state_hook : (int64 -> Engine.t -> unit) option ref
 (** Debug/analysis hook invoked on every state recorded during coverage
@@ -21,10 +37,19 @@ val state_hook : (int64 -> Engine.t -> unit) option ref
     stateless coverage against the stateful ground truth (sequential searches
     only — the hook is a plain global). *)
 
-val replay : Program.t -> (int * int) list -> (Engine.t -> unit) -> Report.counterexample option
+type replay_outcome =
+  | Replayed_failure of Report.counterexample
+      (** the schedule ends in a failure; re-rendered counterexample *)
+  | Replayed_no_failure  (** applied fully, but no failure at the end *)
+  | Replay_mismatch of { step : int; tid : int }
+      (** decision [step] (0-based) could not be applied: thread [tid] had
+          nothing pending or was disabled — the schedule does not fit this
+          program (e.g. a stale repro file) *)
+
+val replay : Program.t -> (int * int) list -> (Engine.t -> unit) -> replay_outcome
 (** Re-execute a recorded schedule, invoking the callback after every
-    transition; returns the re-rendered counterexample if the schedule ends
-    in a failure. Used to confirm and inspect reported bugs. *)
+    transition. Used to confirm and inspect reported bugs; a mismatch is
+    reported explicitly rather than silently truncating the replay. *)
 
 (** {1 Parallel-search seam}
 

@@ -28,6 +28,8 @@ type t = {
   progress_interval : float;
   on_progress : (Fairmc_obs.Progress.sample -> unit) option;
   analyses : Analysis_hook.t list;
+  checkpoint : string option;
+  checkpoint_interval : float;
 }
 
 let default =
@@ -52,7 +54,9 @@ let default =
     progress = false;
     progress_interval = 1.0;
     on_progress = None;
-    analyses = [] }
+    analyses = [];
+    checkpoint = None;
+    checkpoint_interval = 30.0 }
 
 let fair_dfs = default
 

@@ -79,6 +79,15 @@ type t = {
           analyses"). A race reported by an analysis ends the search with a
           {!Report.Race} verdict, selected by the same DFS-first-error rule
           as engine-detected errors. *)
+  checkpoint : string option;
+      (** write a durable-session checkpoint (schema [fairmc-ckpt/1]) to this
+          file so an interrupted run can be continued with [--resume]; written
+          atomically (temp file + rename) at path boundaries, throttled by
+          [checkpoint_interval], and always flushed once when the search stops
+          (see DESIGN.md, "Durable sessions") *)
+  checkpoint_interval : float;
+      (** minimum seconds between periodic checkpoint writes; [0] writes at
+          every path boundary (tests). Default 30. *)
 }
 
 val default : t

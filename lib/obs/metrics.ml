@@ -131,6 +131,9 @@ module Snapshot = struct
   let with_counter t name v = with_entry t name (Counter v)
   let with_gauge t name v = with_entry t name (Gauge v)
 
+  let of_entries l =
+    List.fold_left (fun acc (name, e) -> with_entry acc name e) empty l
+
   let hist_to_json (h : hist) =
     Json.Obj
       [ ("count", Json.Int h.count);

@@ -94,6 +94,12 @@ module Snapshot : sig
 
   val with_gauge : t -> string -> int -> t
 
+  val of_entries : (string * entry) list -> t
+  (** Build a snapshot from a raw entry list in any order (later duplicates
+      replace earlier ones). Used by the checkpoint codec, which stores
+      entries with explicit kind tags because {!to_json} flattens counters
+      and gauges to the same representation. *)
+
   val to_json : t -> Fairmc_util.Json.t
   (** [{ "name": value, ... }] for counters and gauges;
       [{ "count":…, "sum":…, "max":…, "buckets": {"i": n, …} }] for

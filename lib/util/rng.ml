@@ -2,6 +2,8 @@ type t = { mutable state : int64 }
 
 let make seed = { state = seed }
 let copy t = { state = t.state }
+let state t = t.state
+let of_state s = { state = s }
 
 (* splitmix64 (Steele, Lea, Flood 2014). *)
 let next_int64 t =

@@ -9,6 +9,16 @@ type t
 val make : int64 -> t
 val copy : t -> t
 
+val state : t -> int64
+(** The full internal state. Together with {!of_state} this lets a search
+    checkpoint capture the generator mid-stream and continue it bit-exactly
+    in a later process. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a captured {!state}. Unlike [make], no
+    scrambling is applied: [of_state (state t)] continues exactly where [t]
+    was. *)
+
 val next_int64 : t -> int64
 
 val int : t -> int -> int

@@ -115,9 +115,11 @@ let hb_finds_race () =
     (* The schedule replays cleanly: no engine failure on the way (a race
        is not an assertion failure) and no exception. *)
     (match Search.replay prog race.AH.decisions (fun _ -> ()) with
-     | None -> ()
-     | Some cex ->
-       Alcotest.failf "race schedule replayed into an engine failure: %s" cex.rendered)
+     | Search.Replayed_no_failure -> ()
+     | Search.Replayed_failure cex ->
+       Alcotest.failf "race schedule replayed into an engine failure: %s" cex.rendered
+     | Search.Replay_mismatch { step; tid } ->
+       Alcotest.failf "race schedule did not apply: step %d, thread %d" step tid)
 
 let hb_finds_dcl_race () =
   let r = run [ A.Hb_race.analysis ] (W.Races.dcl ()) in

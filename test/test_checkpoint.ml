@@ -1,0 +1,458 @@
+(* Durable-session tests: JSON codec round-trips, resume validation,
+   interrupted-then-resumed equality with uninterrupted runs (the
+   determinism contract of DESIGN.md, "Durable sessions"), graceful
+   mid-path interruption, and the satellite determinism fixes
+   (good-samaritan culprit tie-break, explicit replay mismatches). *)
+
+open Fairmc_core
+module W = Fairmc_workloads
+module CK = Checkpoint
+module AH = Analysis_hook
+module B = Fairmc_util.Bitset
+module R = Fairmc_util.Rng
+module Json = Fairmc_util.Json
+module MS = Fairmc_obs.Metrics.Snapshot
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Generators: pseudo-random checkpoint values derived from a seed.    *)
+
+let gen_opt rng f = if R.bool rng then Some (f rng) else None
+
+let gen_stats rng =
+  { Report.executions = R.int rng 100_000;
+    transitions = R.int rng 1_000_000;
+    states = R.int rng 10_000;
+    nonterminating = R.int rng 100;
+    depth_bound_hits = R.int rng 100;
+    sleep_set_prunes = R.int rng 100;
+    yields = R.int rng 10_000;
+    max_depth = R.int rng 500;
+    (* Eighths: finite and exactly representable, so JSON round-trips. *)
+    elapsed = float_of_int (R.int rng 1024) /. 8.;
+    first_error_execution = gen_opt rng (fun r -> R.int r 1000);
+    first_error_time = gen_opt rng (fun r -> float_of_int (R.int r 256) /. 8.);
+    sync_ops_per_exec = R.int rng 64;
+    max_threads = R.int rng 16 }
+
+let gen_metrics rng =
+  MS.of_entries
+    (List.concat
+       [ (if R.bool rng then [ ("search/steps/fresh", MS.Counter (R.int rng 100_000)) ]
+          else []);
+         (if R.bool rng then [ ("fair/p/peak", MS.Gauge (R.int rng 64)) ] else []);
+         (if R.bool rng then
+            [ ( "search/path_len",
+                MS.Histogram
+                  { MS.count = R.int rng 100;
+                    sum = R.int rng 10_000;
+                    max = R.int rng 512;
+                    buckets = [ (0, R.int rng 5); (3, 1 + R.int rng 7) ] } ) ]
+          else []) ])
+
+let gen_states rng = List.init (R.int rng 5) (fun _ -> R.next_int64 rng)
+
+let gen_edges rng =
+  List.init (R.int rng 3) (fun i ->
+      { AH.e_from = i;
+        e_from_name = Printf.sprintf "lock%d" i;
+        e_to = i + 1;
+        e_to_name = Printf.sprintf "lock%d" (i + 1) })
+
+let gen_decision rng = { CK.c_tid = R.int rng 8; c_alt = R.int rng 4; c_cost = R.int rng 3 }
+
+let gen_frame rng =
+  { CK.c_chosen = gen_decision rng;
+    c_rest = List.init (R.int rng 3) (fun _ -> gen_decision rng);
+    c_sleep = B.unsafe_of_int (R.int rng 256) }
+
+let gen_seq rng =
+  { CK.sq_frames = Array.init (R.int rng 6) (fun _ -> gen_frame rng);
+    sq_rng = R.next_int64 rng;
+    sq_stats = gen_stats rng;
+    sq_metrics = gen_metrics rng;
+    sq_states = gen_states rng;
+    sq_edges = gen_edges rng;
+    sq_complete = R.bool rng }
+
+let gen_par_item rng i =
+  { CK.pi_index = i;
+    pi_stats = gen_stats rng;
+    pi_metrics = gen_metrics rng;
+    pi_states = gen_states rng;
+    pi_edges = gen_edges rng }
+
+let gen_payload rng =
+  match R.int rng 3 with
+  | 0 -> CK.Seq (gen_seq rng)
+  | 1 ->
+    CK.Par
+      { CK.pa_split_depth = 1 + R.int rng 6;
+        pa_n_items = R.int rng 64;
+        pa_elapsed = float_of_int (R.int rng 1024) /. 8.;
+        pa_items = List.init (R.int rng 4) (gen_par_item rng);
+        pa_complete = R.bool rng }
+  | _ ->
+    CK.Par_sampling
+      { CK.sa_round = R.int rng 5;
+        sa_stats = gen_stats rng;
+        sa_metrics = gen_metrics rng;
+        sa_states = gen_states rng;
+        sa_edges = gen_edges rng;
+        sa_complete = R.bool rng }
+
+let gen_t seed =
+  let rng = R.make (Int64.of_int seed) in
+  { CK.fingerprint = "fp-" ^ string_of_int seed; payload = gen_payload rng }
+
+(* Structural equality; metrics snapshots are compared by entry list. *)
+let eq_metrics a b = MS.entries a = MS.entries b
+
+let eq_seq (a : CK.seq_state) (b : CK.seq_state) =
+  a.CK.sq_frames = b.CK.sq_frames
+  && a.CK.sq_rng = b.CK.sq_rng
+  && a.CK.sq_stats = b.CK.sq_stats
+  && eq_metrics a.CK.sq_metrics b.CK.sq_metrics
+  && a.CK.sq_states = b.CK.sq_states
+  && a.CK.sq_edges = b.CK.sq_edges
+  && a.CK.sq_complete = b.CK.sq_complete
+
+let eq_item (a : CK.par_item) (b : CK.par_item) =
+  a.CK.pi_index = b.CK.pi_index
+  && a.CK.pi_stats = b.CK.pi_stats
+  && eq_metrics a.CK.pi_metrics b.CK.pi_metrics
+  && a.CK.pi_states = b.CK.pi_states
+  && a.CK.pi_edges = b.CK.pi_edges
+
+let eq_payload a b =
+  match (a, b) with
+  | CK.Seq x, CK.Seq y -> eq_seq x y
+  | CK.Par x, CK.Par y ->
+    x.CK.pa_split_depth = y.CK.pa_split_depth
+    && x.CK.pa_n_items = y.CK.pa_n_items
+    && x.CK.pa_elapsed = y.CK.pa_elapsed
+    && List.length x.CK.pa_items = List.length y.CK.pa_items
+    && List.for_all2 eq_item x.CK.pa_items y.CK.pa_items
+    && x.CK.pa_complete = y.CK.pa_complete
+  | CK.Par_sampling x, CK.Par_sampling y ->
+    x.CK.sa_round = y.CK.sa_round
+    && x.CK.sa_stats = y.CK.sa_stats
+    && eq_metrics x.CK.sa_metrics y.CK.sa_metrics
+    && x.CK.sa_states = y.CK.sa_states
+    && x.CK.sa_edges = y.CK.sa_edges
+    && x.CK.sa_complete = y.CK.sa_complete
+  | _ -> false
+
+let eq_t a b = a.CK.fingerprint = b.CK.fingerprint && eq_payload a.CK.payload b.CK.payload
+
+(* ------------------------------------------------------------------ *)
+(* Interrupted-then-resumed equality harness.                          *)
+
+let strip_time (s : Report.stats) =
+  { s with Report.elapsed = 0.; first_error_time = None }
+
+let base =
+  { Search_config.default with
+    livelock_bound = Some 2_000;
+    coverage = true;
+    metrics = true }
+
+let counters = Alcotest.(list (pair string int))
+
+(* Run [cfg] uninterrupted; run it again with [max_executions = cut] and a
+   checkpoint; resume; assert verdict, stats and metric counters all match
+   the uninterrupted run. Returns both reports for extra assertions. *)
+let resume_equal ?(runner = fun ?resume cfg p -> Par_search.run ?resume cfg p) cfg prog
+    ~cut =
+  let full = runner cfg prog in
+  (* Clamp below the uninterrupted total so the cut genuinely interrupts. *)
+  let cut = max 1 (min cut (full.Report.stats.Report.executions - 1)) in
+  let file = Filename.temp_file "fairmc" ".ckpt" in
+  let cfg_cut =
+    { cfg with
+      Search_config.max_executions = Some cut;
+      checkpoint = Some file;
+      checkpoint_interval = 0. }
+  in
+  let partial = runner cfg_cut prog in
+  check "interrupted run stopped at the limit" true
+    (partial.Report.verdict = Report.Limits_reached);
+  let resumed =
+    match CK.load file with
+    | Error e -> Alcotest.fail e
+    | Ok ck ->
+      (match CK.plan_resume ck cfg ~program:prog.Program.name with
+       | Error e -> Alcotest.fail e
+       | Ok payload -> runner ~resume:payload cfg prog)
+  in
+  Sys.remove file;
+  check "same verdict" true (resumed.Report.verdict = full.Report.verdict);
+  check "same stats" true
+    (strip_time resumed.Report.stats = strip_time full.Report.stats);
+  Alcotest.check counters "same metric counters"
+    (MS.counters full.Report.metrics)
+    (MS.counters resumed.Report.metrics);
+  (full, resumed)
+
+(* ------------------------------------------------------------------ *)
+
+let qprops =
+  [ QCheck.Test.make ~name:"JSON codec round-trips every payload kind" ~count:300
+      QCheck.small_int (fun seed ->
+        let t = gen_t seed in
+        let j = CK.to_json t in
+        match CK.of_json j with
+        | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+        | Ok t' -> eq_t t t' && Json.equal (CK.to_json t') j) ]
+
+let unit_tests =
+  [ Alcotest.test_case "save is atomic and load round-trips" `Quick (fun () ->
+        let t = gen_t 42 in
+        let file = Filename.temp_file "fairmc" ".ckpt" in
+        CK.save file t;
+        check "no temp file left behind" false (Sys.file_exists (file ^ ".tmp"));
+        (match CK.load file with
+         | Ok t' -> check "loaded value equals saved" true (eq_t t t')
+         | Error e -> Alcotest.fail e);
+        Sys.remove file);
+    Alcotest.test_case "load rejects missing and corrupt files" `Quick (fun () ->
+        check "missing file" true
+          (match CK.load "/nonexistent/fairmc.ckpt" with Error _ -> true | Ok _ -> false);
+        let file = Filename.temp_file "fairmc" ".ckpt" in
+        Out_channel.with_open_bin file (fun oc -> output_string oc "{not json");
+        check "corrupt file" true
+          (match CK.load file with Error _ -> true | Ok _ -> false);
+        Sys.remove file);
+    Alcotest.test_case "plan_resume validates fingerprint and completion" `Quick
+      (fun () ->
+        let cfg = base in
+        let sq = { (gen_seq (R.make 7L)) with CK.sq_complete = false } in
+        let ok_t =
+          { CK.fingerprint = CK.fingerprint cfg ~program:"p"; payload = CK.Seq sq }
+        in
+        check "matching fingerprint resumes" true
+          (match CK.plan_resume ok_t cfg ~program:"p" with Ok _ -> true | Error _ -> false);
+        (* Budgets are deliberately outside the fingerprint: a resume may
+           extend them. *)
+        check "budget changes still resume" true
+          (match
+             CK.plan_resume ok_t
+               { cfg with Search_config.max_executions = Some 5; time_limit = Some 1. }
+               ~program:"p"
+           with
+           | Ok _ -> true
+           | Error _ -> false);
+        check "different program refuses" true
+          (match CK.plan_resume ok_t cfg ~program:"q" with Error _ -> true | Ok _ -> false);
+        check "different seed refuses" true
+          (match
+             CK.plan_resume ok_t { cfg with Search_config.seed = 999L } ~program:"p"
+           with
+           | Error _ -> true
+           | Ok _ -> false);
+        let done_t =
+          { ok_t with CK.payload = CK.Seq { sq with CK.sq_complete = true } }
+        in
+        check "completed checkpoint refuses" true
+          (match CK.plan_resume done_t cfg ~program:"p" with Error _ -> true | Ok _ -> false));
+    Alcotest.test_case "payload kind must fit the run shape" `Quick (fun () ->
+        let prog = W.Litmus.fig3 () in
+        let pa =
+          CK.Par
+            { CK.pa_split_depth = base.Search_config.split_depth;
+              pa_n_items = 3;
+              pa_elapsed = 0.;
+              pa_items = [];
+              pa_complete = false }
+        in
+        check "parallel payload on a sequential run raises Mismatch" true
+          (match Par_search.run ~resume:pa base prog with
+           | exception CK.Mismatch _ -> true
+           | _ -> false);
+        let sq = CK.Seq { (gen_seq (R.make 3L)) with CK.sq_complete = false } in
+        check "sequential payload on a parallel run raises Mismatch" true
+          (match Par_search.run ~resume:sq { base with Search_config.jobs = 4 } prog with
+           | exception CK.Mismatch _ -> true
+           | _ -> false));
+    Alcotest.test_case "interrupted-then-resumed DFS equals uninterrupted (jobs=1)"
+      `Quick (fun () ->
+        let prog = W.Litmus.two_step_threads ~nthreads:2 ~steps:4 in
+        ignore (resume_equal base prog ~cut:20);
+        let dining = W.Dining.coverage_program ~n:2 in
+        ignore (resume_equal base dining ~cut:50));
+    Alcotest.test_case "interrupted-then-resumed DFS equals uninterrupted (jobs=4)"
+      `Quick (fun () ->
+        let prog = W.Dining.program ~n:3 W.Dining.Ordered in
+        ignore (resume_equal { base with Search_config.jobs = 4 } prog ~cut:400));
+    Alcotest.test_case "a chain of interruptions still converges" `Quick (fun () ->
+        (* Cut twice at different points; each resume extends the budget. *)
+        let prog = W.Litmus.two_step_threads ~nthreads:2 ~steps:4 in
+        let full = Search.run base prog in
+        let file = Filename.temp_file "fairmc" ".ckpt" in
+        let with_ck cfg =
+          { cfg with
+            Search_config.checkpoint = Some file;
+            checkpoint_interval = 0. }
+        in
+        let run_cut cut resume =
+          Search.run ?resume
+            (with_ck { base with Search_config.max_executions = Some cut })
+            prog
+        in
+        let payload cfg =
+          match CK.load file with
+          | Error e -> Alcotest.fail e
+          | Ok ck ->
+            (match CK.plan_resume ck cfg ~program:prog.Program.name with
+             | Ok (CK.Seq sq) -> sq
+             | Ok _ -> Alcotest.fail "expected a sequential payload"
+             | Error e -> Alcotest.fail e)
+        in
+        let r1 = run_cut 11 None in
+        check "first leg limited" true (r1.Report.verdict = Report.Limits_reached);
+        let r2 = run_cut 33 (Some (payload { base with Search_config.max_executions = Some 33 })) in
+        check "second leg limited" true (r2.Report.verdict = Report.Limits_reached);
+        check_int "second leg reports cumulative executions" 33
+          r2.Report.stats.Report.executions;
+        let final = Search.run ~resume:(payload base) base prog in
+        Sys.remove file;
+        check "same verdict as uninterrupted" true
+          (final.Report.verdict = full.Report.verdict);
+        check "same stats as uninterrupted" true
+          (strip_time final.Report.stats = strip_time full.Report.stats));
+    Alcotest.test_case "mid-path interrupt resumes exactly" `Quick (fun () ->
+        (* Interrupt from inside a path (a progress tick at poll_interval=1
+           fires between steps), not at a boundary: the checkpoint must
+           exclude the partial path and the resume must re-run it fully. *)
+        let prog = W.Dining.coverage_program ~n:2 in
+        let full = Search.run base prog in
+        let file = Filename.temp_file "fairmc" ".ckpt" in
+        let ticks = ref 0 in
+        let cut =
+          { base with
+            Search_config.poll_interval = 1;
+            progress_interval = 0.;
+            on_progress =
+              Some
+                (fun _ ->
+                  incr ticks;
+                  if !ticks = 13 then CK.request_interrupt ());
+            checkpoint = Some file;
+            checkpoint_interval = 0. }
+        in
+        let partial =
+          Fun.protect ~finally:CK.clear_interrupt (fun () -> Search.run cut prog)
+        in
+        check "interrupt stopped the search" true
+          (partial.Report.verdict = Report.Limits_reached);
+        check "something was left to do" true
+          (partial.Report.stats.Report.executions < full.Report.stats.Report.executions);
+        let resumed =
+          match CK.load file with
+          | Error e -> Alcotest.fail e
+          | Ok ck ->
+            (match CK.plan_resume ck base ~program:prog.Program.name with
+             | Ok (CK.Seq sq) -> Search.run ~resume:sq base prog
+             | Ok _ -> Alcotest.fail "expected a sequential payload"
+             | Error e -> Alcotest.fail e)
+        in
+        Sys.remove file;
+        check "same verdict" true (resumed.Report.verdict = full.Report.verdict);
+        check "same stats" true
+          (strip_time resumed.Report.stats = strip_time full.Report.stats);
+        Alcotest.check counters "same metric counters"
+          (MS.counters full.Report.metrics)
+          (MS.counters resumed.Report.metrics));
+    Alcotest.test_case "resume finds the same counterexample" `Quick (fun () ->
+        let prog = W.Litmus.race_assert () in
+        let full = Search.run base prog in
+        let e =
+          match full.Report.stats.Report.first_error_execution with
+          | Some e -> e
+          | None -> Alcotest.fail "expected an error in race_assert"
+        in
+        check "error is not on the first execution" true (e >= 2);
+        let file = Filename.temp_file "fairmc" ".ckpt" in
+        let cut =
+          { base with
+            Search_config.max_executions = Some (e - 1);
+            checkpoint = Some file;
+            checkpoint_interval = 0. }
+        in
+        let partial = Search.run cut prog in
+        check "stopped one execution short of the error" true
+          (partial.Report.verdict = Report.Limits_reached);
+        let resumed =
+          match CK.load file with
+          | Error err -> Alcotest.fail err
+          | Ok ck ->
+            (match CK.plan_resume ck base ~program:prog.Program.name with
+             | Ok (CK.Seq sq) -> Search.run ~resume:sq base prog
+             | Ok _ -> Alcotest.fail "expected a sequential payload"
+             | Error err -> Alcotest.fail err)
+        in
+        Sys.remove file;
+        (match (full.Report.verdict, resumed.Report.verdict) with
+         | ( Report.Safety_violation { cex = a; tid = ta; _ },
+             Report.Safety_violation { cex = b; tid = tb; _ } ) ->
+           check_int "same thread" ta tb;
+           check "same schedule" true (a.Report.decisions = b.Report.decisions)
+         | _ -> Alcotest.fail "expected the same safety violation");
+        check_int "first error lands on the same global execution" e
+          (Option.get resumed.Report.stats.Report.first_error_execution));
+    Alcotest.test_case "sampling resumes by remaining budget" `Quick (fun () ->
+        let prog = W.Litmus.two_step_threads ~nthreads:2 ~steps:3 in
+        let cfg = { base with Search_config.mode = Search_config.Random_walk 40 } in
+        let full = Search.run cfg prog in
+        let file = Filename.temp_file "fairmc" ".ckpt" in
+        let cut =
+          { cfg with
+            Search_config.max_executions = Some 15;
+            checkpoint = Some file;
+            checkpoint_interval = 0. }
+        in
+        let partial = Search.run cut prog in
+        check "cut run limited" true (partial.Report.verdict = Report.Limits_reached);
+        let resumed =
+          match CK.load file with
+          | Error e -> Alcotest.fail e
+          | Ok ck ->
+            (match CK.plan_resume ck cfg ~program:prog.Program.name with
+             | Ok (CK.Seq sq) -> Search.run ~resume:sq cfg prog
+             | Ok _ -> Alcotest.fail "expected a sequential payload"
+             | Error e -> Alcotest.fail e)
+        in
+        Sys.remove file;
+        (* Sequential sampling resumes RNG-exactly, so even the sampled
+           statistics match the uninterrupted run. *)
+        check "same verdict" true (resumed.Report.verdict = full.Report.verdict);
+        check "same stats" true
+          (strip_time resumed.Report.stats = strip_time full.Report.stats));
+    Alcotest.test_case "good-samaritan culprit tie-break is deterministic" `Quick
+      (fun () ->
+        (* Non-yielders dominate yielders; then occurrence counts; then the
+           lowest tid — never hash-table iteration order. *)
+        check_int "lowest tid wins an exact tie" 1
+          (Search.good_samaritan_culprit [ (2, 5, false); (1, 5, false) ]);
+        check_int "order of entries is irrelevant" 1
+          (Search.good_samaritan_culprit [ (1, 5, false); (2, 5, false) ]);
+        check_int "a non-yielder beats a busier yielder" 3
+          (Search.good_samaritan_culprit [ (0, 9, true); (3, 2, false) ]);
+        check_int "more occurrences win within a class" 4
+          (Search.good_samaritan_culprit [ (4, 7, true); (5, 3, true) ]);
+        check_int "yielder tie-break also picks the lowest tid" 0
+          (Search.good_samaritan_culprit [ (1, 4, true); (0, 4, true) ]));
+    Alcotest.test_case "replay reports mismatches explicitly" `Quick (fun () ->
+        let prog = W.Litmus.two_step_threads ~nthreads:2 ~steps:2 in
+        (* Thread 0 has only two steps; the third (0,0) decision cannot
+           apply and must be reported with its position, not swallowed. *)
+        match Search.replay prog [ (0, 0); (0, 0); (0, 0) ] (fun _ -> ()) with
+        | Search.Replay_mismatch { step; tid } ->
+          check_int "mismatching thread" 0 tid;
+          check_int "mismatching step" 2 step
+        | Search.Replayed_failure _ -> Alcotest.fail "unexpected failure"
+        | Search.Replayed_no_failure -> Alcotest.fail "mismatch was swallowed") ]
+
+let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) qprops

@@ -170,7 +170,10 @@ let suite =
           Repro.save file { Repro.program = "race-assert"; decisions = cex.decisions };
           (match Repro.load file with
            | Ok { Repro.decisions; _ } ->
-             check "replays to failure" true (Search.replay p decisions (fun _ -> ()) <> None);
+             check "replays to failure" true
+               (match Search.replay p decisions (fun _ -> ()) with
+                | Search.Replayed_failure _ -> true
+                | Search.Replayed_no_failure | Search.Replay_mismatch _ -> false);
              Sys.remove file
            | Error e -> Alcotest.fail e)
         | _ -> Alcotest.fail "expected safety violation") ]

@@ -15,7 +15,8 @@ let full n = B.full n
 let random_walk seed steps nthreads =
   let rng = Fairmc_util.Rng.make (Int64.of_int seed) in
   let fs = ref (FS.create ~nthreads ()) in
-  let states = ref [ !fs ] in
+  (* [step] mutates in place, so snapshot each state with an explicit copy. *)
+  let states = ref [ FS.copy !fs ] in
   for _ = 1 to steps do
     (* Random nonempty enabled set. *)
     let es = ref B.empty in
@@ -35,7 +36,7 @@ let random_walk seed steps nthreads =
       if Fairmc_util.Rng.bool rng then es_after := B.add t !es_after
     done;
     fs := FS.step !fs ~chosen ~yielded ~es_before:!es ~es_after:!es_after;
-    states := !fs :: !states
+    states := FS.copy !fs :: !states
   done;
   !states
 
@@ -140,6 +141,18 @@ let unit_tests =
         let es = full 3 in
         let fs = FS.step fs ~chosen:2 ~yielded:true ~es_before:es ~es_after:es in
         Alcotest.(check (list (pair int int))) "P empty" [] (FS.priority_pairs fs));
+    Alcotest.test_case "copy isolates in-place steps" `Quick (fun () ->
+        let es = full 2 in
+        let fs = FS.create ~nthreads:2 () in
+        let snap = FS.copy fs in
+        let fs = FS.step fs ~chosen:1 ~yielded:true ~es_before:es ~es_after:es in
+        let fs = FS.step fs ~chosen:1 ~yielded:true ~es_before:es ~es_after:es in
+        Alcotest.(check (list (pair int int))) "stepped has edge" [ (1, 0) ]
+          (FS.priority_pairs fs);
+        Alcotest.(check (list (pair int int))) "copy unaffected" []
+          (FS.priority_pairs snap);
+        let _, _, s = FS.sets snap ~tid:1 in
+        Alcotest.check set "copy windows unaffected" (full 2) s);
     Alcotest.test_case "invalid arguments rejected" `Quick (fun () ->
         (try
            ignore (FS.create ~nthreads:2 ~k:0 ());
@@ -193,7 +206,7 @@ let qprops =
         List.for_all
           (fun fs ->
             let es = full n in
-            let fs' = FS.step fs ~chosen:0 ~yielded:false ~es_before:es ~es_after:es in
+            let fs' = FS.step (FS.copy fs) ~chosen:0 ~yielded:false ~es_before:es ~es_after:es in
             List.for_all (fun (_, y) -> y <> 0) (FS.priority_pairs fs'))
           states) ]
 

@@ -9,6 +9,7 @@ let () =
       ("engine", Test_engine.suite);
       ("sync", Test_sync.suite);
       ("search", Test_search.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("par-search", Test_par_search.suite);
       ("liveness", Test_liveness.suite);
       ("sleep-sets", Test_sleepsets.suite);

@@ -90,8 +90,10 @@ let suite =
         match r.verdict with
         | Report.Safety_violation { cex; _ } ->
           (match Search.replay p cex.decisions (fun _ -> ()) with
-           | Some replayed -> check_int "replayed length" cex.length replayed.length
-           | None -> Alcotest.fail "replay did not reproduce the failure")
+           | Search.Replayed_failure replayed ->
+             check_int "replayed length" cex.length replayed.length
+           | Search.Replayed_no_failure | Search.Replay_mismatch _ ->
+             Alcotest.fail "replay did not reproduce the failure")
         | _ -> Alcotest.fail "expected safety violation");
     Alcotest.test_case "sampling: verdict matches sequential, runs reproduce" `Quick
       (fun () ->

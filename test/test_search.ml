@@ -72,8 +72,10 @@ let suite =
         match r.verdict with
         | Report.Safety_violation { cex; _ } ->
           (match Search.replay p cex.decisions (fun _ -> ()) with
-           | Some replayed -> check_int "same length" cex.length replayed.length
-           | None -> Alcotest.fail "replay did not reproduce the failure")
+           | Search.Replayed_failure replayed ->
+             check_int "same length" cex.length replayed.length
+           | Search.Replayed_no_failure | Search.Replay_mismatch _ ->
+             Alcotest.fail "replay did not reproduce the failure")
         | _ -> Alcotest.fail "expected safety violation");
     Alcotest.test_case "depth-bounded unfair search counts bound hits" `Quick (fun () ->
         let p = W.Litmus.fig3 () in
