@@ -181,10 +181,28 @@ let resume_arg =
                  and $(b,--time-limit) may differ); keeps checkpointing to \
                  FILE unless $(b,--checkpoint) names another file.")
 
+let interp_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "vm" -> Ok Search_config.Vm
+    | "ast" -> Ok Search_config.Ast
+    | _ -> Error (`Msg "interp is vm | ast")
+  in
+  Arg.conv (parse, fun ppf i -> Format.pp_print_string ppf (Search_config.interp_name i))
+
+let interp_arg =
+  Arg.(value & opt interp_conv Search_config.Vm
+       & info [ "interp" ] ~docv:"BACKEND"
+           ~doc:"ChessLang execution backend: $(b,vm) (default — compiled \
+                 bytecode, several times faster at re-execution) or $(b,ast) \
+                 (the AST-walking interpreter kept as the differential-testing \
+                 oracle). Both produce identical transition streams, verdicts \
+                 and counterexamples; built-in native programs are unaffected.")
+
 let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound max_execs
     time_limit seed sleep_sets coverage jobs split_depth metrics stats progress
     progress_interval races lockset lock_graph fail_on_race checkpoint
-    checkpoint_interval =
+    checkpoint_interval interp =
   let analyses =
     (if races || fail_on_race then [ Fairmc_analysis.Hb_race.analysis ] else [])
     @ (if lockset then [ Fairmc_analysis.Lockset.analysis ] else [])
@@ -212,14 +230,15 @@ let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound ma
     progress_interval;
     analyses;
     checkpoint;
-    checkpoint_interval }
+    checkpoint_interval;
+    interp }
 
 let config_term =
   Term.(const build_config $ strategy $ no_fair $ fair_k $ depth_bound $ max_steps
         $ livelock_bound $ max_execs $ time_limit $ seed $ sleep_sets $ coverage
         $ jobs $ split_depth $ metrics_flag $ stats_flag $ progress_flag
         $ progress_interval $ races_flag $ lockset_flag $ lock_graph_flag
-        $ fail_on_race $ checkpoint_out $ checkpoint_interval)
+        $ fail_on_race $ checkpoint_out $ checkpoint_interval $ interp_arg)
 
 let list_cmd =
   let doc = "List the built-in benchmark programs." in
@@ -233,9 +252,13 @@ let list_cmd =
       "@.EXPECTED is the verdict a sufficiently deep search reaches: verified \
        | safety (assertion/invariant failure) | deadlock | livelock (fair \
        nontermination) | good-samaritan (a thread yields forever) | race \
-       (data race, requires --races).@.@.Long searches are durable: pass \
-       --checkpoint FILE (throttled by --checkpoint-interval) to chess check, \
-       interrupt freely with Ctrl-C, and continue later with --resume FILE.@."
+       (data race, requires --races).@.@.chess check also accepts ChessLang \
+       files (*.chess); they run on the compiled bytecode VM by default — \
+       pass --interp ast for the AST-walking oracle (identical observables, \
+       slower; used for differential testing).@.@.Long searches are durable: \
+       pass --checkpoint FILE (throttled by --checkpoint-interval) to chess \
+       check, interrupt freely with Ctrl-C, and continue later with --resume \
+       FILE.@."
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -249,7 +272,7 @@ let check_cmd =
   let run name cfg quiet save_repro stats json_out trace_out fail_on_race resume =
     let program =
       if Filename.check_suffix name ".chess" then begin
-        match D.load_file name with
+        match D.load_file ~backend:(D.backend_of_interp cfg.Search_config.interp) name with
         | prog -> prog
         | exception D.Parser.Error (msg, pos) ->
           Format.eprintf "%s: syntax error: %s (%a)@." name msg D.Ast.pp_pos pos;

@@ -86,7 +86,10 @@ let fingerprint (cfg : C.t) ~program =
       "sleep=" ^ b cfg.sleep_sets;
       "cov=" ^ b cfg.coverage;
       "metrics=" ^ b cfg.metrics;
-      "analyses=" ^ String.concat "," (List.map (fun (a : AH.t) -> a.AH.name) cfg.analyses) ]
+      "analyses=" ^ String.concat "," (List.map (fun (a : AH.t) -> a.AH.name) cfg.analyses);
+      (* Backends are observably equivalent, but a resumed session must
+         replay the prefix on the backend that produced the checkpoint. *)
+      "interp=" ^ C.interp_name cfg.interp ]
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec.                                                         *)

@@ -5,6 +5,8 @@ type mode =
   | Round_robin
   | Priority_random of int
 
+type interp = Vm | Ast
+
 type t = {
   fair : bool;
   fair_k : int;
@@ -30,6 +32,7 @@ type t = {
   analyses : Analysis_hook.t list;
   checkpoint : string option;
   checkpoint_interval : float;
+  interp : interp;
 }
 
 let default =
@@ -56,7 +59,8 @@ let default =
     on_progress = None;
     analyses = [];
     checkpoint = None;
-    checkpoint_interval = 30.0 }
+    checkpoint_interval = 30.0;
+    interp = Vm }
 
 let fair_dfs = default
 
@@ -72,6 +76,8 @@ let unfair_cb c ~depth_bound =
     depth_bound = Some depth_bound;
     livelock_bound = None }
 
+let interp_name = function Vm -> "vm" | Ast -> "ast"
+
 let mode_name = function
   | Dfs -> "dfs"
   | Context_bounded c -> Printf.sprintf "cb=%d" c
@@ -84,7 +90,8 @@ let describe t =
     (mode_name t.mode)
     (if t.fair then " fair" else " unfair")
     (match t.depth_bound with Some d -> Printf.sprintf " db=%d" d | None -> "")
-    (if t.sleep_sets then " +sleepsets" else "")
+    ((if t.sleep_sets then " +sleepsets" else "")
+     ^ match t.interp with Vm -> "" | Ast -> " interp=ast")
     ((match t.analyses with
       | [] -> ""
       | l -> " +" ^ String.concat "+" (List.map (fun (a : Analysis_hook.t) -> a.name) l))

@@ -20,6 +20,14 @@ type mode =
           gets a fresh random priority after each step, highest-priority
           enabled thread runs. *)
 
+type interp = Vm | Ast
+    (** DSL execution backend: the bytecode VM (default) or the AST-walking
+        interpreter kept as the differential-testing oracle. Frontends that
+        compile programs themselves (e.g. native workloads) ignore this;
+        the ChessLang CLI maps it to {!Fairmc_dsl.backend}. Recorded in
+        checkpoint fingerprints: a session must resume on the backend that
+        produced it. *)
+
 type t = {
   fair : bool;  (** use the fair scheduler of Algorithm 1 *)
   fair_k : int;  (** process every k-th yield (paper §3, final remark) *)
@@ -88,6 +96,7 @@ type t = {
   checkpoint_interval : float;
       (** minimum seconds between periodic checkpoint writes; [0] writes at
           every path boundary (tests). Default 30. *)
+  interp : interp;  (** DSL execution backend; default [Vm] *)
 }
 
 val default : t
@@ -99,3 +108,4 @@ val fair_cb : int -> t
 val unfair_cb : int -> depth_bound:int -> t
 
 val describe : t -> string
+val interp_name : interp -> string

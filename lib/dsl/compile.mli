@@ -1,0 +1,101 @@
+(** Bytecode compiler for ChessLang.
+
+    Lowers a sema-checked AST to flat per-thread [int array] bytecode:
+    jump-resolved control flow, globals and locals resolved to integer
+    slot indices, and each statement's engine operation precomputed into
+    an operation table — no name lookups at runtime. See DESIGN.md,
+    "Bytecode VM", for the instruction set. Executed by {!Vm}. *)
+
+(** The engine operation of a visible statement, with synchronization
+    objects as compile-time per-kind indices (materialized to {!Fairmc_core.Op.t}
+    at boot, once the objects exist). *)
+type op_template =
+  | T_lock of int
+  | T_try_lock of int
+  | T_timed_lock of int
+  | T_unlock of int
+  | T_sem_wait of int
+  | T_sem_timed_wait of int
+  | T_sem_post of int
+  | T_ev_wait of int
+  | T_ev_timed_wait of int
+  | T_ev_set of int
+  | T_ev_reset of int
+  | T_var_read of int
+  | T_var_write of int
+  | T_var_rmw of int
+  | T_choose of int
+  | T_yield
+  | T_sleep
+
+(** Boot-time object registration plan, in declaration order — identical
+    order and constructors to the AST machine, so both backends assign
+    identical [Op.obj] identities. *)
+type reg =
+  | Reg_var of string
+  | Reg_mutex of string
+  | Reg_sem of string * int
+  | Reg_event of string * bool
+
+type thread_code = {
+  t_name : string;
+  t_code : int array;
+  t_nlocals : int;
+  t_local_names : string array;  (** local slot -> name, sorted *)
+  t_stack : int;  (** operand-stack bound (conservative) *)
+}
+
+type t = {
+  c_name : string;
+  c_regs : reg array;
+  c_nslots : int;
+  c_init : int array;
+  c_globals : (string * int * int) array;
+      (** name, base slot, size (0 = scalar) — for store inspection *)
+  c_ops : op_template array;
+  c_pos : Ast.pos array;
+  c_names : string array;
+  c_msgs : string array;
+  c_threads : thread_code array;
+}
+
+val compile : Ast.program -> t
+(** @raise Sema.Error on static errors. *)
+
+(** {2 Opcodes}
+
+    Exposed for the VM's dispatch assertions and for disassembly. *)
+
+val op_halt : int
+val op_push : int
+val op_load_g : int
+val op_store_g : int
+val op_load_l : int
+val op_store_l : int
+val op_load_gi : int
+val op_store_gi : int
+val op_add : int
+val op_sub : int
+val op_mul : int
+val op_div : int
+val op_mod : int
+val op_eq : int
+val op_ne : int
+val op_lt : int
+val op_le : int
+val op_gt : int
+val op_ge : int
+val op_not : int
+val op_neg : int
+val op_jmp : int
+val op_jz : int
+val op_jnz : int
+val op_sched : int
+val op_prim : int
+val op_fuel : int
+val op_afuel : int
+val op_atomic_enter : int
+val op_assert : int
+
+val width : int -> int
+(** Instruction width (opcode + operand cells) of an opcode. *)

@@ -1,6 +1,7 @@
 (** ChessLang — a small concurrent language frontend for the fair stateless
-    model checker. See {!Ast} for the syntax, {!Machine} for the execution
-    model. *)
+    model checker. See {!Ast} for the syntax, {!Compile}/{!Vm} for the
+    default bytecode execution backend, {!Machine} for the AST-walking
+    oracle it is differentially tested against. *)
 
 module Ast = Ast
 module Token = Token
@@ -8,8 +9,21 @@ module Lexer = Lexer
 module Parser = Parser
 module Sema = Sema
 module Machine = Machine
+module Compile = Compile
+module Vm = Vm
+
+(** Execution backend: the bytecode VM (default) or the AST interpreter
+    (the differential-testing oracle, [--interp ast] on the CLI). *)
+type backend = [ `Vm | `Ast ]
+
+let backend_of_interp : Fairmc_core.Search_config.interp -> backend = function
+  | Fairmc_core.Search_config.Vm -> `Vm
+  | Fairmc_core.Search_config.Ast -> `Ast
+
+let compile ?(backend = `Vm) ast =
+  match backend with `Vm -> Vm.compile ast | `Ast -> Machine.compile ast
 
 (** [load_string src] parses, checks, and compiles a ChessLang program. *)
-let load_string ?name src = Machine.compile (Parser.parse_string ?name src)
+let load_string ?name ?backend src = compile ?backend (Parser.parse_string ?name src)
 
-let load_file path = Machine.compile (Parser.parse_file path)
+let load_file ?backend path = compile ?backend (Parser.parse_file path)

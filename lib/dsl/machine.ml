@@ -21,9 +21,14 @@ type tmachine = {
   mutable frames : block list;
   locals : (string, int) Hashtbl.t;
   local_names : string list;  (* sorted, for snapshot determinism *)
+  local_set : (string, unit) Hashtbl.t;  (* same names, O(1) membership *)
+  op_cache : (Op.t option * bool) option array;
+      (* per-statement-id engine op + has-primitive, computed once per
+         boot: [op_of_stmt] walks expressions and scans global lists, a
+         per-step cost that would otherwise recur on every re-execution *)
 }
 
-let is_local_name tm n = List.mem n tm.local_names
+let is_local_name tm n = Hashtbl.mem tm.local_set n
 
 exception Runtime_error of string * pos
 
@@ -107,7 +112,11 @@ let rec eval o tm prim e =
       let va = eval o tm prim a in
       if truthy va then 1 else eval o tm prim b
     | _ ->
-      let va = eval o tm prim a and vb = eval o tm prim b in
+      (* Left-to-right, like the compiled backend: with at most one
+         primitive per statement the results agree, but a statement can
+         still raise two different runtime errors depending on order. *)
+      let va = eval o tm prim a in
+      let vb = eval o tm prim b in
       (match op with
        | Add -> va + vb
        | Sub -> va - vb
@@ -297,24 +306,34 @@ let stmt_has_primitive (s : stmt) =
 
 (* Drive one thread: silent statements run inline; visible ones perform
    their engine operation first. *)
+(* [op_of_stmt] + [stmt_has_primitive], computed once per statement per
+   boot (statement ids are parser-unique, so a flat array serves). *)
+let cached_op info o tm (s : stmt) =
+  match tm.op_cache.(s.id) with
+  | Some c -> c
+  | None ->
+    let c = (op_of_stmt info o tm s, stmt_has_primitive s) in
+    tm.op_cache.(s.id) <- Some c;
+    c
+
 let thread_body (info : Sema.info) o tm () =
   let fuel = ref silent_fuel in
   let rec go () =
     match current tm with
     | None -> ()
     | Some (s, rest, parents) -> (
-      match op_of_stmt info o tm s with
-      | None ->
+      match cached_op info o tm s with
+      | None, _ ->
         decr fuel;
         if !fuel <= 0 then
           rt_err s.pos "thread %s ran %d silent steps without a scheduling point"
             tm.tname silent_fuel;
         exec_stmt o tm (ref None) s rest parents;
         go ()
-      | Some op ->
+      | Some op, has_prim ->
         fuel := silent_fuel;
         let r = Sync.Raw.sched op in
-        let prim = ref (if stmt_has_primitive s then Some r else None) in
+        let prim = ref (if has_prim then Some r else None) in
         exec_stmt o tm prim s rest parents;
         go ())
   in
@@ -323,8 +342,7 @@ let thread_body (info : Sema.info) o tm () =
     Sync.fail (Format.asprintf "%s (thread %s, %a)" msg tm.tname pp_pos pos)
 
 let snapshot o tms () =
-  let h = ref Fnv.init in
-  Array.iter (fun v -> h := Fnv.int !h v) o.slots;
+  let h = ref (Fnv.ints Fnv.init o.slots) in
   List.iter
     (fun tm ->
       h := Fnv.int !h (List.length tm.frames);
@@ -338,11 +356,30 @@ let snapshot o tms () =
     tms;
   !h
 
-let compile (prog : program) =
-  let info = Sema.check prog in
-  Program.make ~name:prog.prog_name @@ fun () ->
+(* Statement ids are assigned by one parser counter; the array bound for
+   per-boot op caches is the largest id in the program. *)
+let max_stmt_id (prog : program) =
+  let m = ref 0 in
+  let rec go_block b =
+    List.iter
+      (fun (s : stmt) ->
+        if s.id > !m then m := s.id;
+        match s.kind with
+        | If (_, a, b) ->
+          go_block a;
+          go_block b
+        | While (_, b) | Atomic b -> go_block b
+        | Local _ | Assign _ | Lock _ | Unlock _ | Wait _ | Set_event _
+        | Reset_event _ | Sem_p _ | Sem_v _ | Yield | Sleep | Skip | Assert _ -> ())
+      b
+  in
+  List.iter (fun (_, b) -> go_block b) (Ast.threads prog);
+  !m
+
+let boot (prog : program) (info : Sema.info) () =
   let o = build_objects info in
   init_slots prog o;
+  let cache_len = max_stmt_id prog + 1 in
   let tms =
     List.map
       (fun (tname, body) ->
@@ -352,8 +389,61 @@ let compile (prog : program) =
              | Some l -> l
              | None -> [])
         in
-        { tname; frames = [ body ]; locals = Hashtbl.create 8; local_names })
+        let local_set = Hashtbl.create 8 in
+        List.iter (fun n -> Hashtbl.replace local_set n ()) local_names;
+        { tname;
+          frames = [ body ];
+          locals = Hashtbl.create 8;
+          local_names;
+          local_set;
+          op_cache = Array.make cache_len None })
       (Ast.threads prog)
   in
-  { Program.threads = List.map (fun tm -> thread_body info o tm) tms;
-    snapshot = Some (snapshot o tms) }
+  ( (o, tms),
+    { Program.threads = List.map (fun tm -> thread_body info o tm) tms;
+      snapshot = Some (snapshot o tms) } )
+
+let compile (prog : program) =
+  let info = Sema.check prog in
+  Program.make ~name:prog.prog_name (fun () -> snd (boot prog info ()))
+
+(* Final-store dump of the most recent boot, mirroring [Vm.compile_inspect]:
+   globals (array cells as "a[i]") then initialized locals ("thread.name"). *)
+let compile_inspect (prog : program) =
+  let info = Sema.check prog in
+  let last = ref None in
+  let p =
+    Program.make ~name:prog.prog_name (fun () ->
+        let st, booted = boot prog info () in
+        last := Some st;
+        booted)
+  in
+  let dump () =
+    match !last with
+    | None -> []
+    | Some (o, tms) ->
+      let globals =
+        List.concat_map
+          (fun (name, k) ->
+            match (k : Sema.gkind) with
+            | Scalar -> [ (name, o.slots.(Hashtbl.find o.slot_of name)) ]
+            | Array n ->
+              let base = Hashtbl.find o.slot_of name in
+              List.init n (fun i -> (Printf.sprintf "%s[%d]" name i, o.slots.(base + i)))
+            | Mutex | Sem _ | Event _ -> [])
+          info.kinds
+      in
+      let locals =
+        List.concat_map
+          (fun tm ->
+            List.filter_map
+              (fun n ->
+                Option.map
+                  (fun v -> (tm.tname ^ "." ^ n, v))
+                  (Hashtbl.find_opt tm.locals n))
+              tm.local_names)
+          tms
+      in
+      globals @ locals
+  in
+  (p, dump)

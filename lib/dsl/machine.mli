@@ -16,3 +16,15 @@
 
 val compile : Ast.program -> Fairmc_core.Program.t
 (** @raise Sema.Error on static errors. *)
+
+val compile_inspect :
+  Ast.program -> Fairmc_core.Program.t * (unit -> (string * int) list)
+(** [compile_inspect prog] also returns a dump of the most recent boot's
+    final store — globals (array cells as ["a\[i\]"]) then initialized
+    locals (["thread.name"]) — for differential testing against
+    {!Vm.compile_inspect}. *)
+
+val silent_fuel : int
+(** Consecutive silent (local-only) steps a thread may run before the
+    checker reports a missing scheduling point. Shared with {!Vm} so both
+    backends diverge identically. *)

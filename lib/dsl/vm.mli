@@ -1,0 +1,25 @@
+(** Bytecode VM for ChessLang: the default execution backend.
+
+    Executes {!Compile} bytecode with an int-array operand stack and flat
+    frames (one pc + an int-array of local slots per thread). Preserves
+    every observable of the AST interpreter {!Machine} — identical [Op.t]
+    transition streams per schedule, silent-fuel accounting, runtime-error
+    messages, counterexamples, and checkpoint/resume behavior — while
+    re-executing schedules several times faster (the [bench vm]
+    experiment measures the ratio).
+
+    State snapshots hash the flat representation directly (FNV over the
+    global slot array, then each thread's pc and local slots), which is
+    both faster than walking AST machine state and induces the same
+    state partition: a bytecode pc determines the whole continuation, as
+    control flow is structured. *)
+
+val compile : Ast.program -> Fairmc_core.Program.t
+(** @raise Sema.Error on static errors. *)
+
+val compile_inspect :
+  Ast.program -> Fairmc_core.Program.t * (unit -> (string * int) list)
+(** [compile_inspect prog] also returns a dump of the most recent boot's
+    final store — globals (array cells as ["a\[i\]"]) then initialized
+    locals (["thread.name"]) — for differential testing against
+    {!Machine.compile_inspect}. *)

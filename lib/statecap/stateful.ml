@@ -25,8 +25,12 @@ let explore ?(mode = Full) ?(max_states = 1_000_000) ?(max_nodes = 2_000_000)
   let t0 = Fairmc_obs.Clock.now () in
   let signatures : (int64, unit) Hashtbl.t = Hashtbl.create 4096 in
   (* Dedupe on (signature, scheduling context): a state reached with a
-     different remaining budget can have different successors. *)
-  let seen : (int64 * int * int * bool, unit) Hashtbl.t = Hashtbl.create 4096 in
+     different remaining budget can have different successors. The context
+     is folded into the signature hash rather than kept as a tuple key —
+     signatures are already lossy FNV values (over the VM's flat slot and
+     frame arrays for DSL programs), so this costs nothing in precision
+     and avoids a tuple allocation and a polymorphic hash per visit. *)
+  let seen : (int64, unit) Hashtbl.t = Hashtbl.create 4096 in
   let queue = Queue.create () in
   let transitions = ref 0 in
   let nodes = ref 0 in
@@ -46,7 +50,12 @@ let explore ?(mode = Full) ?(max_states = 1_000_000) ?(max_nodes = 2_000_000)
   in
 
   let visit node sign =
-    let key = (sign, node.budget, node.last, node.last_yielded) in
+    let module Fnv = Fairmc_util.Fnv in
+    let key =
+      Fnv.int
+        (Fnv.int (Fnv.int sign node.budget) node.last)
+        (Bool.to_int node.last_yielded)
+    in
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.replace seen key ();
       Hashtbl.replace signatures sign ();

@@ -18,4 +18,11 @@ let int h i =
 
 let int_list h l = List.fold_left int h l
 
+let ints h a =
+  let h = ref h in
+  for i = 0 to Array.length a - 1 do
+    h := int !h (Array.unsafe_get a i)
+  done;
+  !h
+
 let to_hex h = Printf.sprintf "%016Lx" h

@@ -14,3 +14,7 @@ val int_list : t -> int list -> t
 val char : t -> char -> t
 
 val to_hex : t -> string
+
+val ints : t -> int array -> t
+(** Hash every element of an [int array]; the flat-state fast path used by
+    the bytecode VM's snapshots. *)

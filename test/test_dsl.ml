@@ -258,4 +258,319 @@ let exec_tests =
           quick "no-error" "peterson.chess" 2_000;
           quick "no-error" "dekker.chess" 2_000) ]
 
-let suite = lexer_tests @ parser_tests @ sema_tests @ exec_tests
+(* ------------------------------------------------------------------ *)
+(* Differential suite: the bytecode VM against the AST-walking oracle.
+
+   The VM replaces the AST interpreter as the default backend; its
+   correctness contract is observable equivalence — identical [Op.t]
+   transition streams per schedule, identical runtime errors (message and
+   position), identical verdicts, counterexamples and coverage counts.
+   Random ChessLang programs are generated directly as ASTs (shared by
+   both backends, so positions and statement ids coincide) and compared
+   under random schedules and under full searches. *)
+
+module R = Fairmc_util.Rng
+module BS = Fairmc_util.Bitset
+module SC = Fairmc_statecap
+module A = D.Ast
+
+(* Random sema-valid programs over a fixed declaration set: two scalars,
+   an array, a mutex, a semaphore, an event, 2–3 threads. Locals are
+   always declared ([local x = ...] somewhere in the thread), usually up
+   front — occasionally at the end, leaving earlier reads uninitialized
+   (a runtime error both backends must report identically). *)
+let gen_program rng : A.program =
+  let next_id = ref 0 in
+  let stmt kind =
+    incr next_id;
+    { A.id = !next_id; pos = { A.line = !next_id; col = 0 }; kind }
+  in
+  let p0 = { A.line = 0; col = 0 } in
+  let ppos () = { A.line = 500 + R.int rng 400; col = 1 + R.int rng 9 } in
+  let locals = [| "la"; "lb" |] in
+  let local () = locals.(R.int rng 2) in
+  let global () = if R.bool rng then "g0" else "g1" in
+  let rec gen_expr depth prim ~in_atomic =
+    let leaf () =
+      match R.int rng (if !prim && not in_atomic then 6 else 5) with
+      | 0 | 3 -> A.Int (R.int rng 5)
+      | 1 -> A.Name (ppos (), local ())
+      | 2 -> A.Name (ppos (), global ())
+      | 4 -> A.Index (ppos (), "arr", gen_expr 0 prim ~in_atomic)
+      | _ ->
+        prim := false;
+        (match R.int rng 5 with
+         | 0 -> A.Try_lock (ppos (), "m")
+         | 1 -> A.Timed_lock (ppos (), "m")
+         | 2 -> A.Sem_try (ppos (), "s")
+         | 3 -> A.Timed_wait (ppos (), "ev")
+         | _ -> A.Choose (ppos (), 1 + R.int rng 3))
+    in
+    if depth = 0 || R.int rng 3 = 0 then leaf ()
+    else
+      match R.int rng 3 with
+      | 0 ->
+        let ops =
+          [| A.Add; A.Sub; A.Mul; A.Div; A.Mod; A.Eq; A.Ne; A.Lt; A.Le; A.Gt; A.Ge;
+             A.And; A.Or |]
+        in
+        A.Binop
+          ( ops.(R.int rng (Array.length ops)),
+            gen_expr (depth - 1) prim ~in_atomic,
+            gen_expr (depth - 1) prim ~in_atomic )
+      | 1 -> A.Unop ((if R.bool rng then A.Not else A.Neg), gen_expr (depth - 1) prim ~in_atomic)
+      | _ -> leaf ()
+  in
+  let rec gen_stmts depth ~in_atomic n =
+    List.concat (List.init n (fun _ -> gen_stmt depth ~in_atomic))
+  and gen_stmt depth ~in_atomic : A.stmt list =
+    let prim = ref true in
+    let e d = gen_expr d prim ~in_atomic in
+    match R.int rng (if in_atomic then 8 else 16) with
+    | 0 -> [ stmt (A.Local (local (), e 2)) ]
+    | 1 -> [ stmt (A.Assign (A.Lname (p0, local ()), e 2)) ]
+    | 2 -> [ stmt (A.Assign (A.Lname (p0, global ()), e 2)) ]
+    | 3 -> [ stmt (A.Assign (A.Lindex (ppos (), "arr", e 1), e 1)) ]
+    | 4 when depth > 0 ->
+      [ stmt
+          (A.If
+             ( e 1,
+               gen_stmts (depth - 1) ~in_atomic (1 + R.int rng 2),
+               if R.bool rng then [] else gen_stmts (depth - 1) ~in_atomic 1 )) ]
+    | 5 when depth > 0 && not in_atomic ->
+      (* Bounded counter loop: terminates on its own. *)
+      let l = local () in
+      let k = 1 + R.int rng 3 in
+      [ stmt (A.Local (l, A.Int 0));
+        stmt
+          (A.While
+             ( A.Binop (A.Lt, A.Name (p0, l), A.Int k),
+               gen_stmts (depth - 1) ~in_atomic 1
+               @ [ stmt
+                     (A.Assign
+                        (A.Lname (p0, l), A.Binop (A.Add, A.Name (p0, l), A.Int 1))) ] ))
+      ]
+    | 6 when not in_atomic ->
+      (* Spin on a global with a good-samaritan yield: may livelock, which
+         the searches classify identically as a divergence. *)
+      [ stmt
+          (A.While
+             ( A.Binop (A.Ne, A.Name (p0, global ()), A.Int (R.int rng 3)),
+               [ stmt (if R.bool rng then A.Yield else A.Sleep) ] )) ]
+    | 7 -> [ stmt (A.Assert (e 1, "gen-assert")) ]
+    | _ when in_atomic -> [ stmt A.Skip ]
+    | 8 -> [ stmt (A.Lock "m") ]
+    | 9 -> [ stmt (A.Unlock "m") ]
+    | 10 -> [ stmt (A.Sem_p "s") ]
+    | 11 -> [ stmt (A.Sem_v "s") ]
+    | 12 ->
+      [ stmt
+          (match R.int rng 3 with
+           | 0 -> A.Set_event "ev"
+           | 1 -> A.Reset_event "ev"
+           | _ -> A.Wait "ev") ]
+    | 13 -> [ stmt A.Yield ]
+    | 14 when depth > 0 ->
+      [ stmt (A.Atomic (gen_stmts (depth - 1) ~in_atomic:true (1 + R.int rng 2))) ]
+    | _ -> [ stmt A.Skip ]
+  in
+  let thread tname =
+    let decl l = stmt (A.Local (l, A.Int (R.int rng 3))) in
+    let body = gen_stmts 2 ~in_atomic:false (2 + R.int rng 3) in
+    let body =
+      if R.int rng 5 = 0 then (decl "la" :: body) @ [ decl "lb" ]
+      else decl "la" :: decl "lb" :: body
+    in
+    A.Dthread (p0, tname, body)
+  in
+  let nthreads = 2 + R.int rng 2 in
+  { A.prog_name = "gen";
+    decls =
+      [ A.Dvar (p0, "g0", R.int rng 3);
+        A.Dvar (p0, "g1", R.int rng 3);
+        A.Darray (p0, "arr", 3, R.int rng 2);
+        A.Dmutex (p0, "m");
+        A.Dsem (p0, "s", 1);
+        A.Devent (p0, "ev", R.bool rng) ]
+      @ List.init nthreads (fun i -> thread (Printf.sprintf "t%d" i)) }
+
+let bits bs =
+  let l = ref [] in
+  BS.iter (fun t -> l := t :: !l) bs;
+  List.rev !l
+
+type drive_result = {
+  d_events : (int * int * Op.t * int * bool * bool * int list) list;
+  d_failure : (int * Engine.failure) option;
+  d_finished : bool;
+}
+
+(* Drive one engine run under a random schedule (recording decisions) or a
+   fixed decision list; returns the full observable record. *)
+let drive prog ~schedule ~max_steps =
+  let run = Engine.start prog in
+  Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
+  let fixed = match schedule with `Fixed l -> Some (Array.of_list l) | `Random _ -> None in
+  let i = ref 0 in
+  let ok = ref true in
+  while
+    !ok && Engine.failure run = None
+    && (not (Engine.all_finished run))
+    && !i < max_steps
+  do
+    let elist = bits (Engine.enabled_set run) in
+    (if elist = [] then ok := false (* deadlock: compared via the record *)
+     else
+       match fixed with
+       | Some a ->
+         if !i >= Array.length a then ok := false
+         else begin
+           let tid, alt = a.(!i) in
+           if (not (List.mem tid elist)) || alt >= Engine.alternatives run tid then
+             ok := false (* schedule does not fit: streams will differ *)
+           else Engine.step run ~tid ~alt
+         end
+       | None ->
+         let rng = match schedule with `Random r -> r | `Fixed _ -> assert false in
+         let tid = List.nth elist (R.int rng (List.length elist)) in
+         let alt = R.int rng (Engine.alternatives run tid) in
+         Engine.step run ~tid ~alt);
+    incr i
+  done;
+  let d_events =
+    List.map
+      (fun (e : Trace.event) ->
+        (e.Trace.step, e.tid, e.op, e.alt, e.result, e.yielded, bits e.enabled))
+      (Trace.events (Engine.trace run))
+  in
+  ( { d_events; d_failure = Engine.failure run; d_finished = Engine.all_finished run },
+    Trace.decisions (Engine.trace run) )
+
+let pp_failure = function
+  | None -> "none"
+  | Some (tid, f) -> Format.asprintf "t%d:%a" tid Engine.pp_failure f
+
+let prop_schedules seed =
+  let rng = R.make (Int64.of_int ((seed * 2654435761) + 1)) in
+  let ast = gen_program rng in
+  let pa, dump_a = D.Machine.compile_inspect ast in
+  let pv, dump_v = D.Vm.compile_inspect ast in
+  List.for_all
+    (fun k ->
+      let sched = R.make (Int64.of_int ((seed * 31) + (k * 7) + 11)) in
+      let ra, decisions = drive pa ~schedule:(`Random sched) ~max_steps:300 in
+      let rv, _ = drive pv ~schedule:(`Fixed decisions) ~max_steps:300 in
+      if ra.d_events <> rv.d_events then
+        QCheck.Test.fail_reportf "op streams differ (seed %d, schedule %d)" seed k
+      else if ra.d_failure <> rv.d_failure then
+        QCheck.Test.fail_reportf "failures differ (seed %d): ast=%s vm=%s" seed
+          (pp_failure ra.d_failure) (pp_failure rv.d_failure)
+      else if ra.d_finished <> rv.d_finished then
+        QCheck.Test.fail_reportf "termination differs (seed %d)" seed
+      else if dump_a () <> dump_v () then
+        QCheck.Test.fail_reportf "final stores differ (seed %d)" seed
+      else true)
+    [ 0; 1; 2 ]
+
+let cex_decisions r = Option.map (fun c -> c.Report.decisions) (Report.cex r)
+let cex_rendered r = Option.map (fun c -> c.Report.rendered) (Report.cex r)
+
+let prop_search seed =
+  let rng = R.make (Int64.of_int ((seed * 48271) + 1000)) in
+  let ast = gen_program rng in
+  let cfg =
+    { Search_config.default with
+      coverage = true;
+      livelock_bound = Some 300;
+      max_steps = 2_000;
+      max_executions = Some 300;
+      seed = Int64.of_int (seed + 17) }
+  in
+  let ra = Search.run cfg (D.Machine.compile ast) in
+  let rv = Search.run cfg (D.Vm.compile ast) in
+  let key r = Report.verdict_key r.Report.verdict in
+  if key ra <> key rv then
+    QCheck.Test.fail_reportf "verdicts differ (seed %d): ast=%s vm=%s" seed (key ra)
+      (key rv)
+  else if cex_decisions ra <> cex_decisions rv then
+    QCheck.Test.fail_reportf "counterexample schedules differ (seed %d)" seed
+  else if cex_rendered ra <> cex_rendered rv then
+    QCheck.Test.fail_reportf "rendered counterexamples differ (seed %d)" seed
+  else if
+    (ra.stats.executions, ra.stats.transitions, ra.stats.states)
+    <> (rv.stats.executions, rv.stats.transitions, rv.stats.states)
+  then
+    QCheck.Test.fail_reportf
+      "stats differ (seed %d): ast=(%d,%d,%d) vm=(%d,%d,%d)" seed ra.stats.executions
+      ra.stats.transitions ra.stats.states rv.stats.executions rv.stats.transitions
+      rv.stats.states
+  else true
+
+let differential_qprops =
+  [ QCheck.Test.make
+      ~name:"random programs x random schedules: identical op streams and stores"
+      ~count:40 QCheck.small_int prop_schedules;
+    QCheck.Test.make
+      ~name:"random programs: identical verdicts, counterexamples, coverage" ~count:25
+      QCheck.small_int prop_search ]
+
+let differential_tests =
+  [ Alcotest.test_case "first counterexample equal across backends and jobs=1/4" `Quick
+      (fun () ->
+        let progs =
+          [ ( "lost-update",
+              "var x = 0;\n\
+               thread a { local t = x; x = t + 1; }\n\
+               thread b { local t = x; x = t + 1; }\n\
+               thread c { while (x == 0) { yield; } assert(x == 2, \"lost update\"); }" );
+            ( "deadlock",
+              "mutex m1; mutex m2;\n\
+               thread a { lock(m1); lock(m2); unlock(m2); unlock(m1); }\n\
+               thread b { lock(m2); lock(m1); unlock(m1); unlock(m2); }" ) ]
+        in
+        List.iter
+          (fun (name, src) ->
+            let ast = D.Parser.parse_string src in
+            let cfg = { Search_config.default with livelock_bound = Some 1_000 } in
+            let reports =
+              List.map
+                (fun (backend, jobs) ->
+                  Par_search.run { cfg with jobs } (D.compile ~backend ast))
+                [ (`Ast, 1); (`Ast, 4); (`Vm, 1); (`Vm, 4) ]
+            in
+            match reports with
+            | r0 :: rest ->
+              List.iter
+                (fun r ->
+                  check (name ^ ": verdict") true
+                    (Report.verdict_key r.Report.verdict
+                     = Report.verdict_key r0.Report.verdict);
+                  check (name ^ ": first counterexample") true
+                    (cex_decisions r = cex_decisions r0))
+                rest
+            | [] -> assert false)
+          progs);
+    Alcotest.test_case "checkpoint interrupt/resume on the VM backend" `Quick (fun () ->
+        let src =
+          "sem s = 0; event done_ev; var got = 0;\n\
+           thread producer { v(s); set(done_ev); }\n\
+           thread consumer { p(s); wait(done_ev); got = 1; }\n\
+           thread watch { while (got != 1) { sleep; } }"
+        in
+        let prog = D.load_string src (* VM backend is the default *) in
+        let cfg = { Search_config.default with livelock_bound = Some 1_000 } in
+        ignore (Test_checkpoint.resume_equal cfg prog ~cut:300);
+        ignore
+          (Test_checkpoint.resume_equal { cfg with Search_config.jobs = 4 } prog
+             ~cut:500));
+    Alcotest.test_case "stateful ground truth agrees across backends" `Quick (fun () ->
+        let fig3 = "var x = 0; thread t { x = 1; } thread u { while (x != 1) { yield; } }" in
+        let sa = SC.Stateful.explore (D.load_string ~backend:`Ast fig3) in
+        let sv = SC.Stateful.explore (D.load_string ~backend:`Vm fig3) in
+        check_int "fig3 states on the VM (paper Figure 3)" 5 sv.SC.Stateful.states;
+        check_int "same state count" sa.SC.Stateful.states sv.SC.Stateful.states;
+        check "both complete" true (sa.SC.Stateful.complete && sv.SC.Stateful.complete)) ]
+
+let suite =
+  lexer_tests @ parser_tests @ sema_tests @ exec_tests @ differential_tests
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) differential_qprops
