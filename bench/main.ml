@@ -19,24 +19,53 @@ module Metrics = Fairmc_obs.Metrics
 let full_budget = Sys.getenv_opt "FAIRMC_BENCH" = Some "full"
 
 (* Machine-readable results: every experiment appends records here and the
-   driver writes BENCH_PR6.json at the end (schema fairmc-bench/2). The
+   driver writes BENCH_PR7.json at the end (schema fairmc-bench/2). The
    printed tables stay the human-facing output; the JSON mirrors them. *)
 let bench_records : Json.t list ref = ref []
 
 let record experiment fields =
   bench_records := Json.Obj (("experiment", Json.Str experiment) :: fields) :: !bench_records
 
-let bench_out = "BENCH_PR6.json"
+let bench_out = "BENCH_PR7.json"
 
+(* A partial run (selected experiments) must not wipe the records of the
+   experiments it did not run: keep those from the existing file and
+   replace only the re-measured ones. *)
 let write_records () =
+  let fresh = List.rev !bench_records in
+  let ran =
+    List.filter_map
+      (function Json.Obj (("experiment", Json.Str e) :: _) -> Some e | _ -> None)
+      fresh
+  in
+  let kept =
+    match (try Some (open_in bench_out) with Sys_error _ -> None) with
+    | None -> []
+    | Some ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      (match Json.of_string s with
+       | Ok (Json.Obj fields) ->
+         (match List.assoc_opt "records" fields with
+          | Some (Json.Arr records) ->
+            List.filter
+              (function
+                | Json.Obj (("experiment", Json.Str e) :: _) -> not (List.mem e ran)
+                | _ -> false)
+              records
+          | _ -> [])
+       | _ -> [])
+  in
   let doc =
     Json.Obj
       [ ("schema", Json.Str "fairmc-bench/2");
         ("budget", Json.Str (if full_budget then "full" else "quick"));
-        ("records", Json.Arr (List.rev !bench_records)) ]
+        ("records", Json.Arr (kept @ fresh)) ]
   in
   Json.to_file bench_out doc;
-  Printf.printf "\nmachine-readable results written to %s\n%!" bench_out
+  Printf.printf "\nmachine-readable results written to %s (%d records kept)\n%!"
+    bench_out (List.length kept)
 
 (* Per-cell wall-clock budget (the paper used 5000 s; we keep the harness
    runnable in minutes and mark timed-out cells with '*'). *)
@@ -534,6 +563,97 @@ let analysis_overhead () =
           ("verdict", Json.Str (Report.verdict_name r.verdict)) ])
     arms
 
+(* Telemetry overhead: the event stream and span timers ride the hot path
+   of every execution, so turning them on must stay within a few percent of
+   the bare search (PR 7 acceptance: < 5% on the fig2 depth-15 workload).
+   Both arms run the identical bounded search; only the instrumentation
+   differs. The events sink discards lines, so the cost measured is
+   formatting + buffering + span clock reads, not file I/O. *)
+let telemetry_overhead () =
+  header "Telemetry: event-stream and span overhead on the fig2 depth-15 search";
+  line "%-28s %12s %12s %9s %9s" "configuration" "executions" "execs/sec" "wall"
+    "overhead";
+  let prog () = W.Dining.program ~n:2 W.Dining.Try_acquire in
+  let cfg =
+    { (Search_config.unfair_dfs ~depth_bound:15) with
+      max_steps = 2_000;
+      max_executions = Some (if full_budget then 60_000 else 15_000);
+      seed = 1L }
+  in
+  let arms =
+    [ ("telemetry off", fun () -> cfg);
+      ("metrics", fun () -> { cfg with metrics = true });
+      ("events (no sink)",
+       fun () -> { cfg with events = Some (Fairmc_obs.Events.create ()) });
+      ("events (null sink)",
+       fun () ->
+         { cfg with
+           events = Some (Fairmc_obs.Events.create ~write:(fun _ -> ()) ()) });
+      (* --trace-spans: a collecting stream switches the per-path span
+         events on, so this arm is the full event-stream + span cost. *)
+      ("events + spans (collect)",
+       fun () -> { cfg with events = Some (Fairmc_obs.Events.create ~collect:true ()) });
+      (* --metrics carries the pre-existing per-step counters (schedulable
+         set sizes, fair-scheduler relation sizes); listed for context, its
+         cost is not part of this PR's event-stream/span budget. *)
+      ("metrics + events",
+       fun () ->
+         { cfg with
+           metrics = true;
+           events = Some (Fairmc_obs.Events.create ~write:(fun _ -> ()) ()) }) ]
+  in
+  (* One depth-15 search finishes in well under a second, so a single run
+     is at the mercy of scheduler noise and CPU-frequency drift — on a
+     contended host the speed swings by ±10% on multi-second scales, which
+     swamps the few-hundred-ns/path effect being measured if arms are
+     compared across the whole run. Instead compare WITHIN each repetition
+     round: all arms of one round run back-to-back inside ~half a second,
+     so the round-local ratio (arm rate / baseline rate of the same round)
+     mostly cancels the host's speed at that moment. The arm order rotates
+     every round (so periodic slowdowns do not always land on the same
+     arm) and the reported overhead comes from the MEDIAN of the
+     per-round ratios, which a single preempted round cannot drag. *)
+  let reps = if full_budget then 40 else 30 in
+  let narms = List.length arms in
+  let rates = Array.make_matrix narms reps 0.0 in
+  let execs_per_run = ref 0 in
+  let wall = Array.make narms 0.0 in
+  (* Warm once so allocator state does not bias the first arm. *)
+  ignore (Search.run { cfg with max_executions = Some 500 } (prog ()));
+  for rep = 0 to reps - 1 do
+    List.iteri
+      (fun j _ ->
+        let i = (j + rep) mod narms in
+        let _, mk = List.nth arms i in
+        let r = Search.run (mk ()) (prog ()) in
+        let secs = Report.search_time r.stats in
+        execs_per_run := r.stats.executions;
+        rates.(i).(rep) <- float_of_int r.stats.executions /. secs;
+        wall.(i) <- wall.(i) +. secs)
+      arms
+  done;
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    let n = Array.length s in
+    if n land 1 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+  in
+  List.iteri
+    (fun i (label, _) ->
+      let ratios =
+        Array.init reps (fun rep -> rates.(i).(rep) /. rates.(0).(rep))
+      in
+      let overhead = (1.0 -. median ratios) *. 100.0 in
+      line "%-28s %12d %12.0f %8.2fs %+8.2f%%" label (!execs_per_run * reps)
+        (median rates.(i)) wall.(i) overhead;
+      record "telemetry"
+        [ ("configuration", Json.Str label);
+          ("executions", Json.Int (!execs_per_run * reps));
+          ("elapsed_seconds", Json.Float wall.(i));
+          ("execs_per_second", Json.Float (median rates.(i)));
+          ("overhead_pct", Json.Float overhead) ])
+    arms
+
 (* Fair_sched.step used to copy all five relation arrays per transition;
    it now mutates in place (snapshots take an explicit Fair_sched.copy).
    This experiment quantifies that delta: the same update stream applied
@@ -767,6 +887,7 @@ let all_experiments =
     ("ablation", ablation);
     ("par", par);
     ("analysis", analysis_overhead);
+    ("telemetry", telemetry_overhead);
     ("fairsched", fair_sched_step);
     ("vm", vm_bench);
     ("bechamel", bechamel) ]

@@ -150,6 +150,31 @@ let trace_out =
                  chrome://tracing): one track per thread, yields and priority \
                  changes as instant markers.")
 
+let events_out =
+  Arg.(value & opt (some string) None
+       & info [ "events" ] ~docv:"FILE"
+           ~doc:"Stream NDJSON telemetry events (schema fairmc-events/1) to \
+                 FILE while searching ($(b,-) for stdout): run/path/error/\
+                 checkpoint lifecycle events plus advisory span and worker \
+                 data, one JSON object per line — pipe into $(b,jq) for live \
+                 analysis.")
+
+let watch_flag =
+  Arg.(value & flag
+       & info [ "watch" ]
+           ~doc:"Live dashboard on stderr: a progress bar with the online \
+                 completion estimate, execution rate and ETA, refreshed every \
+                 $(b,--progress-interval) seconds.")
+
+let trace_spans_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-spans" ] ~docv:"FILE"
+           ~doc:"After the search, write the span telemetry (prefix replay, \
+                 fresh execution, frontier expansion, checkpoint saves, \
+                 analysis observers) as a Chrome trace_event document to FILE: \
+                 one track per worker shard, one slice per span (load in \
+                 ui.perfetto.dev).")
+
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the one-line summary.")
 
 let save_repro =
@@ -269,7 +294,13 @@ let check_cmd =
          & info [] ~docv:"PROGRAM"
              ~doc:"Built-in program name (see $(b,chess list)) or a ChessLang $(i,file.chess).")
   in
-  let run name cfg quiet save_repro stats json_out trace_out fail_on_race resume =
+  let run name cfg quiet save_repro stats json_out trace_out fail_on_race resume
+      events_out watch trace_spans_out =
+    (* With --events - the NDJSON stream owns stdout; every human-facing
+       line moves to stderr so the stream stays machine-parseable. *)
+    let human =
+      if events_out = Some "-" then Format.err_formatter else Format.std_formatter
+    in
     let program =
       if Filename.check_suffix name ".chess" then begin
         match D.load_file ~backend:(D.backend_of_interp cfg.Search_config.interp) name with
@@ -314,24 +345,65 @@ let check_cmd =
               Format.eprintf "%s: cannot resume: %s@." file e;
               exit 2
             | Ok payload ->
-              Format.printf "resuming from %s@." file;
+              Format.fprintf human "resuming from %s@." file;
               Some payload))
+    in
+    (* Telemetry sinks: one event stream backs both the NDJSON file sink
+       (--events) and the post-run span trace export (--trace-spans); the
+       live dashboard (--watch) rides the progress callback. *)
+    let events_oc =
+      match events_out with
+      | None -> None
+      | Some "-" -> Some (stdout, false)
+      | Some file -> Some (open_out file, true)
+    in
+    let stream =
+      match (events_oc, trace_spans_out) with
+      | None, None -> None
+      | _ ->
+        let write =
+          Option.map
+            (fun (oc, _) line ->
+              output_string oc line;
+              output_char oc '\n')
+            events_oc
+        in
+        Some (Fairmc_obs.Events.create ?write ~collect:(trace_spans_out <> None) ())
+    in
+    let dashboard = if watch then Some (Fairmc_obs.Dashboard.create ()) else None in
+    let cfg =
+      { cfg with
+        Search_config.events = stream;
+        on_progress =
+          (match dashboard with
+           | None -> cfg.Search_config.on_progress
+           | Some d -> Some (Fairmc_obs.Dashboard.sink d)) }
     in
     (* SIGINT/SIGTERM request a graceful stop: the search flushes a final
        checkpoint (when --checkpoint is set) and still emits its partial
        report and outputs below. *)
     Checkpoint.install_signal_handlers ();
-    Format.printf "checking %s [%s]@." program.Program.name (Search_config.describe cfg);
+    Format.fprintf human "checking %s [%s]@." program.Program.name (Search_config.describe cfg);
     let report =
       try Checker.check ~config:cfg ?resume:resume_payload program
       with Checkpoint.Mismatch msg ->
         Format.eprintf "cannot resume: %s@." msg;
         exit 2
     in
-    if quiet then Format.printf "%a@." Report.pp_summary report
-    else Format.printf "%a@." Report.pp report;
+    (match dashboard with Some d -> Fairmc_obs.Dashboard.finish d | None -> ());
+    (match events_oc with
+     | Some (oc, close) -> if close then close_out oc else flush oc
+     | None -> ());
+    (match (trace_spans_out, stream) with
+     | Some file, Some s ->
+       Fairmc_util.Json.to_file file
+         (Fairmc_obs.Span.to_trace (Fairmc_obs.Events.collected s));
+       Format.fprintf human "span trace written to %s (load in ui.perfetto.dev)@." file
+     | _ -> ());
+    if quiet then Format.fprintf human "%a@." Report.pp_summary report
+    else Format.fprintf human "%a@." Report.pp report;
     if stats then
-      Format.printf "@[<v>metrics:@,%a@]@." Fairmc_obs.Metrics.Snapshot.pp
+      Format.fprintf human "@[<v>metrics:@,%a@]@." Fairmc_obs.Metrics.Snapshot.pp
         report.Report.metrics;
     (match json_out with
      | None -> ()
@@ -339,24 +411,24 @@ let check_cmd =
        Fairmc_util.Json.to_file file
          (Report.to_json ~program:program.Program.name
             ~config:(Search_config.describe cfg) report);
-       Format.printf "report written to %s@." file);
+       Format.fprintf human "report written to %s@." file);
     (match trace_out with
      | None -> ()
      | Some file ->
        (match Trace_export.of_report ~fair_k:cfg.Search_config.fair_k program report with
         | Some doc ->
           Fairmc_util.Json.to_file file doc;
-          Format.printf "trace written to %s (load in ui.perfetto.dev)@." file
-        | None -> Format.printf "no counterexample; no trace written@."));
+          Format.fprintf human "trace written to %s (load in ui.perfetto.dev)@." file
+        | None -> Format.fprintf human "no counterexample; no trace written@."));
     (match (save_repro, Report.cex report) with
      | Some file, Some cex ->
        Repro.save file { Repro.program = name; decisions = cex.Report.decisions };
-       Format.printf "repro saved to %s@." file
-     | Some _, None -> Format.printf "no error found; no repro written@."
+       Format.fprintf human "repro saved to %s@." file
+     | Some _, None -> Format.fprintf human "no error found; no repro written@."
      | None, _ -> ());
     (match cfg.Search_config.checkpoint with
      | Some file when report.Report.verdict = Report.Limits_reached ->
-       Format.printf "checkpoint written to %s (continue with --resume %s)@." file file
+       Format.fprintf human "checkpoint written to %s (continue with --resume %s)@." file file
      | _ -> ());
     (* An interrupted run has written its partial report and final
        checkpoint; signal the interruption with the conventional status. *)
@@ -372,7 +444,8 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ prog_arg $ config_term $ quiet $ save_repro $ stats_flag
-          $ json_out $ trace_out $ fail_on_race $ resume_arg)
+          $ json_out $ trace_out $ fail_on_race $ resume_arg $ events_out
+          $ watch_flag $ trace_spans_out)
 
 let load_program name =
   if Filename.check_suffix name ".chess" then

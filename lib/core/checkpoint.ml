@@ -12,7 +12,7 @@ module C = Search_config
 let schema = "fairmc-ckpt/1"
 
 type decision = { c_tid : int; c_alt : int; c_cost : int }
-type frame = { c_chosen : decision; c_rest : decision list; c_sleep : B.t }
+type frame = { c_chosen : decision; c_rest : decision list; c_sleep : B.t; c_width : int }
 
 type seq_state = {
   sq_frames : frame array;
@@ -122,6 +122,18 @@ let str_f o name = as_str name (field o name)
 let arr_f o name = as_arr name (field o name)
 let float_f o name = as_float name (field o name)
 
+(* Fields added after fairmc-ckpt/1 shipped (frame widths, probe mass,
+   search-phase wall time) are read leniently so older checkpoints keep
+   loading; the defaults only skew progress estimates, never the search. *)
+let opt_field o name =
+  match o with Json.Obj l -> List.assoc_opt name l | _ -> None
+
+let int_d o name ~default =
+  match opt_field o name with Some v -> as_int name v | None -> default
+
+let float_d o name ~default =
+  match opt_field o name with Some v -> as_float name v | None -> default
+
 (* int64 values (RNG state, state signatures) do not fit a JSON double, so
    they travel as decimal strings. *)
 let int64_to_json v = Json.Str (Int64.to_string v)
@@ -150,7 +162,9 @@ let stats_to_json (s : Report.stats) =
       ("first_error_execution", opt_to_json (fun i -> Json.Int i) s.first_error_execution);
       ("first_error_time", opt_to_json (fun f -> Json.Float f) s.first_error_time);
       ("sync_ops_per_exec", Json.Int s.sync_ops_per_exec);
-      ("max_threads", Json.Int s.max_threads) ]
+      ("max_threads", Json.Int s.max_threads);
+      ("search_elapsed", Json.Float s.search_elapsed);
+      ("probe_mass", Json.Int s.probe_mass) ]
 
 let stats_of_json o =
   { Report.executions = int_f o "executions";
@@ -165,7 +179,9 @@ let stats_of_json o =
     first_error_execution = opt_of_json (as_int "first_error_execution") (field o "first_error_execution");
     first_error_time = opt_of_json (as_float "first_error_time") (field o "first_error_time");
     sync_ops_per_exec = int_f o "sync_ops_per_exec";
-    max_threads = int_f o "max_threads" }
+    max_threads = int_f o "max_threads";
+    search_elapsed = float_d o "search_elapsed" ~default:0.;
+    probe_mass = int_d o "probe_mass" ~default:0 }
 
 (* Metrics entries carry an explicit kind tag: Snapshot.to_json flattens
    counters and gauges to the same representation, which cannot be parsed
@@ -214,12 +230,17 @@ let frame_to_json f =
   Json.Obj
     [ ("chosen", decision_to_json f.c_chosen);
       ("rest", Json.Arr (List.map decision_to_json f.c_rest));
-      ("sleep", Json.Int (B.to_int f.c_sleep)) ]
+      ("sleep", Json.Int (B.to_int f.c_sleep));
+      ("width", Json.Int f.c_width) ]
 
 let frame_of_json o =
+  let c_rest = List.map decision_of_json (arr_f o "rest") in
   { c_chosen = decision_of_json (field o "chosen");
-    c_rest = List.map decision_of_json (arr_f o "rest");
-    c_sleep = B.unsafe_of_int (int_f o "sleep") }
+    c_rest;
+    c_sleep = B.unsafe_of_int (int_f o "sleep");
+    (* Width of the node when it was pushed; pre-width checkpoints fall back
+       to the remaining alternatives (a lower bound — estimates only). *)
+    c_width = int_d o "width" ~default:(1 + List.length c_rest) }
 
 let states_to_json l = Json.Arr (List.map int64_to_json l)
 let states_of_json name v = List.map (int64_of_json name) (as_arr name v)
@@ -382,7 +403,11 @@ let merge_stats ~(prior : Report.stats) (d : Report.stats) =
        | Some _ as t -> t
        | None -> Option.map (fun t -> prior.elapsed +. t) d.first_error_time);
     sync_ops_per_exec = max prior.sync_ops_per_exec d.sync_ops_per_exec;
-    max_threads = max prior.max_threads d.max_threads }
+    max_threads = max prior.max_threads d.max_threads;
+    search_elapsed = prior.search_elapsed +. d.search_elapsed;
+    (* Sessions explore disjoint parts of the tree, so probe masses add
+       exactly like executions. *)
+    probe_mass = prior.probe_mass + d.probe_mass }
 
 (* ------------------------------------------------------------------ *)
 (* Graceful interruption.                                              *)

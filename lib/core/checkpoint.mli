@@ -32,6 +32,10 @@ type frame = {
   c_chosen : decision;  (** the decision the interrupted run was exploring *)
   c_rest : decision list;  (** untried siblings, in DFS order *)
   c_sleep : B.t;  (** sleep set of the frame's node *)
+  c_width : int;
+      (** branching factor of the node when it was first pushed (before any
+          siblings were consumed) — the {!Fairmc_obs.Estimator} probe
+          weights of resumed paths depend on it *)
 }
 
 type seq_state = {

@@ -31,10 +31,13 @@
 
 module C = Search_config
 module Rng = Fairmc_util.Rng
+module J = Fairmc_util.Json
 module AH = Analysis_hook
 module M = Fairmc_obs.Metrics
 module Clock = Fairmc_obs.Clock
 module Progress = Fairmc_obs.Progress
+module Events = Fairmc_obs.Events
+module Estimator = Fairmc_obs.Estimator
 
 let resolve_jobs (cfg : C.t) =
   if cfg.jobs = 1 then 1
@@ -54,7 +57,11 @@ let zero_stats =
     first_error_execution = None;
     first_error_time = None;
     sync_ops_per_exec = 0;
-    max_threads = 0 }
+    max_threads = 0;
+    (* Callers overwrite [search_elapsed] on the merged result (wall time is
+       not summable across concurrent shards). *)
+    search_elapsed = 0.;
+    probe_mass = 0 }
 
 (* Lower the stop index to [k] (CAS loop; concurrent errors race, lowest
    index sticks). *)
@@ -97,7 +104,8 @@ let merge_parts parts =
             yields = acc.yields + s.yields;
             max_depth = max acc.max_depth s.max_depth;
             sync_ops_per_exec = max acc.sync_ops_per_exec s.sync_ops_per_exec;
-            max_threads = max acc.max_threads s.max_threads },
+            max_threads = max acc.max_threads s.max_threads;
+            probe_mass = acc.probe_mass + s.probe_mass },
           M.Snapshot.merge ms r.Report.metrics ))
       (zero_stats, M.Snapshot.empty) parts
   in
@@ -127,8 +135,36 @@ let states_tbl l =
   List.iter (fun s -> Hashtbl.replace tbl s ()) l;
   tbl
 
+(* Progress sample with online estimates from the shared search-wide
+   atomics. *)
+let estimate_sample ~executions ~mass ~elapsed ~jobs =
+  { Progress.executions;
+    elapsed;
+    jobs;
+    phase = "search";
+    completion = (if mass > 0 then Some (Estimator.completion ~mass) else None);
+    est_total = Estimator.est_total ~mass ~executions;
+    eta = Estimator.eta ~mass ~elapsed }
+
+(* Advisory coordinator telemetry: the worker layout and the frontier
+   expansion's span (run-shaped, never part of the det slice). *)
+let post_workers (cfg : C.t) ~jobs ~split_depth ~items ~expand_us =
+  match cfg.C.events with
+  | None -> ()
+  | Some s ->
+    Events.post s ~shard:(-1) ~kind:"workers"
+      (J.Obj
+         [ ("jobs", J.Int jobs);
+           ("split_depth", J.Int split_depth);
+           ("items", J.Int items);
+           ("expand_us", J.Int expand_us) ]);
+    if expand_us > 0 then
+      Events.post s ~shard:(-1) ~kind:"span"
+        (J.Obj [ ("phase", J.Str "expand"); ("dur_us", J.Int expand_us) ])
+
 let run_systematic ?resume (cfg : C.t) prog ~jobs =
   let t0 = Clock.now () in
+  Search.post_run_start cfg prog;
   let deadline = deadline_of t0 cfg in
   let progress = Search.progress_of_cfg cfg in
   let items, expand_timed_out =
@@ -137,6 +173,7 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
   let expand_us = us_since t0 in
   let items = Array.of_list items in
   let n = Array.length items in
+  post_workers cfg ~jobs ~split_depth:cfg.split_depth ~items:n ~expand_us;
   (* Resume validation: the work-item list is defined by (program, config,
      split_depth), so the re-expansion must agree with the checkpoint or its
      recorded item indices are meaningless. *)
@@ -161,6 +198,7 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
      depend on which worker ran which item. *)
   let streams = Rng.streams (Rng.make cfg.seed) n in
   let shared_execs = Atomic.make 0 in
+  let shared_mass = Atomic.make 0 in
   let stop = Atomic.make max_int in
   let cursor = Atomic.make 0 in
   let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make n None in
@@ -190,7 +228,9 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
          in
          results.(it.Checkpoint.pi_index) <- Some (r, states_tbl it.Checkpoint.pi_states);
          Atomic.set shared_execs
-           (Atomic.get shared_execs + it.Checkpoint.pi_stats.Report.executions))
+           (Atomic.get shared_execs + it.Checkpoint.pi_stats.Report.executions);
+         Atomic.set shared_mass
+           (Atomic.get shared_mass + it.Checkpoint.pi_stats.Report.probe_mass))
        pa.Checkpoint.pa_items);
   (* Durable session: fully explored (Verified) items are recorded under a
      mutex and flushed to the checkpoint file, throttled by
@@ -278,7 +318,7 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
           in
           let r, tbl =
             Search.run_shard ~cancel ~deadline ~rng:streams.(k) ~prefix:items.(k)
-              ~shared_execs ?progress cfg prog
+              ~shared_execs ~shared_mass ~shard:i ?progress cfg prog
           in
           results.(k) <- Some (r, tbl);
           note_item k r tbl;
@@ -299,11 +339,15 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
   spawn_workers ~jobs worker;
   let winner = Atomic.get stop in
   let elapsed = prior_elapsed +. (Clock.now () -. t0) in
+  (* Wall time of the search phase alone: the frontier expansion is startup
+     work, not exploration, so [execs_per_sec] must not be diluted by it. *)
+  let search_elapsed = elapsed -. (float_of_int expand_us /. 1e6) in
   (match progress with
    | None -> ()
    | Some p ->
      Progress.force p (fun () ->
-         { Progress.executions = Atomic.get shared_execs; elapsed; jobs; phase = "search" }));
+         estimate_sample ~executions:(Atomic.get shared_execs)
+           ~mass:(Atomic.get shared_mass) ~elapsed ~jobs));
   (* Shard-layout telemetry rides along as gauges only when metrics were
      requested — gauges never feed the jobs-determinism guarantee. *)
   let add_par_gauges metrics =
@@ -343,6 +387,7 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
         stats =
           { stats with
             Report.elapsed;
+            search_elapsed;
             first_error_execution =
               Option.map (fun e -> !prior_execs + e) ws.Report.first_error_execution;
             first_error_time = ws.Report.first_error_time };
@@ -352,7 +397,7 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
     else begin
       let parts = List.filter_map Fun.id (Array.to_list results) in
       let stats, metrics, analysis = merge_parts parts in
-      let stats = { stats with Report.elapsed } in
+      let stats = { stats with Report.elapsed; search_elapsed } in
       let limited =
         expand_timed_out
         || Array.length items > List.length parts
@@ -365,6 +410,7 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
     end
   in
   write_par ~complete:(report.Report.verdict <> Report.Limits_reached);
+  Search.post_run_end cfg report;
   report
 
 (* Prior parallel-sampling totals as a pseudo shard: merging it with the new
@@ -386,6 +432,7 @@ let sampling_prior_part (cfg : C.t) (sa : Checkpoint.sampling_state) =
 
 let run_sampling ?resume (cfg : C.t) prog ~jobs =
   let t0 = Clock.now () in
+  Search.post_run_start cfg prog;
   let deadline = deadline_of t0 cfg in
   let progress = Search.progress_of_cfg cfg in
   let budget, with_budget =
@@ -404,13 +451,16 @@ let run_sampling ?resume (cfg : C.t) prog ~jobs =
         sa.Checkpoint.sa_stats.Report.elapsed )
   in
   let budget_left = budget - prior_execs in
-  if budget_left <= 0 then
+  if budget_left <= 0 then begin
     (* Budget already spent in prior sessions: the prior totals are the
        answer (extend the budget to sample more). *)
     let r, _ = Option.get prior_part in
+    Search.post_run_end cfg r;
     r
+  end
   else begin
     let jobs = max 1 (min jobs budget_left) in
+    post_workers cfg ~jobs ~split_depth:0 ~items:jobs ~expand_us:0;
     (* Each session (round) advances the base generator before splitting the
        worker streams, so no schedule prefix repeats across sessions. *)
     let base = Rng.make cfg.seed in
@@ -419,6 +469,13 @@ let run_sampling ?resume (cfg : C.t) prog ~jobs =
     done;
     let streams = Rng.streams base jobs in
     let shared_execs = Atomic.make prior_execs in
+    let shared_mass =
+      Atomic.make
+        (match resume with
+         | Some (sa : Checkpoint.sampling_state) ->
+           sa.Checkpoint.sa_stats.Report.probe_mass
+         | None -> 0)
+    in
     let stop = Atomic.make max_int in
     let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make jobs None in
     let worker i =
@@ -427,7 +484,10 @@ let run_sampling ?resume (cfg : C.t) prog ~jobs =
       let r, tbl =
         Search.run_shard
           ~cancel:(fun () -> Atomic.get stop < i)
-          ~deadline ~rng:streams.(i) ~shared_execs ?progress cfg_i prog
+          ~deadline ~rng:streams.(i) ~shared_execs ~shared_mass
+          (* Every sampled path weighs [1/original-budget], not 1/shard
+             budget — the estimator is over the whole sampling plan. *)
+          ~probe_denom:budget ~shard:i ?progress cfg_i prog
       in
       results.(i) <- Some (r, tbl);
       if Report.found_error r then note_error stop i
@@ -438,12 +498,14 @@ let run_sampling ?resume (cfg : C.t) prog ~jobs =
      | None -> ()
      | Some p ->
        Progress.force p (fun () ->
-           { Progress.executions = Atomic.get shared_execs; elapsed; jobs; phase = "search" }));
+           estimate_sample ~executions:(Atomic.get shared_execs)
+             ~mass:(Atomic.get shared_mass) ~elapsed ~jobs));
     let parts =
       Option.to_list prior_part @ List.filter_map Fun.id (Array.to_list results)
     in
     let stats, metrics, analysis = merge_parts parts in
-    let stats = { stats with Report.elapsed } in
+    (* No expansion phase: the whole wall time is search time. *)
+    let stats = { stats with Report.elapsed; search_elapsed = elapsed } in
     let metrics =
       if cfg.C.metrics then M.Snapshot.with_gauge metrics "par/jobs" jobs else metrics
     in
@@ -484,6 +546,7 @@ let run_sampling ?resume (cfg : C.t) prog ~jobs =
                  sa_states = union_states parts;
                  sa_edges = edges;
                  sa_complete = Report.found_error report } });
+    Search.post_run_end cfg report;
     report
   end
 

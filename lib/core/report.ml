@@ -32,6 +32,8 @@ type stats = {
   first_error_time : float option;
   sync_ops_per_exec : int;
   max_threads : int;
+  search_elapsed : float;
+  probe_mass : int;
 }
 
 type analysis = {
@@ -82,8 +84,22 @@ let cex t =
   | Race { cex; _ } -> Some cex
   | Verified | Limits_reached -> None
 
+(* Wall time of the search phase alone: the span-derived [search_elapsed]
+   excludes startup work (parallel frontier expansion, program loading) that
+   [elapsed] includes, so short runs are not inflated. Falls back to
+   [elapsed] for stats that predate the field (old checkpoints). *)
+let search_time s = if s.search_elapsed > 0. then s.search_elapsed else s.elapsed
+
 let execs_per_sec s =
-  if s.elapsed > 0. then float_of_int s.executions /. s.elapsed else 0.
+  let t = search_time s in
+  if t > 0. then float_of_int s.executions /. t else 0.
+
+let completion s = Fairmc_obs.Estimator.completion ~mass:s.probe_mass
+
+let est_total s =
+  Fairmc_obs.Estimator.est_total ~mass:s.probe_mass ~executions:s.executions
+
+let eta s = Fairmc_obs.Estimator.eta ~mass:s.probe_mass ~elapsed:(search_time s)
 
 (* The lock-graph counters are set-derived, so summing them across shards
    (or across a resumed session and its checkpointed prefix) would
@@ -168,7 +184,12 @@ let stats_to_json s =
       ("first_error_execution", opt_int s.first_error_execution);
       ("first_error_seconds", opt_float s.first_error_time);
       ("sync_ops_per_exec", Json.Int s.sync_ops_per_exec);
-      ("max_threads", Json.Int s.max_threads) ]
+      ("max_threads", Json.Int s.max_threads);
+      ("search_elapsed_seconds", Json.Float (search_time s));
+      ("probe_mass", Json.Int s.probe_mass);
+      ("completion", Json.Float (completion s));
+      ("estimated_total_executions", opt_int (est_total s));
+      ("eta_seconds", opt_float (eta s)) ]
 
 let cex_to_json (c : counterexample) =
   Json.Obj
@@ -229,11 +250,16 @@ let analysis_to_json (a : analysis) =
          (List.map (fun c -> Json.Arr (List.map obj_json c)) a.potential_deadlock_cycles)) ]
 
 (* Schema history: /1 — initial; /2 — adds the "race" verdict kind, the
-   top-level "analysis" object (when analyses ran), and "verdict_key". *)
+   top-level "analysis" object (when analyses ran), "verdict_key", and
+   (additively, PR 7) the search-phase wall time and progress-estimate
+   fields in "stats". The single source of truth for the tag is
+   [schema_version]; nothing else in the tree spells the string out. *)
+let schema_version = "fairmc-report/2"
+
 let to_json ?program ?config t =
   let opt_str name v = match v with None -> [] | Some s -> [ (name, Json.Str s) ] in
   Json.Obj
-    ([ ("schema", Json.Str "fairmc-report/2") ]
+    ([ ("schema", Json.Str schema_version) ]
      @ opt_str "program" program
      @ opt_str "config" config
      @ [ ("verdict", verdict_to_json t.verdict);

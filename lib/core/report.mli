@@ -39,6 +39,14 @@ type stats = {
   first_error_time : float option;
   sync_ops_per_exec : int;  (** max over executions — Table 1 accounting *)
   max_threads : int;
+  search_elapsed : float;
+      (** wall time of the search phase alone (excludes parallel frontier
+          expansion and other startup work); 0 when not measured — consumers
+          should fall back to [elapsed] *)
+  probe_mass : int;
+      (** accumulated {!Fairmc_obs.Estimator} probe mass in fixed point
+          ([Estimator.one] = fully explored); summed across shards and
+          resumed sessions, jobs-deterministic for systematic searches *)
 }
 
 type analysis = {
@@ -75,6 +83,23 @@ val verdict_keys : string list
 val cex : t -> counterexample option
 (** The counterexample, for erroring verdicts. *)
 
+val search_time : stats -> float
+(** [search_elapsed] when measured, otherwise [elapsed] — the denominator of
+    {!execs_per_sec}. *)
+
+val execs_per_sec : stats -> float
+(** Executions per second of the search phase alone. *)
+
+val completion : stats -> float
+(** Estimated explored fraction in [0, 1] ({!Fairmc_obs.Estimator}). *)
+
+val est_total : stats -> int option
+(** Estimated total executions of the full search; [None] with no probe
+    mass. *)
+
+val eta : stats -> float option
+(** Estimated seconds remaining at the current rate. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_summary : Format.formatter -> t -> unit
 
@@ -87,10 +112,15 @@ val fix_lockgraph_counters :
 
 val stats_to_json : stats -> Fairmc_util.Json.t
 
+val schema_version : string
+(** ["fairmc-report/2"] — the single source of truth for the report schema
+    tag; every emitter and test references this constant. *)
+
 val to_json : ?program:string -> ?config:string -> t -> Fairmc_util.Json.t
 (** The machine-readable report document ([chess check --json]), schema
-    [fairmc-report/2]: schema tag, program/config labels when given, verdict
+    {!schema_version}: schema tag, program/config labels when given, verdict
     (with the replayable decision list of the counterexample, not its
-    rendering), [verdict_key], stats, the metrics snapshot, and — when
+    rendering), [verdict_key], stats (including the search-phase wall time
+    and the progress-estimate fields), the metrics snapshot, and — when
     analyses ran — the ["analysis"] object (lock-order edges and potential
     deadlock cycles). *)

@@ -1,5 +1,6 @@
 module B = Fairmc_util.Bitset
 module Rng = Fairmc_util.Rng
+module J = Fairmc_util.Json
 module C = Search_config
 module Obs = Fairmc_obs
 module M = Fairmc_obs.Metrics
@@ -11,6 +12,13 @@ type frame = {
   mutable chosen : alt;
   mutable rest : alt list;
   mutable sleep : B.t;
+  width : int;
+      (* branching factor when the node was pushed (before siblings were
+         consumed) — the Estimator probe weight of every leaf below *)
+  cum : int;
+      (* cumulative Estimator weight down to this frame: the ancestor product
+         of [1/width], maintained at push so a completed path reads its leaf
+         weight in O(1) *)
 }
 
 (* A locked scheduling decision handed to a parallel work item: the worker
@@ -19,7 +27,13 @@ type frame = {
    sleep set is the one the sequential DFS would carry at the moment it
    enters this child, which depends only on the order of elder siblings —
    this is what makes the parallel decomposition exact. *)
-type pdecision = { p_tid : int; p_alt : int; p_cost : int; p_sleep : B.t }
+type pdecision = {
+  p_tid : int;
+  p_alt : int;
+  p_cost : int;
+  p_sleep : B.t;
+  p_width : int;
+}
 
 (* Why a path ended. *)
 type path_end =
@@ -50,6 +64,10 @@ type meters = {
   m_ops : M.counter array;  (* per Op.kind transition counts *)
   m_ctx_switches : M.counter;
   m_fair_obs : Fair_sched.obs;  (* priority-relation update accounting *)
+  m_span_replay : M.histogram;  (* per-path prefix-replay latency, µs *)
+  m_span_fresh : M.histogram;  (* per-path fresh-execution latency, µs *)
+  m_span_analysis : M.histogram;  (* per-path analysis-observer latency, µs *)
+  m_span_ckpt : M.histogram;  (* checkpoint-save latency, µs *)
 }
 
 let make_meters () =
@@ -66,7 +84,11 @@ let make_meters () =
     m_pri_edges = M.gauge reg "sched/priority_edges_peak";
     m_ops = Array.init Op.n_kinds (fun k -> M.counter reg ("engine/op/" ^ Op.kind_name k));
     m_ctx_switches = M.counter reg "engine/context_switches";
-    m_fair_obs = Fair_sched.obs_create () }
+    m_fair_obs = Fair_sched.obs_create ();
+    m_span_replay = M.histogram reg (Obs.Span.hist_name "replay");
+    m_span_fresh = M.histogram reg (Obs.Span.hist_name "fresh");
+    m_span_analysis = M.histogram reg (Obs.Span.hist_name "analysis");
+    m_span_ckpt = M.histogram reg (Obs.Span.hist_name "checkpoint_save") }
 
 (* Cumulative totals carried over from a checkpoint being resumed. The
    session itself counts from zero; the prior is folded in at every boundary
@@ -99,12 +121,21 @@ type state = {
   poll_mask : int;
   cancel : unit -> bool;
   shared_execs : int Atomic.t option;  (* cross-domain execution counter *)
+  shared_mass : int Atomic.t option;  (* cross-domain Estimator probe mass *)
   frontier_at : int;  (* cut fresh decisions at this depth; [max_int] = never *)
+  probe_denom : int;  (* sampling: original (unsharded) budget; 0 = systematic *)
   meters : meters option;
   progress : Obs.Progress.t option;
+  events : Obs.Events.buf option;  (* shard-local telemetry batch buffer *)
+  span_buf : Obs.Events.buf option;
+      (* [events] again iff the stream collects (trace export wants per-path
+         span slices); [None] for a plain streaming sink, which then pays
+         only one path event per execution *)
   analysis : AH.instance list;  (* this shard's dynamic-analysis instances *)
   mutable prior : prior option;  (* resumed-session totals to merge in *)
   mutable ckpt : ckpt_ctl option;  (* only set by [Search.run], never shards *)
+  mutable probe_mass : int;  (* this session's accumulated Estimator mass *)
+  mutable analysis_us : int;  (* current path's analysis-observer time *)
   mutable executions : int;
   mutable transitions : int;
   mutable nonterminating : int;
@@ -118,7 +149,12 @@ type state = {
   mutable max_threads : int;
 }
 
-let dummy_frame = { chosen = { tid = 0; alt = 0; cost = 0 }; rest = []; sleep = B.empty }
+let dummy_frame =
+  { chosen = { tid = 0; alt = 0; cost = 0 };
+    rest = [];
+    sleep = B.empty;
+    width = 1;
+    cum = Obs.Estimator.one }
 
 let push_frame st fr =
   if st.nframes = Array.length st.frames then begin
@@ -128,6 +164,10 @@ let push_frame st fr =
   end;
   st.frames.(st.nframes) <- fr;
   st.nframes <- st.nframes + 1
+
+(* Leaf weight of the current stack: [Estimator.one] above an empty stack. *)
+let top_weight st =
+  if st.nframes = 0 then Obs.Estimator.one else st.frames.(st.nframes - 1).cum
 
 (* All elapsed-time accounting funnels through the one (monotonic-ish) clock
    of the observability layer; [t0] is captured from it too, so [elapsed]
@@ -140,12 +180,33 @@ let out_of_time st = Obs.Clock.now () > st.deadline
    interrupt (SIGINT/SIGTERM via Checkpoint) are folded into the same poll. *)
 let stopped st = out_of_time st || st.cancel () || Checkpoint.interrupted ()
 
+(* Search-wide totals for a progress sample: the shared cross-domain atomics
+   under parallel search, this session's counters plus any resumed prior
+   otherwise. *)
+let progress_totals st =
+  let prior_execs, prior_mass =
+    match st.prior with
+    | Some p -> (p.pr_stats.Report.executions, p.pr_stats.Report.probe_mass)
+    | None -> (0, 0)
+  in
+  let executions =
+    match st.shared_execs with Some c -> Atomic.get c | None -> st.executions + prior_execs
+  in
+  let mass =
+    match st.shared_mass with Some a -> Atomic.get a | None -> st.probe_mass + prior_mass
+  in
+  (executions, mass)
+
 let progress_sample st () =
-  { Obs.Progress.executions =
-      (match st.shared_execs with Some c -> Atomic.get c | None -> st.executions);
-    elapsed = elapsed st;
+  let executions, mass = progress_totals st in
+  let el = elapsed st in
+  { Obs.Progress.executions;
+    elapsed = el;
     jobs = max 1 st.cfg.C.jobs;
-    phase = "search" }
+    phase = "search";
+    completion = (if mass > 0 then Some (Obs.Estimator.completion ~mass) else None);
+    est_total = Obs.Estimator.est_total ~mass ~executions;
+    eta = Obs.Estimator.eta ~mass ~elapsed:el }
 
 let maybe_tick st =
   match st.progress with
@@ -174,8 +235,19 @@ let mask_of_interval n =
   let rec go m = if m >= n then m - 1 else go (m * 2) in
   go 1
 
+(* Sampling modes weigh every execution [1/original-budget]; parallel shards
+   carry shrunk budgets in their own [cfg], so Par_search passes the original
+   explicitly via [?probe_denom]. Systematic modes use 0: leaf weights come
+   from the frame widths instead. *)
+let default_probe_denom (cfg : C.t) =
+  match cfg.C.mode with
+  | C.Dfs | C.Context_bounded _ -> 0
+  | C.Random_walk n | C.Priority_random n -> max 1 n
+  | C.Round_robin -> 1
+
 let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
-    ?shared_execs ?(frontier_at = max_int) ?progress (cfg : C.t) prog =
+    ?shared_execs ?shared_mass ?probe_denom ?(frontier_at = max_int) ?(shard = 0)
+    ?progress (cfg : C.t) prog =
   let deadline =
     match deadline with
     | Some d -> d
@@ -186,13 +258,18 @@ let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
   in
   let nprefix = Array.length prefix in
   let frames = Array.make (max 64 nprefix) dummy_frame in
+  let w = ref Obs.Estimator.one in
   Array.iteri
     (fun i (p : pdecision) ->
+      w := Obs.Estimator.descend !w p.p_width;
       frames.(i) <-
         { chosen = { tid = p.p_tid; alt = p.p_alt; cost = p.p_cost };
           rest = [];
-          sleep = p.p_sleep })
+          sleep = p.p_sleep;
+          width = p.p_width;
+          cum = !w })
     prefix;
+  let events = Option.map (fun s -> Obs.Events.buffer s ~shard) cfg.events in
   { cfg;
     prog;
     frames;
@@ -204,12 +281,21 @@ let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
     poll_mask = mask_of_interval cfg.poll_interval;
     cancel;
     shared_execs;
+    shared_mass;
     frontier_at;
+    probe_denom = (match probe_denom with Some d -> d | None -> default_probe_denom cfg);
     meters = (if cfg.metrics then Some (make_meters ()) else None);
     progress;
+    events;
+    span_buf =
+      (match cfg.events with
+       | Some s when Obs.Events.collecting s -> events
+       | _ -> None);
     analysis = List.map (fun (a : AH.t) -> a.create ()) cfg.analyses;
     prior = None;
     ckpt = None;
+    probe_mass = 0;
+    analysis_us = 0;
     executions = 0;
     transitions = 0;
     nonterminating = 0;
@@ -328,6 +414,12 @@ let execute_path st ~systematic =
   List.iter (fun (i : AH.instance) -> i.exec_start run) st.analysis;
   Fun.protect ~finally:(fun () -> Engine.stop run) @@ fun () ->
   let cfg = st.cfg in
+  let spans_on = Option.is_some st.meters || Option.is_some st.span_buf in
+  let nframes0 = st.nframes in
+  let t_path = Obs.Span.start () in
+  (* Set at the first non-replay decision: splits the path's wall time into
+     its replay and fresh segments. *)
+  let t_fresh = ref None in
   let fair = ref (Fair_sched.create ~nthreads:(Engine.nthreads run) ~k:cfg.fair_k ()) in
   let budget = ref (match cfg.mode with C.Context_bounded c -> c | _ -> max_int) in
   let last = ref (-1) in
@@ -447,6 +539,8 @@ let execute_path st ~systematic =
             end
             else if not systematic then begin
               (match st.meters with Some m -> M.incr m.m_sampled_steps | None -> ());
+              if spans_on && Option.is_none !t_fresh then
+                t_fresh := Some (Obs.Span.start ());
               apply (sample tset);
               loop ()
             end
@@ -466,6 +560,8 @@ let execute_path st ~systematic =
                 end;
                 if cfg.random_tail then begin
                   (match st.meters with Some m -> M.incr m.m_sampled_steps | None -> ());
+                  if spans_on && Option.is_none !t_fresh then
+                    t_fresh := Some (Obs.Span.start ());
                   apply (random_from tset);
                   loop ()
                 end
@@ -486,7 +582,15 @@ let execute_path st ~systematic =
                   P_pruned
                 | a :: rest ->
                   (match st.meters with Some m -> M.incr m.m_fresh_steps | None -> ());
-                  push_frame st { chosen = a; rest; sleep = !pending_sleep };
+                  if spans_on && Option.is_none !t_fresh then
+                    t_fresh := Some (Obs.Span.start ());
+                  let width = 1 + List.length rest in
+                  push_frame st
+                    { chosen = a;
+                      rest;
+                      sleep = !pending_sleep;
+                      width;
+                      cum = Obs.Estimator.descend (top_weight st) width };
                   incr depth;
                   apply a;
                   loop ()
@@ -504,6 +608,26 @@ let execute_path st ~systematic =
       | P_stopped -> "stopped" | P_frontier -> "frontier" in
     Format.eprintf "path[%s len=%d]: %s@." ends (Engine.steps run)
       (String.concat "" (List.map (fun (t, _) -> string_of_int t) (Trace.decisions (Engine.trace run))))
+  end;
+  if spans_on then begin
+    let t_end = Obs.Span.start () in
+    let total_us = Obs.Span.elapsed_us_between t_path t_end in
+    let hist f = Option.map f st.meters in
+    let replay_us, fresh_us =
+      match !t_fresh with
+      | Some tf ->
+        let f = Obs.Span.elapsed_us_between tf t_end in
+        (max 0 (total_us - f), Some f)
+      | None -> (total_us, None)
+    in
+    if systematic && nframes0 > 0 then
+      Obs.Span.record ?hist:(hist (fun m -> m.m_span_replay)) ?events:st.span_buf
+        ~phase:"replay" ~dur_us:replay_us ();
+    match fresh_us with
+    | Some f ->
+      Obs.Span.record ?hist:(hist (fun m -> m.m_span_fresh)) ?events:st.span_buf
+        ~phase:"fresh" ~dur_us:f ()
+    | None -> ()
   end;
   st.sync_ops_per_exec <- max st.sync_ops_per_exec (Engine.sync_ops run);
   st.max_threads <- max st.max_threads (Engine.nthreads run);
@@ -544,7 +668,9 @@ let stats_of st =
     first_error_execution = st.first_error_execution;
     first_error_time = st.first_error_time;
     sync_ops_per_exec = st.sync_ops_per_exec;
-    max_threads = st.max_threads }
+    max_threads = st.max_threads;
+    search_elapsed = elapsed st;
+    probe_mass = st.probe_mass }
 
 (* Export the plain search statistics and the fair-scheduler accounting as
    derived entries over a registry snapshot. Derived quantities that depend
@@ -567,6 +693,7 @@ let metrics_of st =
     c "sched/priority_edges_added" m.m_fair_obs.Fair_sched.edges_added;
     c "sched/priority_edges_removed" m.m_fair_obs.Fair_sched.edges_removed;
     c "sched/priority_penalties" m.m_fair_obs.Fair_sched.penalties;
+    c "search/probe_mass" st.probe_mass;
     let g name v = snap := M.Snapshot.with_gauge !snap name v in
     g "search/max_depth" st.max_depth;
     g "search/max_threads" st.max_threads;
@@ -638,7 +765,8 @@ let capture_boundary st =
         let fr = st.frames.(i) in
         { Checkpoint.c_chosen = dec fr.chosen;
           c_rest = List.map dec fr.rest;
-          c_sleep = fr.sleep })
+          c_sleep = fr.sleep;
+          c_width = fr.width })
   in
   let stats, metrics, analysis = totals st in
   let edges =
@@ -659,10 +787,36 @@ let write_checkpoint st ck (b : Checkpoint.seq_state) ~complete =
     else []
   in
   ck.ck_last <- Obs.Clock.now ();
+  let t = Obs.Span.start () in
   Checkpoint.save ck.ck_path
     { Checkpoint.fingerprint = Checkpoint.fingerprint st.cfg ~program:st.prog.Program.name;
       payload =
-        Checkpoint.Seq { b with Checkpoint.sq_states = states; sq_complete = complete } }
+        Checkpoint.Seq { b with Checkpoint.sq_states = states; sq_complete = complete } };
+  (match (st.meters, st.events) with
+   | None, None -> ()
+   | _ ->
+     Obs.Span.record
+       ?hist:(Option.map (fun m -> m.m_span_ckpt) st.meters)
+       ?events:st.events ~phase:"checkpoint_save" ~dur_us:(Obs.Span.elapsed_us t) ());
+  match st.events with
+  | Some buf ->
+    Obs.Events.emit buf ~kind:"checkpoint"
+      (J.Obj [ ("file", J.Str ck.ck_path); ("complete", J.Bool complete) ])
+  | None -> ()
+
+(* Schedule fingerprint for path events: FNV-1a-style folding in native-int
+   arithmetic — the Int64 {!Fnv} is boxed and costs over a microsecond per
+   path here. One multiply per decision; the hash is a deterministic
+   correlation identifier, nothing more, and it rides the event as a plain
+   JSON int (decimal renders cheaper than hex-in-a-string). *)
+let schedule_hash tr =
+  let len = Trace.length tr in
+  let h = ref 0x4BF29CE484222325 in
+  for i = 0 to len - 1 do
+    let e = Trace.get tr i in
+    h := (!h lxor (e.Trace.tid + (e.Trace.alt lsl 20))) * 0x100000001B3
+  done;
+  !h land max_int
 
 let run_loop_body st =
   let cfg = st.cfg in
@@ -702,6 +856,17 @@ let run_loop_body st =
       let outcome, run_ = execute_path st ~systematic in
       st.executions <- st.executions + 1;
       (match st.shared_execs with Some c -> Atomic.incr c | None -> ());
+      (* Knuth probe: this leaf's weight is the product of [1/width] over its
+         ancestor frames (systematic), or [1/budget] (sampling). Exact
+         fixed-point division, so the sum is jobs-deterministic. *)
+      let mass =
+        if systematic then top_weight st
+        else Obs.Estimator.descend Obs.Estimator.one st.probe_denom
+      in
+      st.probe_mass <- st.probe_mass + mass;
+      (match st.shared_mass with
+       | Some a -> ignore (Atomic.fetch_and_add a mass)
+       | None -> ());
       (match st.meters with
        | None -> ()
        | Some m ->
@@ -709,6 +874,29 @@ let run_loop_body st =
          Array.iteri (fun k n -> if n > 0 then M.add m.m_ops.(k) n) ops;
          M.add m.m_ctx_switches (Engine.context_switches run_);
          M.observe m.m_path_len (Trace.length (Engine.trace run_)));
+      if st.analysis_us > 0 then begin
+        Obs.Span.record
+          ?hist:(Option.map (fun m -> m.m_span_analysis) st.meters)
+          ?events:st.span_buf ~phase:"analysis" ~dur_us:st.analysis_us ();
+        st.analysis_us <- 0
+      end;
+      (match st.events with
+       | None -> ()
+       | Some buf ->
+         let end_name, det =
+           match outcome with
+           | P_terminated -> ("terminated", true)
+           | P_deadlock -> ("deadlock", true)
+           | P_safety _ -> ("safety", true)
+           | P_divergence _ -> ("divergence", true)
+           | P_nonterminating -> ("nonterminating", true)
+           | P_pruned -> ("pruned", true)
+           | P_stopped -> ("stopped", false)
+           | P_frontier -> ("frontier", false)
+         in
+         let tr = Engine.trace run_ in
+         Obs.Events.emit_path buf ~det ~end_:end_name ~steps:(Trace.length tr)
+           ~schedule:(schedule_hash tr));
       (match outcome with
        | P_terminated | P_pruned -> ()
        | P_frontier -> assert false  (* only produced under [expand] *)
@@ -770,7 +958,19 @@ let run_loop_body st =
           verdict := Some Report.Limits_reached;
           stop_at := `After_path
         end
-      end
+      end;
+      (* Path boundary: publish this path's event batch. The erroring
+         verdicts are themselves deterministic, so the error event is part
+         of the [det] slice. *)
+      (match (st.events, !verdict) with
+       | ( Some buf,
+           Some
+             (( Report.Safety_violation _ | Report.Deadlock _ | Report.Divergence _
+              | Report.Race _ ) as v) ) ->
+         Obs.Events.emit buf ~det:true ~kind:"error"
+           (J.Obj [ ("verdict", J.Str (Report.verdict_key v)) ])
+       | _ -> ());
+      match st.events with Some b -> Obs.Events.flush b | None -> ()
     end
   done;
   let final_verdict = Option.get !verdict in
@@ -801,6 +1001,9 @@ let run_loop_body st =
            end
            else write_checkpoint st ck (capture_boundary st) ~complete:false)
       | _ -> write_checkpoint st ck (capture_boundary st) ~complete:true));
+  (* The final checkpoint may have queued an advisory event after the last
+     path-boundary flush. *)
+  (match st.events with Some b -> Obs.Events.flush b | None -> ());
   let stats, metrics, analysis = totals st in
   { Report.verdict = final_verdict; stats; metrics; analysis }
 
@@ -811,12 +1014,23 @@ let run_loop st =
   match st.analysis with
   | [] -> run_loop_body st
   | insts ->
-    let observe =
+    let base =
       match insts with
       | [ i ] -> i.AH.observe
       | _ ->
         fun ~tid ~op ~result ->
           List.iter (fun (i : AH.instance) -> i.AH.observe ~tid ~op ~result) insts
+    in
+    let observe =
+      (* With telemetry on, bill observer time to the per-path "analysis"
+         span (two clock reads per observed transition — only when the user
+         opted into metrics or span collection). *)
+      if Option.is_some st.meters || Option.is_some st.span_buf then
+        fun ~tid ~op ~result ->
+          let t = Obs.Span.start () in
+          base ~tid ~op ~result;
+          st.analysis_us <- st.analysis_us + Obs.Span.elapsed_us t
+      else base
     in
     Engine.set_observer (Some observe);
     Fun.protect ~finally:(fun () -> Engine.set_observer None) (fun () -> run_loop_body st)
@@ -849,6 +1063,38 @@ let adjust_budgets (cfg : C.t) prior_execs =
   let max_executions = Option.map (fun m -> clamp (m - prior_execs)) cfg.max_executions in
   { cfg with C.mode; max_executions }
 
+(* Coordinator lifecycle events, shared with Par_search. [run_start]'s data
+   deliberately excludes [jobs] and budget fields: the det slice must be
+   identical between a jobs=1 and a jobs=4 run of the same search. *)
+let post_run_start (cfg : C.t) (prog : Program.t) =
+  match cfg.C.events with
+  | None -> ()
+  | Some s ->
+    Obs.Events.post s ~shard:(-1) ~det:true ~kind:"run_start"
+      (J.Obj
+         [ ("program", J.Str prog.Program.name);
+           ("mode", J.Str (C.mode_name cfg.C.mode));
+           ("fair", J.Bool cfg.C.fair);
+           ("seed", J.Str (Printf.sprintf "0x%Lx" cfg.C.seed));
+           ("interp", J.Str (C.interp_name cfg.C.interp)) ])
+
+let post_run_end (cfg : C.t) (r : Report.t) =
+  match cfg.C.events with
+  | None -> ()
+  | Some s ->
+    (* Final totals are jobs-invariant for systematic searches that ran to a
+       verdict; a budget/time stop cuts the tree at a nondeterministic point. *)
+    let det =
+      is_systematic cfg
+      && (match r.Report.verdict with Report.Limits_reached -> false | _ -> true)
+    in
+    Obs.Events.post s ~shard:(-1) ~det ~kind:"run_end"
+      (J.Obj
+         [ ("verdict", J.Str (Report.verdict_key r.Report.verdict));
+           ("executions", J.Int r.Report.stats.Report.executions);
+           ("transitions", J.Int r.Report.stats.Report.transitions);
+           ("probe_mass", J.Int r.Report.stats.Report.probe_mass) ])
+
 (* Resuming with no budget left: the prior totals are already the answer. *)
 let report_of_prior (cfg : C.t) (sq : Checkpoint.seq_state) =
   let analysis =
@@ -867,8 +1113,12 @@ let run ?resume cfg prog =
   match resume with
   | Some (sq : Checkpoint.seq_state)
     when remaining_budget cfg sq.Checkpoint.sq_stats.Report.executions <= 0 ->
-    report_of_prior cfg sq
+    let r = report_of_prior cfg sq in
+    post_run_start cfg prog;
+    post_run_end cfg r;
+    r
   | _ ->
+    post_run_start cfg prog;
     let progress = progress_of_cfg cfg in
     let cfg_run, rng =
       match resume with
@@ -877,7 +1127,10 @@ let run ?resume cfg prog =
         ( adjust_budgets cfg sq.Checkpoint.sq_stats.Report.executions,
           Some (Rng.of_state sq.Checkpoint.sq_rng) )
     in
-    let st = make_state ?rng ?progress cfg_run prog in
+    (* The probe denominator comes from the *original* config: a resumed
+       sampling session runs a shrunk budget, but its paths still weigh
+       [1/original] in the cross-session probe mass. *)
+    let st = make_state ?rng ?progress ~probe_denom:(default_probe_denom cfg) cfg_run prog in
     (match resume with
      | None -> ()
      | Some sq ->
@@ -889,10 +1142,13 @@ let run ?resume cfg prog =
        in
        Array.iter
          (fun (fr : Checkpoint.frame) ->
+           let width = fr.Checkpoint.c_width in
            push_frame st
              { chosen = alt_of fr.Checkpoint.c_chosen;
                rest = List.map alt_of fr.Checkpoint.c_rest;
-               sleep = fr.Checkpoint.c_sleep })
+               sleep = fr.Checkpoint.c_sleep;
+               width;
+               cum = Obs.Estimator.descend (top_weight st) width })
          sq.Checkpoint.sq_frames;
        (* Preload coverage so the union across sessions matches the
           uninterrupted run (recording is idempotent). *)
@@ -914,14 +1170,19 @@ let run ?resume cfg prog =
              ck_boundary = None });
     let report = run_loop st in
     (match progress with None -> () | Some p -> Obs.Progress.force p (progress_sample st));
+    post_run_end cfg report;
     report
 
 (* One shard of a parallel search: either a sampling worker (custom [rng]
    stream, sharded budget already folded into [cfg]) or a systematic work
    item (locked [prefix]). Returns the coverage table alongside the report so
    Par_search can union tables rather than summing cardinalities. *)
-let run_shard ?cancel ?deadline ?rng ?prefix ?shared_execs ?progress cfg prog =
-  let st = make_state ?cancel ?deadline ?rng ?prefix ?shared_execs ?progress cfg prog in
+let run_shard ?cancel ?deadline ?rng ?prefix ?shared_execs ?shared_mass ?probe_denom
+    ?shard ?progress cfg prog =
+  let st =
+    make_state ?cancel ?deadline ?rng ?prefix ?shared_execs ?shared_mass ?probe_denom
+      ?shard ?progress cfg prog
+  in
   (run_loop st, st.states)
 
 (* Sequentially expand the systematic decision tree, cutting every path at
@@ -941,6 +1202,7 @@ let expand ?deadline cfg prog ~split_depth =
         metrics = false;
         progress = false;
         on_progress = None;
+        events = None;
         analyses = [] }
       prog
   in
@@ -964,7 +1226,8 @@ let expand ?deadline cfg prog ~split_depth =
             { p_tid = fr.chosen.tid;
               p_alt = fr.chosen.alt;
               p_cost = fr.chosen.cost;
-              p_sleep = fr.sleep })
+              p_sleep = fr.sleep;
+              p_width = fr.width })
       in
       items := prefix :: !items;
       match outcome with

@@ -57,11 +57,20 @@ val replay : Program.t -> (int * int) list -> (Engine.t -> unit) -> replay_outco
     here because the work-item representation is owned by the search (it is
     a snapshot of its DFS stack). *)
 
-type pdecision = { p_tid : int; p_alt : int; p_cost : int; p_sleep : Fairmc_util.Bitset.t }
+type pdecision = {
+  p_tid : int;
+  p_alt : int;
+  p_cost : int;
+  p_sleep : Fairmc_util.Bitset.t;
+  p_width : int;
+}
 (** One locked scheduling decision of a systematic work item: the chosen
     (thread, alternative) pair, its context-switch cost (already charged
-    against the preemption budget on replay), and the sleep set the
-    sequential DFS would carry when entering this child. *)
+    against the preemption budget on replay), the sleep set the sequential
+    DFS would carry when entering this child, and the branching factor of
+    the node when it was first pushed ([p_width]) — workers fold prefix
+    widths into their {!Fairmc_obs.Estimator} probe weights so the merged
+    probe mass is bit-identical to the sequential search's. *)
 
 val expand :
   ?deadline:float ->
@@ -86,12 +95,25 @@ val progress_of_cfg : Search_config.t -> Fairmc_obs.Progress.t option
     creates one and shares it across all worker shards so the interval
     throttle is search-wide. *)
 
+val post_run_start : Search_config.t -> Program.t -> unit
+(** Emit the coordinator [run_start] telemetry event (no-op without
+    [config.events]). Its data excludes [jobs] and budgets so the
+    deterministic event slice is jobs-invariant. *)
+
+val post_run_end : Search_config.t -> Report.t -> unit
+(** Emit the coordinator [run_end] telemetry event: verdict key plus final
+    execution/transition/probe-mass totals. Deterministic for systematic
+    searches that reached a verdict. *)
+
 val run_shard :
   ?cancel:(unit -> bool) ->
   ?deadline:float ->
   ?rng:Fairmc_util.Rng.t ->
   ?prefix:pdecision array ->
   ?shared_execs:int Atomic.t ->
+  ?shared_mass:int Atomic.t ->
+  ?probe_denom:int ->
+  ?shard:int ->
   ?progress:Fairmc_obs.Progress.t ->
   Search_config.t ->
   Program.t ->
@@ -104,6 +126,11 @@ val run_shard :
     [Limits_reached]. [deadline] overrides the config's relative
     [time_limit] with an absolute timestamp shared by all shards.
     [shared_execs] is incremented per completed path and used (instead of
-    the local count) to enforce [max_executions] across shards. Returns the
-    report together with the shard's coverage table so the caller can union
-    tables rather than sum cardinalities. *)
+    the local count) to enforce [max_executions] across shards;
+    [shared_mass] likewise accumulates the search-wide estimator probe mass
+    for live progress estimates. [probe_denom] is the {e original}
+    (unsharded) sampling budget — shard configs carry shrunk budgets, and
+    every sampled path must weigh [1/original]. [shard] tags the worker's
+    telemetry events ([config.events]). Returns the report together with the
+    shard's coverage table so the caller can union tables rather than sum
+    cardinalities. *)

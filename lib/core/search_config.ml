@@ -29,6 +29,7 @@ type t = {
   progress : bool;
   progress_interval : float;
   on_progress : (Fairmc_obs.Progress.sample -> unit) option;
+  events : Fairmc_obs.Events.stream option;
   analyses : Analysis_hook.t list;
   checkpoint : string option;
   checkpoint_interval : float;
@@ -57,6 +58,7 @@ let default =
     progress = false;
     progress_interval = 1.0;
     on_progress = None;
+    events = None;
     analyses = [];
     checkpoint = None;
     checkpoint_interval = 30.0;

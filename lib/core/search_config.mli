@@ -79,6 +79,13 @@ type t = {
       (** user callback, driven by the same poll points as [progress]. Under
           parallel search it is invoked from worker domains (at most one
           emission per interval search-wide) and must be thread-safe. *)
+  events : Fairmc_obs.Events.stream option;
+      (** telemetry event stream (schema [fairmc-events/1]): run/path/error/
+          checkpoint lifecycle events plus advisory span and estimate
+          events. Shards buffer locally and flush at path boundaries; with
+          [None] (the default) no event code runs. Not part of the
+          checkpoint fingerprint — like budgets, the sink may differ between
+          a run and its resume. See DESIGN.md, "Telemetry". *)
   analyses : Analysis_hook.t list;
       (** dynamic analyses run over every explored execution via the
           {!Engine.set_observer} step stream (empty by default — no observer
@@ -109,3 +116,7 @@ val unfair_cb : int -> depth_bound:int -> t
 
 val describe : t -> string
 val interp_name : interp -> string
+
+val mode_name : mode -> string
+(** Short mode label (["dfs"], ["cb=2"], …) — used by {!describe} and by the
+    telemetry [run_start] event. *)

@@ -1,0 +1,37 @@
+type t = { out : out_channel; drew : bool Atomic.t }
+
+let create ?(out = stderr) () = { out; drew = Atomic.make false }
+
+let bar_width = 30
+
+let render (s : Progress.sample) =
+  let buf = Buffer.create 96 in
+  (match s.completion with
+   | Some c ->
+     let filled = int_of_float (Float.round (c *. float_of_int bar_width)) in
+     let filled = max 0 (min bar_width filled) in
+     Buffer.add_char buf '[';
+     for i = 0 to bar_width - 1 do
+       Buffer.add_char buf (if i < filled then '#' else '.')
+     done;
+     Buffer.add_string buf (Printf.sprintf "] %5.1f%%" (100. *. c))
+   | None -> Buffer.add_string buf (Printf.sprintf "[%s] --.-%%" (String.make bar_width '.')));
+  let rate = if s.elapsed > 0. then float_of_int s.executions /. s.elapsed else 0. in
+  Buffer.add_string buf (Printf.sprintf "  execs=%d (%.0f/s)" s.executions rate);
+  (match s.est_total with
+   | Some t -> Buffer.add_string buf (Printf.sprintf " of ~%d" t)
+   | None -> ());
+  (match s.eta with
+   | Some e -> Buffer.add_string buf (Printf.sprintf "  eta=%.0fs" e)
+   | None -> ());
+  if s.jobs > 1 then Buffer.add_string buf (Printf.sprintf "  jobs=%d" s.jobs);
+  Buffer.add_string buf (Printf.sprintf "  %.1fs" s.elapsed);
+  Buffer.contents buf
+
+let sink t s =
+  Atomic.set t.drew true;
+  (* \r + erase-to-end redraws in place; one write keeps it atomic. *)
+  Printf.fprintf t.out "\r\027[K%s%!" (render s)
+
+let finish t =
+  if Atomic.get t.drew then Printf.fprintf t.out "\n%!"

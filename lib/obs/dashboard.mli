@@ -1,0 +1,21 @@
+(** Live single-line TTY dashboard ([chess check --watch]).
+
+    A {!Progress} sink that redraws one status line in place on stderr —
+    progress bar from the estimated completion fraction, execution count and
+    rate, ETA — instead of scrolling a line per emission. Thread-safe: the
+    progress reporter already serializes emissions, and the draw itself is
+    one atomic write.
+
+    {v [#########.....................]  31.2%  execs=48210 (9642/s)  eta=7s  jobs=4 v} *)
+
+type t
+
+val create : ?out:out_channel -> unit -> t
+(** [out] defaults to [stderr]. *)
+
+val sink : t -> Progress.sink
+(** Redraws the status line (carriage return + erase, no scrolling). *)
+
+val finish : t -> unit
+(** Terminate the live line with a newline so the final report starts on a
+    fresh line. No-op if nothing was ever drawn. *)

@@ -1,0 +1,27 @@
+(* Knuth-style weighted path probes in exact fixed-point arithmetic. The
+   whole point of the integer representation is jobs determinism: int sums
+   are order-independent where float sums are not, and iterated integer
+   division by the ancestor widths is exact (floor(floor(x/a)/b) =
+   floor(x/(a*b))), so every shard computes the same weight for the same
+   leaf no matter how the tree was cut. See estimator.mli. *)
+
+let one = 1 lsl 61
+
+let descend m width = m / max 1 width
+
+let of_widths widths = List.fold_left descend one widths
+
+let completion ~mass =
+  if mass <= 0 then 0. else Float.min 1. (float_of_int mass /. float_of_int one)
+
+let est_total ~mass ~executions =
+  if mass <= 0 then None
+  else
+    let frac = float_of_int mass /. float_of_int one in
+    Some (max executions (int_of_float (Float.round (float_of_int executions /. frac))))
+
+let eta ~mass ~elapsed =
+  if mass <= 0 then None
+  else
+    let remaining = float_of_int (one - mass) /. float_of_int mass in
+    Some (Float.max 0. (elapsed *. remaining))

@@ -1,0 +1,48 @@
+(** Online progress estimation over the search tree.
+
+    A Knuth-style weighted path probe: every completed path (a leaf of the
+    systematic decision tree) contributes the probability that a random
+    descent — picking uniformly among the node's explored children at each
+    decision point — would have reached it, i.e. the product of [1/width]
+    over its ancestor frames. Summed over all explored leaves, the probe
+    mass equals the explored fraction of the tree (exactly 1 when the DFS
+    exhausts it), so [executions / mass] estimates the total execution count
+    and [elapsed * (1 - mass) / mass] the remaining time. Sampling modes use
+    the same machinery over a flat tree: each execution weighs [1/budget].
+
+    {b Jobs determinism.} The mass is exact fixed-point arithmetic, not
+    floating point: a leaf's weight is [one] divided by each ancestor width
+    in turn (integer division — exact, since [floor (floor (x/a) / b) =
+    floor (x/(a*b))]), and masses sum as plain ints, which is
+    order-independent. The parallel search's work items partition the tree
+    and every item carries its prefix widths, so the merged mass — and hence
+    every estimate — is bit-identical for every [jobs] value, like the rest
+    of the deterministic counter slice. Weights underflow to 0 once the
+    width product exceeds [one] (paths deeper than ~61 binary decisions);
+    such leaves stop contributing, so the completion fraction of a very deep
+    search converges from below. *)
+
+val one : int
+(** The fixed-point scale: [2^61]. A probe mass of [one] means the tree is
+    fully explored. Sums of masses over disjoint subtrees never exceed
+    [one], so they cannot overflow OCaml's 63-bit ints. *)
+
+val descend : int -> int -> int
+(** [descend m width] is the weight of a child of a node with [width]
+    explored children whose own weight is [m]: [m / max 1 width], exact
+    integer division. *)
+
+val of_widths : int list -> int
+(** The leaf weight of a path with the given ancestor widths:
+    [List.fold_left descend one widths]. *)
+
+val completion : mass:int -> float
+(** Explored fraction in [0, 1]. *)
+
+val est_total : mass:int -> executions:int -> int option
+(** Estimated total executions of the full tree; [None] when [mass = 0]
+    (no probe yet, or all weights underflowed). *)
+
+val eta : mass:int -> elapsed:float -> float option
+(** Estimated seconds remaining, assuming a constant exploration rate:
+    [elapsed * (one - mass) / mass]. [None] when [mass = 0]. *)

@@ -1,0 +1,191 @@
+(* Streaming NDJSON search events. Shards batch locally and flush at path
+   boundaries; the stream lock assigns gap-free sequence numbers. See
+   events.mli for the envelope and the det/advisory split. *)
+
+module Json = Fairmc_util.Json
+
+let schema = "fairmc-events/1"
+
+type event = {
+  seq : int;
+  ts_us : int;
+  shard : int;
+  det : bool;
+  kind : string;
+  data : Json.t;
+}
+
+(* A batched event before its sequence number exists. [P_path] is the
+   specialized hot case — one per execution — carrying its fields unboxed
+   so the streaming fast path never builds a [Json.t] at all. *)
+type pending =
+  | P of { p_ts_us : int; p_det : bool; p_kind : string; p_data : Json.t }
+  | P_path of { p_ts_us : int; p_det : bool; p_end : string; p_steps : int; p_schedule : int }
+
+type stream = {
+  mu : Mutex.t;
+  t0 : float;
+  write : (string -> unit) option;
+  collect : bool;
+  mutable seq : int;
+  mutable acc : event list;  (* reversed; only when [collect] *)
+  fmt : Buffer.t;  (* scratch for line rendering; guarded by [mu] *)
+}
+
+type buf = { stream : stream; shard : int; mutable pending : pending list (* reversed *) }
+
+let create ?write ?(collect = false) () =
+  { mu = Mutex.create ();
+    t0 = Clock.now ();
+    write;
+    collect;
+    seq = 0;
+    acc = [];
+    fmt = Buffer.create 256 }
+
+let origin t = t.t0
+let collecting t = t.collect
+
+let buffer stream ~shard = { stream; shard; pending = [] }
+
+let to_json (e : event) =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("seq", Json.Int e.seq);
+      ("ts_us", Json.Int e.ts_us);
+      ("shard", Json.Int e.shard);
+      ("det", Json.Bool e.det);
+      ("kind", Json.Str e.kind);
+      ("data", e.data) ]
+
+(* Render an envelope into [b] without building the intermediate Json.Obj:
+   the envelope shape is fixed and this runs once per event on the flush
+   path. Field order must match {!to_json}. *)
+let render_head b ~seq ~ts_us ~shard =
+  Buffer.add_string b {|{"schema":"|};
+  Buffer.add_string b schema;
+  Buffer.add_string b {|","seq":|};
+  Json.add_int b seq;
+  Buffer.add_string b {|,"ts_us":|};
+  Json.add_int b ts_us;
+  Buffer.add_string b {|,"shard":|};
+  Json.add_int b shard
+
+let render b (e : event) =
+  render_head b ~seq:e.seq ~ts_us:e.ts_us ~shard:e.shard;
+  Buffer.add_string b
+    (if e.det then {|,"det":true,"kind":|} else {|,"det":false,"kind":|});
+  Json.to_buffer b (Json.Str e.kind);
+  Buffer.add_string b {|,"data":|};
+  Json.to_buffer b e.data;
+  Buffer.add_char b '}'
+
+(* The path-event line in one pass: constant fragments fused around the
+   four integers and the end-state name (an internal identifier, never in
+   need of escaping). Shape must match {!path_data} under {!render}. *)
+let render_path b ~seq ~ts_us ~shard ~det ~end_ ~steps ~schedule =
+  render_head b ~seq ~ts_us ~shard;
+  Buffer.add_string b
+    (if det then {|,"det":true,"kind":"path","data":{"end":"|}
+     else {|,"det":false,"kind":"path","data":{"end":"|});
+  Buffer.add_string b end_;
+  Buffer.add_string b {|","steps":|};
+  Json.add_int b steps;
+  Buffer.add_string b {|,"schedule":|};
+  Json.add_int b schedule;
+  Buffer.add_string b "}}"
+
+let path_data ~end_ ~steps ~schedule =
+  Json.Obj
+    [ ("end", Json.Str end_);
+      ("steps", Json.Int steps);
+      ("schedule", Json.Int schedule) ]
+
+let line e =
+  let b = Buffer.create 160 in
+  render b e;
+  Buffer.contents b
+
+let of_json j =
+  match j with
+  | Json.Obj fields ->
+    let f name = List.assoc_opt name fields in
+    (match f "schema" with
+     | Some (Json.Str s) when s = schema ->
+       (match (f "seq", f "ts_us", f "shard", f "det", f "kind", f "data") with
+        | Some (Json.Int seq), Some (Json.Int ts_us), Some (Json.Int shard),
+          Some (Json.Bool det), Some (Json.Str kind), Some data ->
+          Ok { seq; ts_us; shard; det; kind; data }
+        | _ -> Error "missing or ill-typed envelope field")
+     | Some (Json.Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
+     | Some _ -> Error "schema is not a string"
+     | None -> Error "missing schema field")
+  | _ -> Error "event is not an object"
+
+let of_line s =
+  match Json.of_string s with Error e -> Error e | Ok j -> of_json j
+
+let ts_us stream = int_of_float (Clock.elapsed ~since:stream.t0 *. 1e6)
+
+let emit buf ?(det = false) ~kind data =
+  buf.pending <-
+    P { p_ts_us = ts_us buf.stream; p_det = det; p_kind = kind; p_data = data }
+    :: buf.pending
+
+let emit_path buf ~det ~end_ ~steps ~schedule =
+  buf.pending <-
+    P_path { p_ts_us = ts_us buf.stream; p_det = det; p_end = end_; p_steps = steps;
+             p_schedule = schedule }
+    :: buf.pending
+
+(* Under the lock: number, write, collect — in batch order. The [event]
+   record (and a [P_path]'s Json data) only materializes when the stream
+   collects; a write-only stream renders straight from the pending cell. *)
+let publish_locked stream ~shard p =
+  let seq = stream.seq in
+  stream.seq <- seq + 1;
+  (match stream.write with
+   | None -> ()
+   | Some w ->
+     let b = stream.fmt in
+     Buffer.clear b;
+     (match p with
+      | P q ->
+        render b
+          { seq; ts_us = q.p_ts_us; shard; det = q.p_det; kind = q.p_kind;
+            data = q.p_data }
+      | P_path q ->
+        render_path b ~seq ~ts_us:q.p_ts_us ~shard ~det:q.p_det ~end_:q.p_end
+          ~steps:q.p_steps ~schedule:q.p_schedule);
+     w (Buffer.contents b));
+  if stream.collect then begin
+    let e =
+      match p with
+      | P q ->
+        { seq; ts_us = q.p_ts_us; shard; det = q.p_det; kind = q.p_kind;
+          data = q.p_data }
+      | P_path q ->
+        { seq; ts_us = q.p_ts_us; shard; det = q.p_det; kind = "path";
+          data = path_data ~end_:q.p_end ~steps:q.p_steps ~schedule:q.p_schedule }
+    in
+    stream.acc <- e :: stream.acc
+  end
+
+let flush_locked stream ~shard pending =
+  match pending with
+  | [ p ] -> publish_locked stream ~shard p
+  | pending -> List.iter (publish_locked stream ~shard) (List.rev pending)
+
+let flush buf =
+  match buf.pending with
+  | [] -> ()
+  | pending ->
+    buf.pending <- [];
+    let s = buf.stream in
+    Mutex.protect s.mu (fun () -> flush_locked s ~shard:buf.shard pending)
+
+let post stream ~shard ?(det = false) ~kind data =
+  let p = P { p_ts_us = ts_us stream; p_det = det; p_kind = kind; p_data = data } in
+  Mutex.protect stream.mu (fun () -> flush_locked stream ~shard [ p ])
+
+let collected stream = Mutex.protect stream.mu (fun () -> List.rev stream.acc)

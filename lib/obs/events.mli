@@ -1,0 +1,87 @@
+(** Versioned NDJSON event stream of a running search.
+
+    A {!stream} is shared by every shard of one search; each shard appends
+    events to its private {!buf} while it executes a path (no locking, no
+    I/O on the hot path) and flushes the batch at its next path boundary,
+    where the stream's lock assigns globally monotonic sequence numbers and
+    writes one NDJSON line per event. Events within a batch keep their emit
+    order; batches from different shards interleave in flush order.
+
+    Envelope, schema [fairmc-events/1]:
+
+    {v {"schema":"fairmc-events/1","seq":N,"ts_us":N,"shard":N,
+    "det":BOOL,"kind":STR,"data":OBJ} v}
+
+    [seq] is the global emission index (0-based, gap-free), [ts_us]
+    microseconds since the stream was created, [shard] the emitting worker
+    (-1 for the coordinator). [det] classifies the payload: a [det] event's
+    [(kind, data)] pair is jobs-invariant — an error-free systematic search
+    emits exactly the same multiset of deterministic [(kind, data)] pairs
+    for every [jobs] value, only [seq]/[ts_us]/[shard] and the advisory
+    events (spans, progress, worker/checkpoint lifecycle) differ. See
+    DESIGN.md, "Telemetry". *)
+
+val schema : string
+(** ["fairmc-events/1"]. *)
+
+type event = {
+  seq : int;
+  ts_us : int;
+  shard : int;
+  det : bool;
+  kind : string;
+  data : Fairmc_util.Json.t;
+}
+
+type stream
+type buf
+
+val create : ?write:(string -> unit) -> ?collect:bool -> unit -> stream
+(** [write] receives one NDJSON line (no trailing newline) per event, called
+    under the stream lock in sequence order. [collect] additionally keeps
+    every event in memory for {!collected} (tests, span trace export).
+    Omitting both yields a stream that discards events — still useful as a
+    span collector gate. *)
+
+val origin : stream -> float
+(** The stream's epoch ({!Clock.now} at creation); [ts_us] is relative to
+    it. *)
+
+val collecting : stream -> bool
+(** Whether the stream retains events for {!collected} ([create
+    ~collect:true]). The search uses this to gate the per-path span events:
+    span slices are only useful to the trace exporter, so a plain streaming
+    sink does not pay for them (coarse spans — checkpoint saves, frontier
+    expansion — are always emitted). *)
+
+val buffer : stream -> shard:int -> buf
+(** A shard-local batch buffer. Not thread-safe — one per shard. *)
+
+val emit : buf -> ?det:bool -> kind:string -> Fairmc_util.Json.t -> unit
+(** Append to the local batch ([det] defaults to [false]); timestamps are
+    taken now, sequence numbers at flush. *)
+
+val emit_path : buf -> det:bool -> end_:string -> steps:int -> schedule:int -> unit
+(** [emit] specialized to the once-per-execution ["path"] event — data
+    [{"end": end_, "steps": steps, "schedule": schedule}] — carrying its
+    fields unboxed so the streaming fast path builds no [Json.t]. [end_]
+    must be an internal identifier (it is rendered unescaped). *)
+
+val flush : buf -> unit
+(** Publish the batch: take the stream lock, assign sequence numbers, write
+    the lines. No-op on an empty batch. *)
+
+val post : stream -> shard:int -> ?det:bool -> kind:string -> Fairmc_util.Json.t -> unit
+(** Emit and flush a single event (coordinator lifecycle events). *)
+
+val collected : stream -> event list
+(** Every flushed event in sequence order; [[]] unless [collect] was set. *)
+
+val to_json : event -> Fairmc_util.Json.t
+val line : event -> string
+(** One NDJSON line (no newline). *)
+
+val of_json : Fairmc_util.Json.t -> (event, string) result
+(** Parse an envelope back; rejects unknown schemas and missing fields. *)
+
+val of_line : string -> (event, string) result

@@ -3,6 +3,9 @@ type sample = {
   elapsed : float;
   jobs : int;
   phase : string;
+  completion : float option;
+  est_total : int option;
+  eta : float option;
 }
 
 type sink = sample -> unit
@@ -43,6 +46,15 @@ let force t sample_fn =
 
 let stderr_sink s =
   let rate = if s.elapsed > 0. then float_of_int s.executions /. s.elapsed else 0. in
-  Printf.eprintf "[fairmc] phase=%s execs=%d (%.0f/s) elapsed=%.1fs%s\n%!" s.phase
+  let estimate =
+    match s.completion with
+    | None -> ""
+    | Some c ->
+      Printf.sprintf " ~%.1f%%%s%s" (100. *. c)
+        (match s.est_total with Some t -> Printf.sprintf " of ~%d" t | None -> "")
+        (match s.eta with Some e -> Printf.sprintf " eta=%.0fs" e | None -> "")
+  in
+  Printf.eprintf "[fairmc] phase=%s execs=%d (%.0f/s) elapsed=%.1fs%s%s\n%!" s.phase
     s.executions rate s.elapsed
     (if s.jobs > 1 then Printf.sprintf " jobs=%d" s.jobs else "")
+    estimate

@@ -12,6 +12,11 @@ type sample = {
   elapsed : float;  (** seconds since the search started *)
   jobs : int;  (** worker count of the search that emitted *)
   phase : string;  (** ["search"] (or a mode-specific label) *)
+  completion : float option;
+      (** estimated explored fraction in [0, 1] ({!Estimator}); [None]
+          before the first probe or when estimation is off *)
+  est_total : int option;  (** estimated total executions of the full search *)
+  eta : float option;  (** estimated seconds remaining *)
 }
 
 type sink = sample -> unit
@@ -30,4 +35,5 @@ val force : t -> (unit -> sample) -> unit
 
 val stderr_sink : sink
 (** One line per emission:
-    [[fairmc] phase=search execs=12345 (4821/s) elapsed=2.6s]. *)
+    [[fairmc] phase=search execs=12345 (4821/s) elapsed=2.6s ~37.5% eta=4s]
+    (the estimate tail only when an estimate exists). *)

@@ -1,0 +1,68 @@
+module Json = Fairmc_util.Json
+
+type t = float  (* start time, Clock.now *)
+
+let start () = Clock.now ()
+
+let elapsed_us t = int_of_float (Clock.elapsed ~since:t *. 1e6)
+
+let elapsed_us_between a b = int_of_float ((b -. a) *. 1e6)
+
+let hist_name phase = "span/" ^ phase ^ "/us"
+
+let record ?hist ?events ~phase ~dur_us () =
+  (match hist with None -> () | Some h -> Metrics.observe h dur_us);
+  match events with
+  | None -> ()
+  | Some buf ->
+    Events.emit buf ~kind:"span"
+      (Json.Obj [ ("phase", Json.Str phase); ("dur_us", Json.Int dur_us) ])
+
+let finish ?hist ?events ~phase t =
+  let dur_us = elapsed_us t in
+  record ?hist ?events ~phase ~dur_us ();
+  dur_us
+
+let time f =
+  let t = start () in
+  let r = f () in
+  (r, elapsed_us t)
+
+(* Perfetto rendering: the envelope timestamp is the span's end, so the
+   slice starts at [ts_us - dur_us]. Shards map to trace threads; -1 (the
+   coordinator) becomes the highest tid so worker tracks sort first. *)
+let to_trace events =
+  let spans =
+    List.filter_map
+      (fun (e : Events.event) ->
+        if e.Events.kind <> "span" then None
+        else
+          match e.Events.data with
+          | Json.Obj fields ->
+            (match (List.assoc_opt "phase" fields, List.assoc_opt "dur_us" fields) with
+             | Some (Json.Str phase), Some (Json.Int dur) ->
+               Some (e.Events.shard, phase, e.Events.ts_us, dur)
+             | _ -> None)
+          | _ -> None)
+      events
+  in
+  let shards = List.sort_uniq compare (List.map (fun (s, _, _, _) -> s) spans) in
+  let max_shard = List.fold_left (fun a s -> max a s) 0 shards in
+  let tid_of s = if s < 0 then max_shard + 1 else s in
+  let names =
+    Trace_event.process_name "fairmc search"
+    :: List.map
+         (fun s ->
+           Trace_event.thread_name ~tid:(tid_of s)
+             (if s < 0 then "coordinator" else Printf.sprintf "shard %d" s))
+         shards
+  in
+  let slices =
+    List.map
+      (fun (s, phase, ts_end, dur) ->
+        Trace_event.complete ~name:phase ~cat:"search" ~tid:(tid_of s)
+          ~ts:(float_of_int (max 0 (ts_end - dur)))
+          ~dur:(float_of_int dur) ())
+      spans
+  in
+  Trace_event.to_json (names @ slices)

@@ -7,6 +7,19 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
+(* Most emitted strings (field names, enum-like labels) contain nothing to
+   escape; skip the per-character copy for those. *)
+let needs_escape s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    && (match String.unsafe_get s i with
+        | '"' | '\\' -> true
+        | c when Char.code c < 0x20 -> true
+        | _ -> go (i + 1))
+  in
+  go 0
+
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -24,6 +37,20 @@ let escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* [string_of_int] without the intermediate string: the telemetry stream
+   renders several integers per event, so the allocation is worth dodging. *)
+let add_int buf i =
+  if i >= 0 && i < 10 then Buffer.add_char buf (Char.unsafe_chr (0x30 + i))
+  else if i = min_int then Buffer.add_string buf (string_of_int i)
+  else begin
+    if i < 0 then Buffer.add_char buf '-';
+    let rec go v =
+      if v >= 10 then go (v / 10);
+      Buffer.add_char buf (Char.unsafe_chr (0x30 + (v mod 10)))
+    in
+    go (abs i)
+  end
 
 (* Shortest decimal representation that parses back to the same float; JSON
    has no NaN/infinity, so those degrade to null at the call sites. *)
@@ -61,22 +88,63 @@ let rec emit buf ~indent ~level v =
     else Buffer.add_string buf "null"
   | Str s ->
     Buffer.add_char buf '"';
-    Buffer.add_string buf (escape s);
+    Buffer.add_string buf (if needs_escape s then escape s else s);
     Buffer.add_char buf '"'
   | Arr items -> seq '[' ']' items (emit buf ~indent ~level:(level + 1))
   | Obj members ->
     seq '{' '}' members (fun (k, v) ->
         Buffer.add_char buf '"';
-        Buffer.add_string buf (escape k);
+        Buffer.add_string buf (if needs_escape k then escape k else k);
         Buffer.add_string buf "\":";
         (match indent with None -> () | Some _ -> Buffer.add_char buf ' ');
         emit buf ~indent ~level:(level + 1) v)
 
-let to_buffer buf v = emit buf ~indent:None ~level:0 v
+(* Compact emission without the pretty-printer's closures: this is the hot
+   path (one call per telemetry event), so it is direct top-level recursion
+   — no closure allocation per array/object node. *)
+let rec emit_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> add_int buf i
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (float_repr f)
+    else Buffer.add_string buf "null"
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (if needs_escape s then escape s else s);
+    Buffer.add_char buf '"'
+  | Arr items ->
+    Buffer.add_char buf '[';
+    emit_items buf true items;
+    Buffer.add_char buf ']'
+  | Obj members ->
+    Buffer.add_char buf '{';
+    emit_members buf true members;
+    Buffer.add_char buf '}'
+
+and emit_items buf first = function
+  | [] -> ()
+  | x :: tl ->
+    if not first then Buffer.add_char buf ',';
+    emit_compact buf x;
+    emit_items buf false tl
+
+and emit_members buf first = function
+  | [] -> ()
+  | (k, x) :: tl ->
+    if not first then Buffer.add_char buf ',';
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (if needs_escape k then escape k else k);
+    Buffer.add_string buf "\":";
+    emit_compact buf x;
+    emit_members buf false tl
+
+let to_buffer buf v = emit_compact buf v
 
 let to_string ?(pretty = false) v =
   let buf = Buffer.create 256 in
-  emit buf ~indent:(if pretty then Some 2 else None) ~level:0 v;
+  if pretty then emit buf ~indent:(Some 2) ~level:0 v else emit_compact buf v;
   Buffer.contents buf
 
 let to_file path v =
@@ -138,23 +206,49 @@ let of_string s =
            | 'b' -> Buffer.add_char buf '\b'
            | 'f' -> Buffer.add_char buf '\012'
            | 'u' ->
-             if !pos + 4 > n then fail "truncated \\u escape";
-             let hex = String.sub s !pos 4 in
-             pos := !pos + 4;
-             let code =
+             let hex4 () =
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
                match int_of_string_opt ("0x" ^ hex) with
                | Some c -> c
                | None -> fail "malformed \\u escape"
              in
-             (* Our emitter only produces \u00xx (control characters); decode
-                the general BMP case as UTF-8 anyway. *)
+             let code = hex4 () in
+             (* A high surrogate followed by \uDC00-\uDFFF encodes one
+                non-BMP scalar (JSON strings are UTF-16 under the hood);
+                combine the pair rather than emitting CESU-8. A lone
+                surrogate is decoded as its 3-byte form — lenient, like the
+                rest of this parser. *)
+             let code =
+               if code >= 0xD800 && code <= 0xDBFF
+                  && !pos + 6 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+               then begin
+                 let save = !pos in
+                 pos := !pos + 2;
+                 let low = hex4 () in
+                 if low >= 0xDC00 && low <= 0xDFFF then
+                   0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                 else begin
+                   pos := save;
+                   code
+                 end
+               end
+               else code
+             in
              if code < 0x80 then Buffer.add_char buf (Char.chr code)
              else if code < 0x800 then begin
                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
              end
-             else begin
+             else if code < 0x10000 then begin
                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
              end

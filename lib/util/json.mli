@@ -22,6 +22,10 @@ val escape : string -> string
 
 val to_buffer : Buffer.t -> t -> unit
 
+val add_int : Buffer.t -> int -> unit
+(** Append the decimal form of [i] — [string_of_int] without the
+    intermediate string. Hot on the telemetry event stream. *)
+
 val to_string : ?pretty:bool -> t -> string
 (** Serialize. [~pretty:true] indents objects and arrays by two spaces.
     Non-finite floats are emitted as [null] (JSON has no representation for

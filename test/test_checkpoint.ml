@@ -35,7 +35,9 @@ let gen_stats rng =
     first_error_execution = gen_opt rng (fun r -> R.int r 1000);
     first_error_time = gen_opt rng (fun r -> float_of_int (R.int r 256) /. 8.);
     sync_ops_per_exec = R.int rng 64;
-    max_threads = R.int rng 16 }
+    max_threads = R.int rng 16;
+    search_elapsed = float_of_int (R.int rng 1024) /. 8.;
+    probe_mass = R.int rng 1_000_000 }
 
 let gen_metrics rng =
   MS.of_entries
@@ -64,9 +66,11 @@ let gen_edges rng =
 let gen_decision rng = { CK.c_tid = R.int rng 8; c_alt = R.int rng 4; c_cost = R.int rng 3 }
 
 let gen_frame rng =
+  let c_rest = List.init (R.int rng 3) (fun _ -> gen_decision rng) in
   { CK.c_chosen = gen_decision rng;
-    c_rest = List.init (R.int rng 3) (fun _ -> gen_decision rng);
-    c_sleep = B.unsafe_of_int (R.int rng 256) }
+    c_rest;
+    c_sleep = B.unsafe_of_int (R.int rng 256);
+    c_width = 1 + List.length c_rest + R.int rng 2 }
 
 let gen_seq rng =
   { CK.sq_frames = Array.init (R.int rng 6) (fun _ -> gen_frame rng);
@@ -151,7 +155,7 @@ let eq_t a b = a.CK.fingerprint = b.CK.fingerprint && eq_payload a.CK.payload b.
 (* Interrupted-then-resumed equality harness.                          *)
 
 let strip_time (s : Report.stats) =
-  { s with Report.elapsed = 0.; first_error_time = None }
+  { s with Report.elapsed = 0.; search_elapsed = 0.; first_error_time = None }
 
 let base =
   { Search_config.default with

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "fairmc"
     [ ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("fair-sched", Test_fair_sched.suite);
       ("objects", Test_objects.suite);
       ("engine", Test_engine.suite);

@@ -74,7 +74,54 @@ let json_unit_tests =
         check "trailing" true (bad "1 x");
         check "unterminated" true (bad {|{"a": 1|});
         check "bare word" true (bad "flase");
-        check "empty" true (bad "")) ]
+        check "empty" true (bad ""));
+    Alcotest.test_case "parser rejects NaN/Infinity literals" `Quick (fun () ->
+        let bad s = match Json.of_string s with Ok _ -> false | Error _ -> true in
+        (* JSON has no non-finite numbers; the emitter degrades them to null
+           and the parser must not accept the JS spellings. *)
+        check "NaN" true (bad "NaN");
+        check "nan" true (bad "nan");
+        check "Infinity" true (bad "Infinity");
+        check "-Infinity" true (bad "-Infinity");
+        check "inside array" true (bad "[1, NaN]"));
+    Alcotest.test_case "deeply nested values round-trip" `Quick (fun () ->
+        let deep =
+          let rec build k acc =
+            if k = 0 then acc
+            else build (k - 1) (Json.Obj [ ("a", Json.Arr [ acc ]) ])
+          in
+          build 500 (Json.Int 42)
+        in
+        (match Json.of_string (Json.to_string deep) with
+         | Ok v -> check "deep round-trip" true (Json.equal deep v)
+         | Error e -> Alcotest.fail e);
+        match Json.of_string (Json.to_string ~pretty:true deep) with
+        | Ok v -> check "deep round-trip (pretty)" true (Json.equal deep v)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "surrogate pairs decode to non-BMP UTF-8" `Quick (fun () ->
+        (* U+1F600 as a UTF-16 surrogate pair must come back as one 4-byte
+           UTF-8 scalar, not as CESU-8 (two 3-byte sequences). *)
+        (match Json.of_string {|"\uD83D\uDE00"|} with
+         | Ok (Json.Str s) -> check_str "emoji" "\xf0\x9f\x98\x80" s
+         | Ok _ -> Alcotest.fail "not a string"
+         | Error e -> Alcotest.fail e);
+        (* Mixed with surrounding text. *)
+        (match Json.of_string {|"a\uD83D\uDE00b"|} with
+         | Ok (Json.Str s) -> check_str "embedded" "a\xf0\x9f\x98\x80b" s
+         | Ok _ -> Alcotest.fail "not a string"
+         | Error e -> Alcotest.fail e);
+        (* A lone high surrogate stays lenient: 3-byte form, and the
+           character after it is untouched. *)
+        (match Json.of_string {|"\uD800x"|} with
+         | Ok (Json.Str s) -> check_str "lone high" "\xed\xa0\x80x" s
+         | Ok _ -> Alcotest.fail "not a string"
+         | Error e -> Alcotest.fail e);
+        (* High surrogate followed by a \u escape that is NOT a low
+           surrogate: both decode independently. *)
+        match Json.of_string {|"\uD800\u0041"|} with
+        | Ok (Json.Str s) -> check_str "high then BMP" "\xed\xa0\x80A" s
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.fail e) ]
 
 (* ------------------------------------------------------------------ *)
 (* Metrics snapshots: merge algebra.                                   *)
