@@ -83,6 +83,50 @@ let split_depth =
            ~doc:"Parallel systematic search: expand the decision tree \
                  sequentially to depth N and hand each subtree to a worker.")
 
+let workers =
+  Arg.(value & opt int 1
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Supervised worker $(i,processes) for systematic strategies: \
+                 1 (default) stays in-process, 0 uses all available cores. \
+                 Each worker is a forked process, so a crash, OOM kill or \
+                 hang costs one work-item attempt — retried with backoff, \
+                 then quarantined as a $(i,crash) verdict — instead of the \
+                 whole search. With no injected faults the report is \
+                 identical to $(b,-j) N's.")
+
+let item_timeout =
+  Arg.(value & opt (some float) None
+       & info [ "item-timeout" ] ~docv:"SECONDS"
+           ~doc:"Supervised runs: wall-clock budget per work-item attempt; on \
+                 expiry the worker is SIGKILLed and the item requeued \
+                 (counting against $(b,--max-retries)).")
+
+let max_retries =
+  Arg.(value & opt int Search_config.default.max_retries
+       & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Supervised runs: how many times a work item is re-dispatched \
+                 after a worker crash, timeout or protocol error before it is \
+                 quarantined as a $(i,crash) verdict.")
+
+let fault_conv =
+  let parse s =
+    match Search_config.fault_of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf f -> Format.pp_print_string ppf (Search_config.fault_name f))
+
+let inject_fault =
+  Arg.(value & opt (some fault_conv) None
+       & info [ "inject-fault" ] ~docv:"KIND[@SEED]"
+           ~doc:"Deterministic fault injection for the supervised pool \
+                 (tests/CI): $(b,crash) | $(b,hang) | $(b,garble) | \
+                 $(b,slowpipe) | $(b,savefail), firing exactly once, on the \
+                 first attempt of work item SEED mod n-items. Retries are \
+                 fault-free, so with retries left the verdict is unchanged \
+                 while the recovery machinery is exercised.")
+
 let metrics_flag =
   Arg.(value & flag
        & info [ "metrics" ]
@@ -225,7 +269,8 @@ let interp_arg =
                  and counterexamples; built-in native programs are unaffected.")
 
 let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound max_execs
-    time_limit seed sleep_sets coverage jobs split_depth metrics stats progress
+    time_limit seed sleep_sets coverage jobs split_depth workers item_timeout
+    max_retries inject_fault metrics stats progress
     progress_interval races lockset lock_graph fail_on_race checkpoint
     checkpoint_interval interp =
   let analyses =
@@ -250,6 +295,10 @@ let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound ma
     coverage;
     jobs;
     split_depth;
+    workers;
+    item_timeout;
+    max_retries;
+    inject_fault;
     metrics = metrics || stats;
     progress;
     progress_interval;
@@ -261,7 +310,8 @@ let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound ma
 let config_term =
   Term.(const build_config $ strategy $ no_fair $ fair_k $ depth_bound $ max_steps
         $ livelock_bound $ max_execs $ time_limit $ seed $ sleep_sets $ coverage
-        $ jobs $ split_depth $ metrics_flag $ stats_flag $ progress_flag
+        $ jobs $ split_depth $ workers $ item_timeout $ max_retries
+        $ inject_fault $ metrics_flag $ stats_flag $ progress_flag
         $ progress_interval $ races_flag $ lockset_flag $ lock_graph_flag
         $ fail_on_race $ checkpoint_out $ checkpoint_interval $ interp_arg)
 
@@ -362,10 +412,13 @@ let check_cmd =
       | None, None -> None
       | _ ->
         let write =
+          (* Graceful-interrupt handlers can land EINTR mid-write; restart
+             rather than losing event lines (or the whole run) to a signal. *)
           Option.map
             (fun (oc, _) line ->
-              output_string oc line;
-              output_char oc '\n')
+              Fairmc_util.Retry.eintr (fun () ->
+                  output_string oc line;
+                  output_char oc '\n'))
             events_oc
         in
         Some (Fairmc_obs.Events.create ?write ~collect:(trace_spans_out <> None) ())

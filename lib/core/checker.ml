@@ -1,10 +1,10 @@
-let check ?(config = Search_config.default) ?resume prog = Par_search.run ?resume config prog
+let check ?(config = Search_config.default) ?resume prog = Supervisor.run ?resume config prog
 
 let check_all ~configs prog =
   let rec go acc = function
     | [] -> List.rev acc
     | (name, cfg) :: rest ->
-      let report = Par_search.run cfg prog in
+      let report = Supervisor.run cfg prog in
       let acc = (name, report) :: acc in
       if Report.found_error report then List.rev acc else go acc rest
   in

@@ -348,10 +348,44 @@ let of_json j =
 (* ------------------------------------------------------------------ *)
 (* File I/O.                                                           *)
 
-let save path t =
+(* Deterministic fault injection ([--inject-fault savefail]): the next [n]
+   physical save attempts fail as if the filesystem were transiently
+   unhappy. Tests and CI use it to drive the retry path below. *)
+let inject_save_failures = ref 0
+
+let save_result path t =
+  (* Serialize once, outside the retry loop: an encoding bug is not
+     transient and must propagate, not be retried. *)
+  let doc = to_json t in
   let tmp = path ^ ".tmp" in
-  Json.to_file tmp (to_json t);
-  Sys.rename tmp path
+  let attempt () =
+    if !inject_save_failures > 0 then begin
+      decr inject_save_failures;
+      raise (Sys_error (tmp ^ ": injected transient save failure"))
+    end;
+    Json.to_file tmp doc;
+    Sys.rename tmp path
+  in
+  let retryable = function Sys_error _ | Unix.Unix_error _ -> true | _ -> false in
+  match Fairmc_util.Retry.transient ~attempts:4 ~base_delay:0.005 ~retryable attempt with
+  | Ok () -> Ok ()
+  | Error e ->
+    (* The rename never ran (or failed), so the previous checkpoint at
+       [path] is intact; just drop the stale temp file. *)
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error
+      (match e with
+       | Sys_error m -> m
+       | Unix.Unix_error (err, fn, arg) ->
+         Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)
+       | e -> Printexc.to_string e)
+
+let save path t =
+  match save_result path t with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "fairmc: checkpoint save failed: %s (keeping the previous checkpoint)\n%!"
+      msg
 
 let load path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -425,3 +459,38 @@ let install_signal_handlers () =
   List.iter
     (fun s -> try Sys.set_signal s (Sys.Signal_handle handle) with Invalid_argument _ -> ())
     [ Sys.sigint; Sys.sigterm ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec building blocks, shared with the worker IPC protocol.         *)
+
+module Codec = struct
+  exception Parse = Parse
+
+  let fail = fail
+  let field = field
+  let opt_field = opt_field
+  let as_int = as_int
+  let as_bool = as_bool
+  let as_str = as_str
+  let as_arr = as_arr
+  let as_float = as_float
+  let int_f = int_f
+  let bool_f = bool_f
+  let str_f = str_f
+  let arr_f = arr_f
+  let float_f = float_f
+  let int_d = int_d
+  let float_d = float_d
+  let int64_to_json = int64_to_json
+  let int64_of_json = int64_of_json
+  let opt_to_json = opt_to_json
+  let opt_of_json = opt_of_json
+  let stats_to_json = stats_to_json
+  let stats_of_json = stats_of_json
+  let metrics_to_json = metrics_to_json
+  let metrics_of_json = metrics_of_json
+  let states_to_json = states_to_json
+  let states_of_json = states_of_json
+  let edges_to_json = edges_to_json
+  let edges_of_json = edges_of_json
+end

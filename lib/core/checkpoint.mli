@@ -100,9 +100,21 @@ type t = { fingerprint : string; payload : payload }
 val to_json : t -> Fairmc_util.Json.t
 val of_json : Fairmc_util.Json.t -> (t, string) result
 
+val save_result : string -> t -> (unit, string) result
+(** Atomic (writes [path ^ ".tmp"], then renames over [path]) and hardened:
+    EINTR restarts the call and other transient filesystem failures
+    ([Sys_error]/[Unix_error]) are retried a few times with short backoff
+    ({!Fairmc_util.Retry.transient}). On final failure the stale temp file
+    is removed and the {e previous} checkpoint at [path] is left intact —
+    a failed save never clobbers the last good one. *)
+
 val save : string -> t -> unit
-(** Atomic: writes [path ^ ".tmp"], then renames over [path], so a crash
-    mid-write never corrupts an existing checkpoint. *)
+(** {!save_result}, downgrading a final failure to a stderr warning: the
+    search keeps running on the previous checkpoint. *)
+
+val inject_save_failures : int ref
+(** Fault injection for tests/CI ([--inject-fault savefail]): the next [n]
+    physical save attempts raise a transient [Sys_error]. *)
 
 val load : string -> (t, string) result
 
@@ -147,3 +159,51 @@ val install_signal_handlers : unit -> unit
 (** Route SIGINT and SIGTERM to {!request_interrupt}. A second signal while
     the flag is already set exits immediately with status 130. No-op on
     platforms without these signals. *)
+
+(** {1 Codec building blocks}
+
+    The JSON helpers behind the checkpoint codec, shared with the worker IPC
+    protocol ({!Worker}) so reports and snapshots travel between processes
+    in exactly the checkpoint wire form. Parsers raise {!Codec.Parse}. *)
+
+module Codec : sig
+  exception Parse of string
+
+  val fail : ('a, unit, string, 'b) format4 -> 'a
+  val field : Fairmc_util.Json.t -> string -> Fairmc_util.Json.t
+  val opt_field : Fairmc_util.Json.t -> string -> Fairmc_util.Json.t option
+  val as_int : string -> Fairmc_util.Json.t -> int
+  val as_bool : string -> Fairmc_util.Json.t -> bool
+  val as_str : string -> Fairmc_util.Json.t -> string
+  val as_arr : string -> Fairmc_util.Json.t -> Fairmc_util.Json.t list
+  val as_float : string -> Fairmc_util.Json.t -> float
+  val int_f : Fairmc_util.Json.t -> string -> int
+  val bool_f : Fairmc_util.Json.t -> string -> bool
+  val str_f : Fairmc_util.Json.t -> string -> string
+  val arr_f : Fairmc_util.Json.t -> string -> Fairmc_util.Json.t list
+  val float_f : Fairmc_util.Json.t -> string -> float
+  val int_d : Fairmc_util.Json.t -> string -> default:int -> int
+  val float_d : Fairmc_util.Json.t -> string -> default:float -> float
+  val int64_to_json : int64 -> Fairmc_util.Json.t
+  val int64_of_json : string -> Fairmc_util.Json.t -> int64
+
+  val opt_to_json :
+    ('a -> Fairmc_util.Json.t) -> 'a option -> Fairmc_util.Json.t
+
+  val opt_of_json :
+    (Fairmc_util.Json.t -> 'a) -> Fairmc_util.Json.t -> 'a option
+
+  val stats_to_json : Report.stats -> Fairmc_util.Json.t
+  val stats_of_json : Fairmc_util.Json.t -> Report.stats
+  val metrics_to_json : Fairmc_obs.Metrics.Snapshot.t -> Fairmc_util.Json.t
+
+  val metrics_of_json :
+    string -> Fairmc_util.Json.t -> Fairmc_obs.Metrics.Snapshot.t
+
+  val states_to_json : int64 list -> Fairmc_util.Json.t
+  val states_of_json : string -> Fairmc_util.Json.t -> int64 list
+  val edges_to_json : Analysis_hook.lock_edge list -> Fairmc_util.Json.t
+
+  val edges_of_json :
+    string -> Fairmc_util.Json.t -> Analysis_hook.lock_edge list
+end

@@ -4,12 +4,25 @@ module Fnv = Fairmc_util.Fnv
 type failure =
   | Assertion of string
   | Sync_misuse of string
+  | Resource of string
   | Uncaught of string
 
 let pp_failure ppf = function
   | Assertion m -> Format.fprintf ppf "assertion failure: %s" m
   | Sync_misuse m -> Format.fprintf ppf "synchronization misuse: %s" m
+  | Resource m -> Format.fprintf ppf "resource exhaustion: %s" m
   | Uncaught m -> Format.fprintf ppf "uncaught exception: %s" m
+
+(* Stack_overflow/Out_of_memory raised by a thread body must become an error
+   verdict carrying the offending schedule, not kill the whole search (or a
+   supervised worker). They need their own arm: the generic [Uncaught]
+   rendering of [Printexc.to_string] is fine, but classifying them lets
+   callers distinguish a program bug from a workload that genuinely needs
+   more resources. *)
+let resource_failure = function
+  | Stack_overflow -> Some (Resource "stack overflow")
+  | Out_of_memory -> Some (Resource "out of memory")
+  | _ -> None
 
 type parked = {
   op : Op.t;
@@ -90,7 +103,11 @@ let start_thread t tid body =
           match exn with
           | Runtime.Assertion_failure m -> record_failure t tid (Assertion m)
           | Objects.Sync_error m -> record_failure t tid (Sync_misuse m)
-          | e -> record_failure t tid (Uncaught (Printexc.to_string e)));
+          | e ->
+            record_failure t tid
+              (match resource_failure e with
+               | Some f -> f
+               | None -> Uncaught (Printexc.to_string e)));
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -248,6 +265,9 @@ let step t ~tid ~alt =
          | false -> 0
          | exception Objects.Sync_error m ->
            record_failure t tid (Sync_misuse m);
+           0
+         | exception ((Stack_overflow | Out_of_memory) as e) ->
+           record_failure t tid (Option.get (resource_failure e));
            0)
     in
     count_op t tid p.op;

@@ -18,6 +18,10 @@ module B := Fairmc_util.Bitset
 type failure =
   | Assertion of string  (** [Sync.check]/[Sync.fail] *)
   | Sync_misuse of string  (** unlock of an unheld mutex, kind confusion, ... *)
+  | Resource of string
+      (** [Stack_overflow]/[Out_of_memory] raised while stepping a thread —
+          trapped into an error verdict with the offending schedule rather
+          than tearing down the search *)
   | Uncaught of string  (** any other exception escaping a thread body *)
 
 val pp_failure : Format.formatter -> failure -> unit

@@ -19,6 +19,8 @@ module Search_config = Search_config
 module Checkpoint = Checkpoint
 module Search = Search
 module Par_search = Par_search
+module Worker = Worker
+module Supervisor = Supervisor
 module Report = Report
 module Trace_export = Trace_export
 module Checker = Checker

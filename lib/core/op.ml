@@ -93,3 +93,49 @@ let n_kinds = Array.length kind_names
 let kind_name i =
   if i < 0 || i >= n_kinds then invalid_arg "Op.kind_name";
   kind_names.(i)
+
+(* Wire form (worker IPC, race reports): obj-carrying operations are
+   ["<kind>", obj]; [Join]/[Choose] carry their tid/arity the same way;
+   the nullary ones are bare kind strings. *)
+
+module Json = Fairmc_util.Json
+
+let to_json op =
+  match obj_of op with
+  | Some o -> Json.Arr [ Json.Str (kind_name (kind_index op)); Json.Int o ]
+  | None ->
+    (match op with
+     | Join t -> Json.Arr [ Json.Str "join"; Json.Int t ]
+     | Choose n -> Json.Arr [ Json.Str "choose"; Json.Int n ]
+     | op -> Json.Str (kind_name (kind_index op)))
+
+let of_kind_obj k o =
+  match k with
+  | "lock" -> Some (Lock o)
+  | "trylock" -> Some (Try_lock o)
+  | "timedlock" -> Some (Timed_lock o)
+  | "unlock" -> Some (Unlock o)
+  | "sem_wait" -> Some (Sem_wait o)
+  | "sem_trywait" -> Some (Sem_try_wait o)
+  | "sem_timedwait" -> Some (Sem_timed_wait o)
+  | "sem_post" -> Some (Sem_post o)
+  | "ev_wait" -> Some (Ev_wait o)
+  | "ev_timedwait" -> Some (Ev_timed_wait o)
+  | "ev_set" -> Some (Ev_set o)
+  | "ev_reset" -> Some (Ev_reset o)
+  | "var_read" -> Some (Var_read o)
+  | "var_write" -> Some (Var_write o)
+  | "var_rmw" -> Some (Var_rmw o)
+  | "join" -> Some (Join o)
+  | "choose" -> Some (Choose o)
+  | _ -> None
+
+let of_json j =
+  let bad () = Error "malformed op" in
+  match j with
+  | Json.Str "yield" -> Ok Yield
+  | Json.Str "sleep" -> Ok Sleep
+  | Json.Str "spawn" -> Ok Spawn
+  | Json.Arr [ Json.Str k; Json.Int o ] ->
+    (match of_kind_obj k o with Some op -> Ok op | None -> bad ())
+  | _ -> bad ()

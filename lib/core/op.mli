@@ -60,3 +60,10 @@ val kind_index : t -> int
 val kind_name : int -> string
 (** Lowercase stable name ("lock", "trylock", ..., "choose"); raises
     [Invalid_argument] outside [0, n_kinds). *)
+
+val to_json : t -> Fairmc_util.Json.t
+(** Wire form for the worker IPC protocol: [["<kind>", obj]] for operations
+    carrying an object/tid/arity, a bare kind string otherwise. *)
+
+val of_json : Fairmc_util.Json.t -> (t, string) result
+(** Inverse of {!to_json}. *)

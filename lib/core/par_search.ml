@@ -162,6 +162,192 @@ let post_workers (cfg : C.t) ~jobs ~split_depth ~items ~expand_us =
       Events.post s ~shard:(-1) ~kind:"span"
         (J.Obj [ ("phase", J.Str "expand"); ("dur_us", J.Int expand_us) ])
 
+(* Resume validation: the work-item list is defined by (program, config,
+   split_depth), so the re-expansion must agree with the checkpoint or its
+   recorded item indices are meaningless. *)
+let check_par_resume (cfg : C.t) ~n (pa : Checkpoint.par_state) =
+  if pa.Checkpoint.pa_split_depth <> cfg.split_depth then
+    raise
+      (Checkpoint.Mismatch
+         (Printf.sprintf "split depth drifted: checkpoint has %d, config has %d"
+            pa.Checkpoint.pa_split_depth cfg.split_depth));
+  if pa.Checkpoint.pa_n_items <> n then
+    raise
+      (Checkpoint.Mismatch
+         (Printf.sprintf "work-item count drifted: checkpoint has %d, expansion gives %d"
+            pa.Checkpoint.pa_n_items n))
+
+(* Items a prior session fully explored: prepopulated as if a worker had
+   just finished them, so merging and min-index error resolution are
+   oblivious to the interruption. Returns the prior (executions, probe mass)
+   to seed the shared progress counters. *)
+let resume_prefill (cfg : C.t) ~n
+    ~(results : (Report.t * (int64, unit) Hashtbl.t) option array)
+    (pa : Checkpoint.par_state) =
+  let execs = ref 0 and mass = ref 0 in
+  List.iter
+    (fun (it : Checkpoint.par_item) ->
+      if it.Checkpoint.pi_index < 0 || it.Checkpoint.pi_index >= n then
+        raise (Checkpoint.Mismatch "checkpoint work-item index out of range");
+      let analysis =
+        if cfg.C.analyses = [] then None
+        else
+          Some
+            { Report.lock_order_edges = it.Checkpoint.pi_edges;
+              (* Recomputed from the edge union at merge time. *)
+              potential_deadlock_cycles = [] }
+      in
+      let r =
+        { Report.verdict = Report.Verified;
+          stats = it.Checkpoint.pi_stats;
+          metrics = it.Checkpoint.pi_metrics;
+          analysis }
+      in
+      results.(it.Checkpoint.pi_index) <- Some (r, states_tbl it.Checkpoint.pi_states);
+      execs := !execs + it.Checkpoint.pi_stats.Report.executions;
+      mass := !mass + it.Checkpoint.pi_stats.Report.probe_mass)
+    pa.Checkpoint.pa_items;
+  (!execs, !mass)
+
+(* Durable session for the systematic item list: fully explored (Verified)
+   items are recorded under a mutex and flushed to the checkpoint file,
+   throttled by [checkpoint_interval], plus once when the run stops.
+   Disabled when the expansion itself timed out: the item list is then
+   partial and the recorded indices would not survive a resume's
+   re-expansion. Shared by the in-domain backend and {!Supervisor}, which is
+   what lets a session move between the two across restarts. *)
+type parck = {
+  pk_path : string;
+  pk_mu : Mutex.t;
+  pk_cfg : C.t;
+  pk_prog : string;
+  pk_n : int;
+  pk_t0 : float;
+  pk_prior_elapsed : float;
+  mutable pk_items : Checkpoint.par_item list;
+  mutable pk_last : float;
+}
+
+let parck_create (cfg : C.t) ~prog ~n ~t0 ~prior_elapsed ~resume ~expand_timed_out =
+  match cfg.C.checkpoint with
+  | Some path when not expand_timed_out ->
+    Some
+      { pk_path = path;
+        pk_mu = Mutex.create ();
+        pk_cfg = cfg;
+        pk_prog = prog.Program.name;
+        pk_n = n;
+        pk_t0 = t0;
+        pk_prior_elapsed = prior_elapsed;
+        pk_items =
+          (match resume with
+           | Some (pa : Checkpoint.par_state) -> pa.Checkpoint.pa_items
+           | None -> []);
+        pk_last = Clock.now () }
+  | _ -> None
+
+(* Unsynchronized: called either under [pk_mu] (the throttled worker-side
+   path) or after the workers are joined (the final flush). A failed save
+   warns and keeps the previous checkpoint (see Checkpoint.save_result). *)
+let parck_write ck ~complete =
+  ck.pk_last <- Clock.now ();
+  let recorded =
+    List.sort
+      (fun (a : Checkpoint.par_item) b -> compare a.Checkpoint.pi_index b.Checkpoint.pi_index)
+      ck.pk_items
+  in
+  match
+    Checkpoint.save_result ck.pk_path
+      { Checkpoint.fingerprint = Checkpoint.fingerprint ck.pk_cfg ~program:ck.pk_prog;
+        payload =
+          Checkpoint.Par
+            { Checkpoint.pa_split_depth = ck.pk_cfg.C.split_depth;
+              pa_n_items = ck.pk_n;
+              pa_elapsed = ck.pk_prior_elapsed +. (Clock.now () -. ck.pk_t0);
+              pa_items = recorded;
+              pa_complete = complete } }
+  with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "fairmc: checkpoint save failed: %s (keeping the previous checkpoint)\n%!"
+      msg;
+    (match ck.pk_cfg.C.events with
+     | Some s ->
+       Events.post s ~shard:(-1) ~kind:"checkpoint_error"
+         (J.Obj [ ("file", J.Str ck.pk_path); ("error", J.Str msg) ])
+     | None -> ())
+
+let parck_note ck k (r : Report.t) tbl =
+  if r.Report.verdict = Report.Verified then begin
+    let states =
+      if ck.pk_cfg.C.coverage then
+        List.sort Int64.compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl [])
+      else []
+    in
+    let edges =
+      match r.Report.analysis with Some a -> a.Report.lock_order_edges | None -> []
+    in
+    Mutex.protect ck.pk_mu (fun () ->
+        ck.pk_items <-
+          { Checkpoint.pi_index = k;
+            pi_stats = r.Report.stats;
+            pi_metrics = r.Report.metrics;
+            pi_states = states;
+            pi_edges = edges }
+          :: ck.pk_items;
+        if Clock.now () -. ck.pk_last >= ck.pk_cfg.C.checkpoint_interval then
+          parck_write ck ~complete:false)
+  end
+
+let parck_flush ck ~complete = parck_write ck ~complete
+
+(* Merge per-item results into the final report — the single code path both
+   the in-domain backend and {!Supervisor} go through, which is what makes
+   their reports bit-identical for the same result set. *)
+let finalize_systematic ~(results : (Report.t * (int64, unit) Hashtbl.t) option array)
+    ~winner ~elapsed ~search_elapsed ~expand_timed_out ~with_gauges =
+  let n = Array.length results in
+  if winner < n then begin
+    (* Sequential equivalence: the search would have explored items
+       [0..winner-1] in full, then stopped inside [winner]. Items below the
+       winner are never cancelled, so all their results are present. *)
+    let parts = ref [] and prior_execs = ref 0 in
+    for k = winner - 1 downto 0 do
+      match results.(k) with
+      | Some ((r, _) as p) ->
+        parts := p :: !parts;
+        prior_execs := !prior_execs + r.Report.stats.Report.executions
+      | None -> ()
+    done;
+    let win_r, win_tbl = Option.get results.(winner) in
+    let stats, metrics, analysis = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
+    let ws = win_r.Report.stats in
+    { Report.verdict = win_r.Report.verdict;
+      stats =
+        { stats with
+          Report.elapsed;
+          search_elapsed;
+          first_error_execution =
+            Option.map (fun e -> !prior_execs + e) ws.Report.first_error_execution;
+          first_error_time = ws.Report.first_error_time };
+      metrics = with_gauges metrics;
+      analysis }
+  end
+  else begin
+    let parts = List.filter_map Fun.id (Array.to_list results) in
+    let stats, metrics, analysis = merge_parts parts in
+    let stats = { stats with Report.elapsed; search_elapsed } in
+    let limited =
+      expand_timed_out
+      || n > List.length parts
+      || List.exists (fun ((r : Report.t), _) -> r.Report.verdict = Report.Limits_reached) parts
+    in
+    { Report.verdict = (if limited then Report.Limits_reached else Report.Verified);
+      stats;
+      metrics = with_gauges metrics;
+      analysis }
+  end
+
 let run_systematic ?resume (cfg : C.t) prog ~jobs =
   let t0 = Clock.now () in
   Search.post_run_start cfg prog;
@@ -174,22 +360,7 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
   let items = Array.of_list items in
   let n = Array.length items in
   post_workers cfg ~jobs ~split_depth:cfg.split_depth ~items:n ~expand_us;
-  (* Resume validation: the work-item list is defined by (program, config,
-     split_depth), so the re-expansion must agree with the checkpoint or its
-     recorded item indices are meaningless. *)
-  (match resume with
-   | None -> ()
-   | Some (pa : Checkpoint.par_state) ->
-     if pa.Checkpoint.pa_split_depth <> cfg.split_depth then
-       raise
-         (Checkpoint.Mismatch
-            (Printf.sprintf "split depth drifted: checkpoint has %d, config has %d"
-               pa.Checkpoint.pa_split_depth cfg.split_depth));
-     if pa.Checkpoint.pa_n_items <> n then
-       raise
-         (Checkpoint.Mismatch
-            (Printf.sprintf "work-item count drifted: checkpoint has %d, expansion gives %d"
-               pa.Checkpoint.pa_n_items n)));
+  (match resume with None -> () | Some pa -> check_par_resume cfg ~n pa);
   let prior_elapsed =
     match resume with Some pa -> pa.Checkpoint.pa_elapsed | None -> 0.
   in
@@ -197,100 +368,17 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
      from a stream tied to the item, not the worker, so results do not
      depend on which worker ran which item. *)
   let streams = Rng.streams (Rng.make cfg.seed) n in
-  let shared_execs = Atomic.make 0 in
-  let shared_mass = Atomic.make 0 in
   let stop = Atomic.make max_int in
   let cursor = Atomic.make 0 in
   let results : (Report.t * (int64, unit) Hashtbl.t) option array = Array.make n None in
-  (* Items a prior session fully explored: prepopulated as if a worker had
-     just finished them, so merging and min-index error resolution are
-     oblivious to the interruption. *)
-  (match resume with
-   | None -> ()
-   | Some pa ->
-     List.iter
-       (fun (it : Checkpoint.par_item) ->
-         if it.Checkpoint.pi_index < 0 || it.Checkpoint.pi_index >= n then
-           raise (Checkpoint.Mismatch "checkpoint work-item index out of range");
-         let analysis =
-           if cfg.C.analyses = [] then None
-           else
-             Some
-               { Report.lock_order_edges = it.Checkpoint.pi_edges;
-                 (* Recomputed from the edge union at merge time. *)
-                 potential_deadlock_cycles = [] }
-         in
-         let r =
-           { Report.verdict = Report.Verified;
-             stats = it.Checkpoint.pi_stats;
-             metrics = it.Checkpoint.pi_metrics;
-             analysis }
-         in
-         results.(it.Checkpoint.pi_index) <- Some (r, states_tbl it.Checkpoint.pi_states);
-         Atomic.set shared_execs
-           (Atomic.get shared_execs + it.Checkpoint.pi_stats.Report.executions);
-         Atomic.set shared_mass
-           (Atomic.get shared_mass + it.Checkpoint.pi_stats.Report.probe_mass))
-       pa.Checkpoint.pa_items);
-  (* Durable session: fully explored (Verified) items are recorded under a
-     mutex and flushed to the checkpoint file, throttled by
-     [checkpoint_interval], plus once when the run stops. Disabled when the
-     expansion itself timed out: the item list is then partial and the
-     recorded indices would not survive a resume's re-expansion. *)
-  let ck =
-    match cfg.C.checkpoint with
-    | Some path when not expand_timed_out -> Some (path, Mutex.create ())
-    | _ -> None
+  let prior_execs, prior_mass =
+    match resume with None -> (0, 0) | Some pa -> resume_prefill cfg ~n ~results pa
   in
-  let ck_items = ref (match resume with Some pa -> pa.Checkpoint.pa_items | None -> []) in
-  let ck_last = ref (Clock.now ()) in
-  let write_par ~complete =
-    match ck with
-    | None -> ()
-    | Some (path, _) ->
-      ck_last := Clock.now ();
-      let recorded =
-        List.sort
-          (fun (a : Checkpoint.par_item) b ->
-            compare a.Checkpoint.pi_index b.Checkpoint.pi_index)
-          !ck_items
-      in
-      Checkpoint.save path
-        { Checkpoint.fingerprint = Checkpoint.fingerprint cfg ~program:prog.Program.name;
-          payload =
-            Checkpoint.Par
-              { Checkpoint.pa_split_depth = cfg.split_depth;
-                pa_n_items = n;
-                pa_elapsed = prior_elapsed +. (Clock.now () -. t0);
-                pa_items = recorded;
-                pa_complete = complete } }
-  in
-  let note_item k (r : Report.t) tbl =
-    match ck with
-    | None -> ()
-    | Some (_, mu) ->
-      if r.Report.verdict = Report.Verified then begin
-        let states =
-          if cfg.C.coverage then
-            List.sort Int64.compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl [])
-          else []
-        in
-        let edges =
-          match r.Report.analysis with
-          | Some a -> a.Report.lock_order_edges
-          | None -> []
-        in
-        Mutex.protect mu (fun () ->
-            ck_items :=
-              { Checkpoint.pi_index = k;
-                pi_stats = r.Report.stats;
-                pi_metrics = r.Report.metrics;
-                pi_states = states;
-                pi_edges = edges }
-              :: !ck_items;
-            if Clock.now () -. !ck_last >= cfg.C.checkpoint_interval then
-              write_par ~complete:false)
-      end
+  let shared_execs = Atomic.make prior_execs in
+  let shared_mass = Atomic.make prior_mass in
+  let ck = parck_create cfg ~prog ~n ~t0 ~prior_elapsed ~resume ~expand_timed_out in
+  let note_item k r tbl =
+    match ck with None -> () | Some ck -> parck_note ck k r tbl
   in
   (* Run-dependent shard telemetry: each worker writes only its own slot;
      [Domain.join] publishes the writes. The cancellation latency is the gap
@@ -368,48 +456,12 @@ let run_systematic ?resume (cfg : C.t) prog ~jobs =
     end
   in
   let report =
-    if winner < n then begin
-      (* Sequential equivalence: the search would have explored items
-         [0..winner-1] in full, then stopped inside [winner]. Items below the
-         winner are never cancelled, so all their results are present. *)
-      let parts = ref [] and prior_execs = ref 0 in
-      for k = winner - 1 downto 0 do
-        match results.(k) with
-        | Some ((r, _) as p) ->
-          parts := p :: !parts;
-          prior_execs := !prior_execs + r.Report.stats.Report.executions
-        | None -> ()
-      done;
-      let win_r, win_tbl = Option.get results.(winner) in
-      let stats, metrics, analysis = merge_parts (!parts @ [ (win_r, win_tbl) ]) in
-      let ws = win_r.Report.stats in
-      { Report.verdict = win_r.Report.verdict;
-        stats =
-          { stats with
-            Report.elapsed;
-            search_elapsed;
-            first_error_execution =
-              Option.map (fun e -> !prior_execs + e) ws.Report.first_error_execution;
-            first_error_time = ws.Report.first_error_time };
-        metrics = add_par_gauges metrics;
-        analysis }
-    end
-    else begin
-      let parts = List.filter_map Fun.id (Array.to_list results) in
-      let stats, metrics, analysis = merge_parts parts in
-      let stats = { stats with Report.elapsed; search_elapsed } in
-      let limited =
-        expand_timed_out
-        || Array.length items > List.length parts
-        || List.exists (fun ((r : Report.t), _) -> r.Report.verdict = Report.Limits_reached) parts
-      in
-      { Report.verdict = (if limited then Report.Limits_reached else Report.Verified);
-        stats;
-        metrics = add_par_gauges metrics;
-        analysis }
-    end
+    finalize_systematic ~results ~winner ~elapsed ~search_elapsed ~expand_timed_out
+      ~with_gauges:add_par_gauges
   in
-  write_par ~complete:(report.Report.verdict <> Report.Limits_reached);
+  (match ck with
+   | None -> ()
+   | Some ck -> parck_flush ck ~complete:(report.Report.verdict <> Report.Limits_reached));
   Search.post_run_end cfg report;
   report
 

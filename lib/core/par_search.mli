@@ -30,6 +30,88 @@ val resolve_jobs : Search_config.t -> int
 (** [config.jobs], with [0] and negative values resolved to
     [Domain.recommended_domain_count ()]. *)
 
+(** {1 Systematic-search seams}
+
+    The pieces of the parallel systematic search that are independent of
+    {e how} work items execute — merging, resume bookkeeping, the durable
+    item checkpoint, and the final report assembly. {!Supervisor} drives the
+    same verified work items through forked processes and goes through these
+    exact functions, which is what makes a zero-fault supervised run
+    bit-identical to the in-domain one. *)
+
+val zero_stats : Report.stats
+
+val merge_parts :
+  (Report.t * (int64, unit) Hashtbl.t) list ->
+  Report.stats * Fairmc_obs.Metrics.Snapshot.t * Report.analysis option
+(** Sum counters, max the maxima, union coverage tables and analysis edge
+    sets (cycles recomputed from the union). Deterministic in the part
+    {e set}, not the part order beyond stats being commutative. *)
+
+val states_tbl : int64 list -> (int64, unit) Hashtbl.t
+
+val estimate_sample :
+  executions:int -> mass:int -> elapsed:float -> jobs:int ->
+  Fairmc_obs.Progress.sample
+
+val post_workers :
+  Search_config.t -> jobs:int -> split_depth:int -> items:int -> expand_us:int -> unit
+(** Advisory coordinator telemetry: worker layout and the expansion span. *)
+
+val check_par_resume : Search_config.t -> n:int -> Checkpoint.par_state -> unit
+(** Raise {!Checkpoint.Mismatch} when the checkpoint's split depth or item
+    count disagrees with the fresh expansion. *)
+
+val resume_prefill :
+  Search_config.t ->
+  n:int ->
+  results:(Report.t * (int64, unit) Hashtbl.t) option array ->
+  Checkpoint.par_state ->
+  int * int
+(** Install a prior session's completed items into [results] as if a worker
+    had just finished them; returns their total (executions, probe mass).
+    Raises {!Checkpoint.Mismatch} on an out-of-range item index. *)
+
+type parck
+(** Durable-session recorder for the systematic item list (see DESIGN.md,
+    "Durable sessions"): thread-safe, throttled by
+    [config.checkpoint_interval]. *)
+
+val parck_create :
+  Search_config.t ->
+  prog:Program.t ->
+  n:int ->
+  t0:float ->
+  prior_elapsed:float ->
+  resume:Checkpoint.par_state option ->
+  expand_timed_out:bool ->
+  parck option
+(** [None] when no checkpoint is configured — or the expansion timed out, in
+    which case the item indices would not survive a resume. *)
+
+val parck_note : parck -> int -> Report.t -> (int64, unit) Hashtbl.t -> unit
+(** Record a completed item (Verified verdicts only) and flush if the
+    throttle interval has passed. Safe from any domain. *)
+
+val parck_flush : parck -> complete:bool -> unit
+(** Final write; call after the workers are done. A failed save warns on
+    stderr (and posts a [checkpoint_error] event) and keeps the previous
+    checkpoint. *)
+
+val finalize_systematic :
+  results:(Report.t * (int64, unit) Hashtbl.t) option array ->
+  winner:int ->
+  elapsed:float ->
+  search_elapsed:float ->
+  expand_timed_out:bool ->
+  with_gauges:(Fairmc_obs.Metrics.Snapshot.t -> Fairmc_obs.Metrics.Snapshot.t) ->
+  Report.t
+(** Merge per-item results into the final report. [winner] is the lowest
+    erroring item index ([max_int] when none): its verdict wins, items below
+    it merge in, items above it are discarded (sequential equivalence). With
+    no winner, any missing or [Limits_reached] item — or a timed-out
+    expansion — downgrades Verified to Limits_reached. *)
+
 val run : ?resume:Checkpoint.payload -> Search_config.t -> Program.t -> Report.t
 (** Runs {!Search.run} unchanged when [resolve_jobs config <= 1] (and for
     round-robin, which is a single schedule).

@@ -16,6 +16,7 @@ type verdict =
   | Deadlock of { cex : counterexample }
   | Divergence of { kind : divergence_kind; cex : counterexample }
   | Race of { race : Analysis_hook.race; cex : counterexample }
+  | Crash of { reason : string; cex : counterexample }
   | Limits_reached
 
 type stats = {
@@ -50,7 +51,7 @@ type t = {
 
 let found_error t =
   match t.verdict with
-  | Safety_violation _ | Deadlock _ | Divergence _ | Race _ -> true
+  | Safety_violation _ | Deadlock _ | Divergence _ | Race _ | Crash _ -> true
   | Verified | Limits_reached -> false
 
 let verdict_name = function
@@ -61,6 +62,7 @@ let verdict_name = function
   | Divergence { kind = Good_samaritan_violation t; _ } ->
     Printf.sprintf "good-samaritan violation (thread %d)" t
   | Race { race; _ } -> Printf.sprintf "data race (%s) on %s" race.detector race.obj_name
+  | Crash { reason; _ } -> Printf.sprintf "worker crash (%s)" reason
   | Limits_reached -> "limits reached"
 
 (* The canonical short keys: exactly the EXPECTED column of `chess list` and
@@ -73,15 +75,16 @@ let verdict_key = function
   | Divergence { kind = Fair_nontermination; _ } -> "livelock"
   | Divergence { kind = Good_samaritan_violation _; _ } -> "good-samaritan"
   | Race _ -> "race"
+  | Crash _ -> "crash"
   | Limits_reached -> "limits"
 
 let verdict_keys =
-  [ "verified"; "safety"; "deadlock"; "livelock"; "good-samaritan"; "race"; "limits" ]
+  [ "verified"; "safety"; "deadlock"; "livelock"; "good-samaritan"; "race"; "crash"; "limits" ]
 
 let cex t =
   match t.verdict with
   | Safety_violation { cex; _ } | Deadlock { cex } | Divergence { cex; _ }
-  | Race { cex; _ } -> Some cex
+  | Race { cex; _ } | Crash { cex; _ } -> Some cex
   | Verified | Limits_reached -> None
 
 (* Wall time of the search phase alone: the span-derived [search_elapsed]
@@ -150,6 +153,9 @@ let pp ppf t =
         race.detector race.a_tid (Op.to_string race.a_op) race.a_step race.b_tid
         (Op.to_string race.b_op) race.b_step race.obj_name;
       Some cex
+    | Crash { reason; cex } ->
+      Format.fprintf ppf "@,worker crash: %s" reason;
+      Some cex
     | Deadlock { cex } | Divergence { cex; _ } -> Some cex
     | Verified | Limits_reached -> None
   in
@@ -208,6 +214,8 @@ let verdict_to_json v =
           ("failure", Json.Str (Format.asprintf "%a" Engine.pp_failure failure));
           ("counterexample", cex_to_json cex) ] )
     | Deadlock { cex } -> ("deadlock", [ ("counterexample", cex_to_json cex) ])
+    | Crash { reason; cex } ->
+      ("crash", [ ("reason", Json.Str reason); ("counterexample", cex_to_json cex) ])
     | Race { race; cex } ->
       ( "race",
         [ ("detector", Json.Str race.detector);

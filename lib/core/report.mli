@@ -22,6 +22,10 @@ type verdict =
       (** a dynamic analysis ({!Search_config.analyses}) reported a data
           race on this execution; [cex] replays the schedule up to and
           including the racing access *)
+  | Crash of { reason : string; cex : counterexample }
+      (** a supervised worker process died (or exhausted its retry budget)
+          while exploring this subtree; [cex] is the item's schedule prefix,
+          replayable to re-enter the crashing subtree deterministically *)
   | Limits_reached
       (** execution/time budget exhausted before completing the search *)
 
@@ -73,7 +77,7 @@ val verdict_name : verdict -> string
 
 val verdict_key : verdict -> string
 (** Canonical short key: ["verified"], ["safety"], ["deadlock"],
-    ["livelock"], ["good-samaritan"], ["race"], or ["limits"] — the
+    ["livelock"], ["good-samaritan"], ["race"], ["crash"], or ["limits"] — the
     vocabulary of the workload registry's expected verdicts and of
     [chess sweep]. *)
 

@@ -788,21 +788,35 @@ let write_checkpoint st ck (b : Checkpoint.seq_state) ~complete =
   in
   ck.ck_last <- Obs.Clock.now ();
   let t = Obs.Span.start () in
-  Checkpoint.save ck.ck_path
-    { Checkpoint.fingerprint = Checkpoint.fingerprint st.cfg ~program:st.prog.Program.name;
-      payload =
-        Checkpoint.Seq { b with Checkpoint.sq_states = states; sq_complete = complete } };
+  let saved =
+    Checkpoint.save_result ck.ck_path
+      { Checkpoint.fingerprint = Checkpoint.fingerprint st.cfg ~program:st.prog.Program.name;
+        payload =
+          Checkpoint.Seq { b with Checkpoint.sq_states = states; sq_complete = complete } }
+  in
   (match (st.meters, st.events) with
    | None, None -> ()
    | _ ->
      Obs.Span.record
        ?hist:(Option.map (fun m -> m.m_span_ckpt) st.meters)
        ?events:st.events ~phase:"checkpoint_save" ~dur_us:(Obs.Span.elapsed_us t) ());
-  match st.events with
-  | Some buf ->
-    Obs.Events.emit buf ~kind:"checkpoint"
-      (J.Obj [ ("file", J.Str ck.ck_path); ("complete", J.Bool complete) ])
-  | None -> ()
+  match saved with
+  | Ok () ->
+    (match st.events with
+     | Some buf ->
+       Obs.Events.emit buf ~kind:"checkpoint"
+         (J.Obj [ ("file", J.Str ck.ck_path); ("complete", J.Bool complete) ])
+     | None -> ())
+  | Error msg ->
+    (* The previous checkpoint is intact; warn (advisory event + stderr via
+       [Checkpoint.save_result]'s caller contract) and keep searching. *)
+    Printf.eprintf "fairmc: checkpoint save failed: %s (keeping the previous checkpoint)\n%!"
+      msg;
+    (match st.events with
+     | Some buf ->
+       Obs.Events.emit buf ~kind:"checkpoint_error"
+         (J.Obj [ ("file", J.Str ck.ck_path); ("error", J.Str msg) ])
+     | None -> ())
 
 (* Schedule fingerprint for path events: FNV-1a-style folding in native-int
    arithmetic — the Int64 {!Fnv} is boxed and costs over a microsecond per

@@ -7,6 +7,9 @@ type mode =
 
 type interp = Vm | Ast
 
+type fault_kind = Crash | Hang | Garble | Slow_pipe | Save_fail
+type fault = { fault_kind : fault_kind; fault_seed : int }
+
 type t = {
   fair : bool;
   fair_k : int;
@@ -34,6 +37,10 @@ type t = {
   checkpoint : string option;
   checkpoint_interval : float;
   interp : interp;
+  workers : int;
+  item_timeout : float option;
+  max_retries : int;
+  inject_fault : fault option;
 }
 
 let default =
@@ -62,7 +69,11 @@ let default =
     analyses = [];
     checkpoint = None;
     checkpoint_interval = 30.0;
-    interp = Vm }
+    interp = Vm;
+    workers = 1;
+    item_timeout = None;
+    max_retries = 2;
+    inject_fault = None }
 
 let fair_dfs = default
 
@@ -79,6 +90,48 @@ let unfair_cb c ~depth_bound =
     livelock_bound = None }
 
 let interp_name = function Vm -> "vm" | Ast -> "ast"
+
+let fault_kind_name = function
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Garble -> "garble"
+  | Slow_pipe -> "slowpipe"
+  | Save_fail -> "savefail"
+
+let fault_kinds = [ Crash; Hang; Garble; Slow_pipe; Save_fail ]
+
+let fault_name { fault_kind; fault_seed } =
+  Printf.sprintf "%s@%d" (fault_kind_name fault_kind) fault_seed
+
+(* "<kind>" or "<kind>@<seed>"; the seed picks which work item the fault
+   fires on (index = seed mod item count, first attempt only). *)
+let fault_of_string s =
+  let kind_of = function
+    | "crash" -> Some Crash
+    | "hang" -> Some Hang
+    | "garble" -> Some Garble
+    | "slowpipe" | "slow-pipe" -> Some Slow_pipe
+    | "savefail" | "save-fail" -> Some Save_fail
+    | _ -> None
+  in
+  let kind_s, seed_s =
+    match String.index_opt s '@' with
+    | None -> (s, None)
+    | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  match kind_of (String.lowercase_ascii kind_s) with
+  | None ->
+    Error
+      (Printf.sprintf "unknown fault kind %S (crash | hang | garble | slowpipe | savefail)"
+         kind_s)
+  | Some fault_kind ->
+    (match seed_s with
+     | None -> Ok { fault_kind; fault_seed = 0 }
+     | Some s ->
+       (match int_of_string_opt s with
+        | Some fault_seed when fault_seed >= 0 -> Ok { fault_kind; fault_seed }
+        | _ -> Error "fault seed must be a non-negative integer"))
 
 let mode_name = function
   | Dfs -> "dfs"
@@ -98,6 +151,10 @@ let describe t =
       | [] -> ""
       | l -> " +" ^ String.concat "+" (List.map (fun (a : Analysis_hook.t) -> a.name) l))
      ^
-     if t.jobs = 1 then ""
-     else if t.jobs <= 0 then " jobs=auto"
-     else Printf.sprintf " jobs=%d" t.jobs)
+     (if t.jobs = 1 then ""
+      else if t.jobs <= 0 then " jobs=auto"
+      else Printf.sprintf " jobs=%d" t.jobs)
+     ^
+     if t.workers = 1 then ""
+     else if t.workers <= 0 then " workers=auto"
+     else Printf.sprintf " workers=%d" t.workers)

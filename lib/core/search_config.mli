@@ -28,6 +28,24 @@ type interp = Vm | Ast
         checkpoint fingerprints: a session must resume on the backend that
         produced it. *)
 
+type fault_kind =
+  | Crash  (** the worker process SIGKILLs itself before running the item *)
+  | Hang  (** the worker spins forever, exercising the item timeout *)
+  | Garble  (** the worker writes a non-frame byte sequence and exits *)
+  | Slow_pipe
+      (** the worker trickles its response frame through the pipe in small
+          delayed chunks, exercising partial-read reassembly *)
+  | Save_fail
+      (** the supervisor's first checkpoint save attempts fail transiently,
+          exercising the save retry/no-clobber path *)
+
+type fault = { fault_kind : fault_kind; fault_seed : int }
+(** Deterministic fault injection for the supervised process pool
+    ({!Supervisor}): the fault fires exactly once, on the first attempt of
+    work item [fault_seed mod n_items]. Because retries are fault-free, every
+    injected fault must leave the final verdict unchanged (except a budget
+    of zero retries, which surfaces a {!Report.Crash}). *)
+
 type t = {
   fair : bool;  (** use the fair scheduler of Algorithm 1 *)
   fair_k : int;  (** process every k-th yield (paper §3, final remark) *)
@@ -104,6 +122,24 @@ type t = {
       (** minimum seconds between periodic checkpoint writes; [0] writes at
           every path boundary (tests). Default 30. *)
   interp : interp;  (** DSL execution backend; default [Vm] *)
+  workers : int;
+      (** supervised worker {e processes} for {!Supervisor}: 1 (default)
+          keeps everything in-process ({!Par_search} handles [jobs]),
+          [n > 1] forks [n] crash-isolated workers, [0] (or negative) uses
+          [Domain.recommended_domain_count ()]. With no injected faults a
+          supervised systematic run reports bit-identically to the
+          in-domain [jobs = n] run. *)
+  item_timeout : float option;
+      (** supervised runs: wall-clock budget per work-item attempt; on
+          expiry the worker is SIGKILLed and the item requeued (counting
+          against [max_retries]). [None] (default) never times out. *)
+  max_retries : int;
+      (** supervised runs: how many times a work item is re-dispatched after
+          a worker crash/timeout/protocol error before it is quarantined as
+          a {!Report.Crash} verdict. Default 2. *)
+  inject_fault : fault option;
+      (** deterministic fault injection for tests/CI; [None] (default) in
+          production *)
 }
 
 val default : t
@@ -116,6 +152,19 @@ val unfair_cb : int -> depth_bound:int -> t
 
 val describe : t -> string
 val interp_name : interp -> string
+
+val fault_kind_name : fault_kind -> string
+(** ["crash"], ["hang"], ["garble"], ["slowpipe"], ["savefail"]. *)
+
+val fault_kinds : fault_kind list
+(** Every injectable kind, for test/CI matrices. *)
+
+val fault_name : fault -> string
+(** ["<kind>@<seed>"], the inverse of {!fault_of_string}. *)
+
+val fault_of_string : string -> (fault, string) result
+(** Parse ["<kind>"] or ["<kind>@<seed>"] (seed defaults to 0) — the
+    [--inject-fault] CLI syntax. *)
 
 val mode_name : mode -> string
 (** Short mode label (["dfs"], ["cb=2"], …) — used by {!describe} and by the

@@ -1,0 +1,802 @@
+(* Supervised process-level worker pool. See DESIGN.md, "Supervision".
+
+   The systematic schedule space shards into verified work items exactly as
+   in {!Par_search} — the same {!Search.expand} frontier, the same per-item
+   RNG streams, the same min-index error resolution, and the same
+   {!Par_search.finalize_systematic} merge. The difference is the execution
+   vehicle: instead of OCaml 5 domains sharing the coordinator's address
+   space, each worker is a forked *process* talking length-prefixed JSON
+   over a pipe pair ({!Worker}). That buys crash isolation — a worker that
+   segfaults, is OOM-killed, or wedges takes down one work item attempt, not
+   the search:
+
+   - a dead/hung/garbling worker is SIGKILLed and reaped; its item is
+     requeued with exponential backoff, up to [config.max_retries] times;
+   - an item that keeps killing workers is quarantined as a {!Report.Crash}
+     verdict whose counterexample is the item's schedule prefix, so the
+     crashing subtree can be re-entered deterministically;
+   - with zero faults, the supervised run goes through the very same merge
+     and checkpoint seams as the in-domain backend, so its report is
+     bit-identical to [jobs = n]'s.
+
+   Determinism of fault injection: a configured fault fires exactly once, on
+   the *first* attempt of item [fault_seed mod n_items]. Retries are
+   fault-free, so every injected fault (with retries left) leaves the final
+   report unchanged — the property the fault-matrix tests pin down. *)
+
+module C = Search_config
+module P = Par_search
+module J = Fairmc_util.Json
+module Rng = Fairmc_util.Rng
+module Retry = Fairmc_util.Retry
+module M = Fairmc_obs.Metrics
+module Clock = Fairmc_obs.Clock
+module Progress = Fairmc_obs.Progress
+module Events = Fairmc_obs.Events
+
+let resolve_workers (cfg : C.t) =
+  if cfg.C.workers = 1 then 1
+  else if cfg.C.workers <= 0 then Domain.recommended_domain_count ()
+  else cfg.C.workers
+
+let forking_available = not Sys.win32
+
+(* A real probe, not a platform guess: fork once and reap. Runs before any
+   supervisor state exists so degradation to the in-domain backend never
+   duplicates telemetry or expansion work. Notably, OCaml 5 forbids fork for
+   the rest of the process lifetime once a second domain has ever been
+   created (Failure, not Unix_error) — a host program that ran an in-domain
+   search first must degrade, not die. *)
+let can_fork () =
+  if not forking_available then false
+  else begin
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+      (try ignore (Retry.eintr (fun () -> Unix.waitpid [] pid))
+       with Unix.Unix_error _ -> ());
+      true
+    | exception (Unix.Unix_error _ | Failure _) -> false
+  end
+
+type counters = {
+  mutable c_spawns : int;
+  mutable c_restarts : int;
+  mutable c_timeouts : int;
+  mutable c_retries : int;
+  mutable c_crashes : int;
+  mutable c_quarantined : int;
+}
+
+(* One worker process as the parent sees it. [s_item = -1] means idle;
+   [s_alive = false] marks a slot whose process is gone and whose fds are
+   closed (the fd fields then hold harmless placeholders and must not be
+   used — every access is guarded by [s_alive]). *)
+type slot = {
+  s_id : int;
+  mutable s_pid : int;
+  mutable s_req : Unix.file_descr;  (* parent writes requests here *)
+  mutable s_resp : Unix.file_descr;  (* parent reads responses here *)
+  mutable s_buf : Worker.inbuf;
+  mutable s_item : int;
+  mutable s_attempt : int;
+  mutable s_deadline : float;
+  mutable s_alive : bool;
+}
+
+let post_event (cfg : C.t) kind fields =
+  match cfg.C.events with
+  | None -> ()
+  | Some s -> Events.post s ~shard:(-1) ~kind (J.Obj fields)
+
+let fault_fires (cfg : C.t) ~index ~attempt ~n =
+  match cfg.C.inject_fault with
+  | Some f when attempt = 0 && n > 0 && index = f.C.fault_seed mod n ->
+    Some f.C.fault_kind
+  | _ -> None
+
+(* Exponential backoff with deterministic jitter: the delay is a pure
+   function of (seed, item, attempt), so a retried run is replayable. *)
+let backoff_delay (cfg : C.t) ~index ~attempt =
+  let key =
+    Int64.add
+      (Int64.mul cfg.C.seed 1_000_003L)
+      (Int64.of_int ((index * 97) + attempt))
+  in
+  let jitter = float_of_int (Rng.int (Rng.of_state key) 1024) /. 1024. in
+  let exp = float_of_int (1 lsl min attempt 5) in
+  Float.min 2.0 (0.05 *. exp *. (1. +. (0.5 *. jitter)))
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else Printf.sprintf "signal %d" s
+
+let status_reason = function
+  | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by %s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by %s" (signal_name s)
+
+(* ------------------------------------------------------------------ *)
+(* Child side                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one work item inside the worker process. The child's config drops
+   everything that belongs to the parent: no checkpoint file (it must never
+   clobber the parent's), no progress emission, no fault re-injection, and
+   no inherited event stream — when the parent collects telemetry the child
+   records its events privately and ships them back in the response. The
+   per-item wall-clock timeout is parent-side only; the child's deadline
+   comes from the remaining *global* time budget, so a slow but healthy
+   item never comes back [Limits_reached]. *)
+let run_item ~(cfg : C.t) ~prog ~(items : Search.pdecision array array)
+    ~(streams : Rng.t array) ~slot ~index ~attempt ~time_left =
+  let child_events =
+    match cfg.C.events with
+    | None -> None
+    | Some _ -> Some (Events.create ~collect:true ())
+  in
+  let cfg_i =
+    { cfg with
+      C.jobs = 1;
+      workers = 1;
+      checkpoint = None;
+      progress = false;
+      on_progress = None;
+      time_limit = None;
+      inject_fault = None;
+      events = child_events }
+  in
+  let deadline =
+    match time_left with None -> infinity | Some t -> Clock.now () +. t
+  in
+  let r, tbl =
+    Search.run_shard ~deadline
+      ~rng:(Rng.copy streams.(index))
+      ~prefix:items.(index) ~shard:slot cfg_i prog
+  in
+  let states =
+    if cfg.C.coverage then
+      List.sort Int64.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+    else []
+  in
+  let events =
+    match child_events with
+    | None -> []
+    | Some s ->
+      List.map
+        (fun (e : Events.event) -> (e.Events.det, e.Events.kind, e.Events.data))
+        (Events.collected s)
+  in
+  { Worker.r_index = index; r_attempt = attempt; r_report = r; r_states = states;
+    r_events = events }
+
+(* The worker process's request loop. Never returns: every path ends in
+   [Unix._exit] (not [exit] — the child must not run the parent's inherited
+   [at_exit] callbacks or re-flush its channels). Exit codes: 0 clean quit,
+   2 protocol error, 3 fault-injection backstop. *)
+let child_serve ~(cfg : C.t) ~prog ~items ~streams ~slot ~req ~resp ~n =
+  (* Ctrl-C teardown belongs to the parent: it decides between graceful
+     quit and SIGKILL. The child must not race it with its own handler. *)
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  Checkpoint.clear_interrupt ();
+  let rec loop () =
+    match Worker.recv req with
+    | Ok None -> Unix._exit 0 (* parent closed the request pipe *)
+    | Error _ -> Unix._exit 2
+    | Ok (Some json) ->
+      (match Worker.request_of_json json with
+       | exception Checkpoint.Codec.Parse _ -> Unix._exit 2
+       | Worker.Quit -> Unix._exit 0
+       | Worker.Run { q_index; q_attempt; q_time_left } ->
+         let fault = fault_fires cfg ~index:q_index ~attempt:q_attempt ~n in
+         (match fault with
+          | Some C.Crash ->
+            Unix.kill (Unix.getpid ()) Sys.sigkill;
+            Unix._exit 3
+          | Some C.Hang ->
+            (* Spin until the parent's item timeout SIGKILLs us. *)
+            let rec spin () = Retry.sleepf 3600.; spin () in
+            spin ()
+          | Some C.Garble ->
+            let junk = Bytes.of_string "!!not-a-frame!!" in
+            (try
+               ignore
+                 (Retry.eintr (fun () ->
+                      Unix.write resp junk 0 (Bytes.length junk)))
+             with Unix.Unix_error _ -> ());
+            Unix._exit 3
+          | Some (C.Slow_pipe | C.Save_fail) | None ->
+            let response =
+              run_item ~cfg ~prog ~items ~streams ~slot ~index:q_index
+                ~attempt:q_attempt ~time_left:q_time_left
+            in
+            let json = Worker.response_to_json response in
+            (match fault with
+             | Some C.Slow_pipe -> Worker.send_slowly resp json
+             | _ -> Worker.send resp json);
+            loop ()))
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Parent side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_systematic ?resume (cfg : C.t) prog ~workers =
+  let t0 = Clock.now () in
+  Search.post_run_start cfg prog;
+  let deadline =
+    match cfg.C.time_limit with None -> infinity | Some l -> t0 +. l
+  in
+  let progress = Search.progress_of_cfg cfg in
+  let items, expand_timed_out =
+    Search.expand ~deadline cfg prog ~split_depth:cfg.C.split_depth
+  in
+  let expand_us = int_of_float ((Clock.now () -. t0) *. 1e6) in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let workers = max 1 (min workers (max 1 n)) in
+  P.post_workers cfg ~jobs:workers ~split_depth:cfg.C.split_depth ~items:n ~expand_us;
+  post_event cfg "supervisor_start"
+    [ ("workers", J.Int workers);
+      ("items", J.Int n);
+      ("max_retries", J.Int cfg.C.max_retries);
+      ("item_timeout",
+       match cfg.C.item_timeout with
+       | Some t -> J.Float t
+       | None -> J.Null);
+      ("fault",
+       match cfg.C.inject_fault with
+       | Some f -> J.Str (C.fault_name f)
+       | None -> J.Null) ];
+  (match resume with None -> () | Some pa -> P.check_par_resume cfg ~n pa);
+  let prior_elapsed =
+    match resume with Some pa -> pa.Checkpoint.pa_elapsed | None -> 0.
+  in
+  (* Per-item RNG streams, computed before any fork so every child inherits
+     the same pristine array — results never depend on which worker process
+     ran which item (mirrors the in-domain per-item streams). *)
+  let streams = Rng.streams (Rng.make cfg.C.seed) n in
+  let results : (Report.t * (int64, unit) Hashtbl.t) option array =
+    Array.make n None
+  in
+  let prior_execs, prior_mass =
+    match resume with
+    | None -> (0, 0)
+    | Some pa -> P.resume_prefill cfg ~n ~results pa
+  in
+  let shared_execs = Atomic.make prior_execs in
+  let shared_mass = Atomic.make prior_mass in
+  let ck =
+    P.parck_create cfg ~prog ~n ~t0 ~prior_elapsed ~resume ~expand_timed_out
+  in
+  (* The savefail fault is parent-side: the first two checkpoint save
+     attempts fail transiently, exercising Checkpoint's retry path. Armed
+     only when a checkpoint is actually being written — the counter is
+     global and must not leak into a later run's saves. *)
+  (match (cfg.C.inject_fault, ck) with
+   | Some { C.fault_kind = C.Save_fail; _ }, Some _ ->
+     Checkpoint.inject_save_failures := 2
+   | _ -> ());
+  let item_timeout =
+    match (cfg.C.item_timeout, cfg.C.inject_fault) with
+    (* A hang with no timeout configured would stall forever; give the
+       injection harness a finite default. *)
+    | None, Some { C.fault_kind = C.Hang; _ } -> Some 10.0
+    | t, _ -> t
+  in
+  let counters =
+    { c_spawns = 0; c_restarts = 0; c_timeouts = 0; c_retries = 0;
+      c_crashes = 0; c_quarantined = 0 }
+  in
+  let winner = ref max_int in
+  let stopped = ref false in
+  let inflight = ref 0 in
+  let pending = Queue.create () in
+  for k = 0 to n - 1 do
+    if results.(k) = None then Queue.push k pending
+  done;
+  (* Retry heap as a sorted assoc list (ready_at, index, attempt) — retry
+     volume is bounded by [n * max_retries], tiny next to item runtimes. *)
+  let retries = ref [] in
+  let budget_exhausted () =
+    match cfg.C.max_executions with
+    | Some m -> Atomic.get shared_execs >= m
+    | None -> false
+  in
+  (* Workers can die mid-write; the parent must get EPIPE from its request
+     writes, not be killed. Restored on the way out. *)
+  let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  (* All parent-side pipe ends, so each newly forked child can close its
+     inherited copies of the *other* slots' fds. Without this, a respawned
+     worker would hold the old workers' request pipes open and EOF-based
+     teardown would deadlock on it. *)
+  let parent_ends = ref [] in
+  let spawn_slot id =
+    let req_r, req_w = Unix.pipe ~cloexec:false () in
+    let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !parent_ends;
+      Unix.close req_w;
+      Unix.close resp_r;
+      child_serve ~cfg ~prog ~items ~streams ~slot:id ~req:req_r ~resp:resp_w ~n
+    | pid ->
+      Unix.close req_r;
+      Unix.close resp_w;
+      parent_ends := req_w :: resp_r :: !parent_ends;
+      counters.c_spawns <- counters.c_spawns + 1;
+      post_event cfg "worker_spawn"
+        [ ("worker", J.Int id); ("pid", J.Int pid) ];
+      { s_id = id; s_pid = pid; s_req = req_w; s_resp = resp_r;
+        s_buf = Worker.inbuf (); s_item = -1; s_attempt = 0;
+        s_deadline = infinity; s_alive = true }
+  in
+  let dead_slot id =
+    { s_id = id; s_pid = -1; s_req = Unix.stdin; s_resp = Unix.stdin;
+      s_buf = Worker.inbuf (); s_item = -1; s_attempt = 0;
+      s_deadline = infinity; s_alive = false }
+  in
+  let forget_ends slot =
+    parent_ends :=
+      List.filter (fun fd -> fd <> slot.s_req && fd <> slot.s_resp) !parent_ends
+  in
+  (* Tear one worker down hard: SIGKILL, reap, close, mark dead. Returns
+     the exit-status description for the requeue reason. *)
+  let kill_slot slot =
+    (try Unix.kill slot.s_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    let status =
+      match Retry.eintr (fun () -> Unix.waitpid [] slot.s_pid) with
+      | _, st -> status_reason st
+      | exception Unix.Unix_error _ -> "already reaped"
+    in
+    forget_ends slot;
+    (try Unix.close slot.s_req with Unix.Unix_error _ -> ());
+    (try Unix.close slot.s_resp with Unix.Unix_error _ -> ());
+    slot.s_alive <- false;
+    post_event cfg "worker_exit"
+      [ ("worker", J.Int slot.s_id); ("pid", J.Int slot.s_pid);
+        ("status", J.Str status) ];
+    status
+  in
+  let respawn slot =
+    counters.c_restarts <- counters.c_restarts + 1;
+    match spawn_slot slot.s_id with
+    | fresh ->
+      slot.s_pid <- fresh.s_pid;
+      slot.s_req <- fresh.s_req;
+      slot.s_resp <- fresh.s_resp;
+      slot.s_buf <- fresh.s_buf;
+      slot.s_item <- -1;
+      slot.s_attempt <- 0;
+      slot.s_deadline <- infinity;
+      slot.s_alive <- true
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "fairmc: worker %d respawn failed: %s\n%!" slot.s_id
+        (Unix.error_message e);
+      post_event cfg "worker_spawn_failed"
+        [ ("worker", J.Int slot.s_id); ("error", J.Str (Unix.error_message e)) ]
+  in
+  let quarantine index ~attempts ~reason =
+    counters.c_quarantined <- counters.c_quarantined + 1;
+    let decisions =
+      Array.to_list items.(index)
+      |> List.map (fun (d : Search.pdecision) -> (d.Search.p_tid, d.Search.p_alt))
+    in
+    let rendered =
+      Printf.sprintf
+        "work item %d quarantined after %d attempt(s): %s\n\
+         schedule prefix (tid alt): %s"
+        index attempts reason
+        (String.concat " "
+           (List.map (fun (t, a) -> Printf.sprintf "%d:%d" t a) decisions))
+    in
+    let cex = { Report.rendered; decisions; length = List.length decisions } in
+    let r =
+      { Report.verdict = Report.Crash { reason; cex };
+        stats = P.zero_stats;
+        metrics = M.Snapshot.empty;
+        analysis = None }
+    in
+    results.(index) <- Some (r, Hashtbl.create 1);
+    post_event cfg "item_quarantined"
+      [ ("item", J.Int index); ("attempts", J.Int attempts);
+        ("reason", J.Str reason) ];
+    if index < !winner then winner := index
+  in
+  let requeue index attempt ~reason =
+    if attempt >= cfg.C.max_retries then
+      quarantine index ~attempts:(attempt + 1) ~reason
+    else begin
+      counters.c_retries <- counters.c_retries + 1;
+      let delay = backoff_delay cfg ~index ~attempt in
+      post_event cfg "item_retry"
+        [ ("item", J.Int index); ("attempt", J.Int (attempt + 1));
+          ("delay_s", J.Float delay); ("reason", J.Str reason) ];
+      retries :=
+        List.merge
+          (fun (a, _, _) (b, _, _) -> compare a b)
+          [ (Clock.now () +. delay, index, attempt + 1) ]
+          !retries
+    end
+  in
+  (* A worker died (crash, EOF, protocol violation, timeout): reap it,
+     requeue its in-flight item, bring a fresh process up in its slot. *)
+  let worker_died slot ~reason =
+    counters.c_crashes <- counters.c_crashes + 1;
+    let index = slot.s_item and attempt = slot.s_attempt in
+    let status = kill_slot slot in
+    if index >= 0 then begin
+      decr inflight;
+      if results.(index) = None && index < !winner then
+        requeue index attempt ~reason:(Printf.sprintf "%s (%s)" reason status)
+    end;
+    if not !stopped then respawn slot
+  in
+  (* A worker running a now-useless item (above the winning error index):
+     the in-domain backend cancels these via a polled flag; a process is
+     simply killed and replaced. No retry — the item will never merge. *)
+  let cancel_slot slot =
+    ignore (kill_slot slot);
+    decr inflight;
+    if not !stopped then respawn slot
+  in
+  let dispatch slot index attempt =
+    slot.s_item <- index;
+    slot.s_attempt <- attempt;
+    slot.s_deadline <-
+      (match item_timeout with None -> infinity | Some t -> Clock.now () +. t);
+    incr inflight;
+    let time_left =
+      match cfg.C.time_limit with
+      | None -> None
+      | Some _ -> Some (Float.max 0. (deadline -. Clock.now ()))
+    in
+    match
+      Worker.send slot.s_req
+        (Worker.request_to_json
+           (Worker.Run { q_index = index; q_attempt = attempt; q_time_left = time_left }))
+    with
+    | () -> ()
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+      worker_died slot ~reason:"request write failed"
+  in
+  let rec next_work now =
+    match !retries with
+    | (ready, index, attempt) :: rest when ready <= now ->
+      retries := rest;
+      if index < !winner && results.(index) = None then Some (index, attempt)
+      else next_work now
+    | _ ->
+      if Queue.is_empty pending then None
+      else begin
+        let index = Queue.pop pending in
+        if index < !winner && results.(index) = None then Some (index, 0)
+        else next_work now
+      end
+  in
+  let work_remaining () =
+    let live (index : int) = index < !winner && results.(index) = None in
+    List.exists (fun (_, i, _) -> live i) !retries
+    || Queue.fold (fun acc i -> acc || live i) false pending
+  in
+  let handle_result slot (resp : Worker.response) =
+    let index = resp.Worker.r_index in
+    slot.s_item <- -1;
+    slot.s_attempt <- 0;
+    slot.s_deadline <- infinity;
+    decr inflight;
+    (* Re-post the child's telemetry on the parent stream under the slot's
+       shard id. Per-path span events are gated on a collecting stream
+       in-process; apply the same gate here so a plain streaming sink sees
+       the same event set either way. *)
+    (match cfg.C.events with
+     | None -> ()
+     | Some s ->
+       List.iter
+         (fun (det, kind, data) ->
+           if det || kind <> "span" || Events.collecting s then
+             Events.post s ~shard:slot.s_id ~det ~kind data)
+         resp.Worker.r_events);
+    if results.(index) = None && index < !winner then begin
+      let r = resp.Worker.r_report in
+      let tbl = P.states_tbl resp.Worker.r_states in
+      results.(index) <- Some (r, tbl);
+      (match ck with None -> () | Some ck -> P.parck_note ck index r tbl);
+      ignore
+        (Atomic.fetch_and_add shared_execs r.Report.stats.Report.executions);
+      ignore (Atomic.fetch_and_add shared_mass r.Report.stats.Report.probe_mass);
+      (match progress with
+       | None -> ()
+       | Some p ->
+         Progress.tick p (fun () ->
+             P.estimate_sample
+               ~executions:(Atomic.get shared_execs)
+               ~mass:(Atomic.get shared_mass)
+               ~elapsed:(prior_elapsed +. (Clock.now () -. t0))
+               ~jobs:workers));
+      if Report.found_error r && index < !winner then winner := index
+    end
+  in
+  (* Last-resort degradation: every worker slot is dead and cannot be
+     respawned. Finish the remaining items in-process — same items, same
+     streams, same merge — rather than abandoning the search. *)
+  let run_inline () =
+    Printf.eprintf
+      "fairmc: no live worker processes; finishing the search in-process\n%!";
+    post_event cfg "supervisor_fallback" [ ("reason", J.Str "no live workers") ];
+    let k = ref 0 in
+    while !k < n && not (Checkpoint.interrupted ()) && Clock.now () < deadline
+          && not (budget_exhausted ())
+    do
+      let index = !k in
+      if index < !winner && results.(index) = None then begin
+        let r, tbl =
+          Search.run_shard ~deadline
+            ~rng:(Rng.copy streams.(index))
+            ~prefix:items.(index) ~shared_execs ~shared_mass ~shard:0 ?progress
+            cfg prog
+        in
+        results.(index) <- Some (r, tbl);
+        (match ck with None -> () | Some ck -> P.parck_note ck index r tbl);
+        if Report.found_error r && index < !winner then winner := index
+      end;
+      incr k
+    done;
+    if Checkpoint.interrupted () then stopped := true
+  in
+  let slots =
+    Array.init workers (fun i ->
+        match spawn_slot i with
+        | s -> s
+        | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "fairmc: worker %d spawn failed: %s\n%!" i
+            (Unix.error_message e);
+          post_event cfg "worker_spawn_failed"
+            [ ("worker", J.Int i); ("error", J.Str (Unix.error_message e)) ];
+          dead_slot i)
+  in
+  let rec loop () =
+    if Checkpoint.interrupted () then stopped := true;
+    if not !stopped then begin
+      (* Items above the winning error index will never merge; reclaim
+         their workers. *)
+      Array.iter
+        (fun s -> if s.s_alive && s.s_item > !winner then cancel_slot s)
+        slots;
+      let now = Clock.now () in
+      if now < deadline && not (budget_exhausted ()) then
+        Array.iter
+          (fun s ->
+            if s.s_alive && s.s_item < 0 then
+              match next_work now with
+              | Some (index, attempt) -> dispatch s index attempt
+              | None -> ())
+          slots;
+      let now = Clock.now () in
+      let finished =
+        !inflight = 0
+        && ((not (work_remaining ())) || now >= deadline || budget_exhausted ())
+      in
+      if not finished then begin
+        if not (Array.exists (fun s -> s.s_alive) slots) then run_inline ()
+        else begin
+          let fds =
+            Array.fold_left
+              (fun acc s ->
+                if s.s_alive && s.s_item >= 0 then s.s_resp :: acc else acc)
+              [] slots
+          in
+          let timeout =
+            let next_deadline =
+              Array.fold_left
+                (fun acc s ->
+                  if s.s_alive && s.s_item >= 0 then Float.min acc s.s_deadline
+                  else acc)
+                infinity slots
+            in
+            let next_retry =
+              match !retries with (t, _, _) :: _ -> t | [] -> infinity
+            in
+            let t =
+              Float.min 0.2
+                (Float.min (next_deadline -. now) (next_retry -. now))
+            in
+            Float.max 0.01 t
+          in
+          let readable =
+            if fds = [] then (Retry.sleepf timeout; [])
+            else
+              match Unix.select fds [] [] timeout with
+              | r, _, _ -> r
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+          in
+          List.iter
+            (fun fd ->
+              match
+                Array.find_opt (fun s -> s.s_alive && s.s_resp = fd) slots
+              with
+              | None -> ()
+              | Some slot ->
+                (match Worker.feed slot.s_buf fd with
+                 | exception Unix.Unix_error _ ->
+                   worker_died slot ~reason:"read failed"
+                 | `Eof -> worker_died slot ~reason:"worker closed its pipe"
+                 | `Data _ ->
+                   let rec drain () =
+                     if slot.s_alive then
+                       match Worker.extract slot.s_buf with
+                       | Ok None -> ()
+                       | Error msg ->
+                         worker_died slot ~reason:("protocol error: " ^ msg)
+                       | Ok (Some json) ->
+                         (match Worker.response_of_json json with
+                          | exception Checkpoint.Codec.Parse msg ->
+                            worker_died slot
+                              ~reason:("malformed response: " ^ msg)
+                          | resp ->
+                            if
+                              resp.Worker.r_index <> slot.s_item
+                              || resp.Worker.r_attempt <> slot.s_attempt
+                            then
+                              worker_died slot
+                                ~reason:"response does not match the dispatched item"
+                            else begin
+                              handle_result slot resp;
+                              drain ()
+                            end)
+                   in
+                   drain ()))
+            readable;
+          (* Sweep per-item timeouts: the worker is presumed wedged. *)
+          let now = Clock.now () in
+          Array.iter
+            (fun s ->
+              if s.s_alive && s.s_item >= 0 && now > s.s_deadline then begin
+                counters.c_timeouts <- counters.c_timeouts + 1;
+                post_event cfg "item_timeout"
+                  [ ("item", J.Int s.s_item); ("attempt", J.Int s.s_attempt);
+                    ("worker", J.Int s.s_id) ];
+                worker_died s ~reason:"item timeout"
+              end)
+            slots;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ();
+  (* Teardown: a graceful quit drains nothing (idle workers exit on Quit or
+     on request-pipe EOF); an interrupted run SIGKILLs, mirroring the
+     in-domain backend's "stop pulling items" semantics. *)
+  if !stopped then
+    Array.iter (fun s -> if s.s_alive then ignore (kill_slot s)) slots
+  else begin
+    Array.iter
+      (fun s ->
+        if s.s_alive then begin
+          (try
+             Worker.send s.s_req (Worker.request_to_json Worker.Quit)
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          forget_ends s;
+          (try Unix.close s.s_req with Unix.Unix_error _ -> ())
+        end)
+      slots;
+    let t_quit = Clock.now () in
+    Array.iter
+      (fun s ->
+        if s.s_alive then begin
+          let status =
+            let rec reap () =
+              match Unix.waitpid [ Unix.WNOHANG ] s.s_pid with
+              | 0, _ ->
+                if Clock.now () -. t_quit > 2.0 then begin
+                  (try Unix.kill s.s_pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  match Retry.eintr (fun () -> Unix.waitpid [] s.s_pid) with
+                  | _, st -> status_reason st
+                  | exception Unix.Unix_error _ -> "already reaped"
+                end
+                else begin
+                  Retry.sleepf 0.02;
+                  reap ()
+                end
+              | _, st -> status_reason st
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+              | exception Unix.Unix_error _ -> "already reaped"
+            in
+            reap ()
+          in
+          (try Unix.close s.s_resp with Unix.Unix_error _ -> ());
+          s.s_alive <- false;
+          post_event cfg "worker_exit"
+            [ ("worker", J.Int s.s_id); ("pid", J.Int s.s_pid);
+              ("status", J.Str status) ]
+        end)
+      slots
+  end;
+  Sys.set_signal Sys.sigpipe prev_sigpipe;
+  let elapsed = prior_elapsed +. (Clock.now () -. t0) in
+  let search_elapsed = elapsed -. (float_of_int expand_us /. 1e6) in
+  (match progress with
+   | None -> ()
+   | Some p ->
+     Progress.force p (fun () ->
+         P.estimate_sample
+           ~executions:(Atomic.get shared_execs)
+           ~mass:(Atomic.get shared_mass) ~elapsed ~jobs:workers));
+  (* Supervision telemetry rides along as gauges only — gauges are exempt
+     from the jobs/workers determinism guarantee (see DESIGN.md). *)
+  let with_gauges metrics =
+    if not cfg.C.metrics then metrics
+    else begin
+      let m = ref metrics in
+      let g name v = m := M.Snapshot.with_gauge !m name v in
+      g "sup/workers" workers;
+      g "sup/items" n;
+      g "sup/expand_us" expand_us;
+      g "sup/spawns" counters.c_spawns;
+      g "sup/restarts" counters.c_restarts;
+      g "sup/timeouts" counters.c_timeouts;
+      g "sup/retries" counters.c_retries;
+      g "sup/crashes" counters.c_crashes;
+      g "sup/quarantined" counters.c_quarantined;
+      !m
+    end
+  in
+  let report =
+    P.finalize_systematic ~results ~winner:!winner ~elapsed ~search_elapsed
+      ~expand_timed_out ~with_gauges
+  in
+  (match ck with
+   | None -> ()
+   | Some ck ->
+     P.parck_flush ck ~complete:(report.Report.verdict <> Report.Limits_reached));
+  post_event cfg "supervisor_done"
+    [ ("verdict", J.Str (Report.verdict_key report.Report.verdict));
+      ("spawns", J.Int counters.c_spawns);
+      ("restarts", J.Int counters.c_restarts);
+      ("timeouts", J.Int counters.c_timeouts);
+      ("retries", J.Int counters.c_retries);
+      ("crashes", J.Int counters.c_crashes);
+      ("quarantined", J.Int counters.c_quarantined) ];
+  Search.post_run_end cfg report;
+  report
+
+let run ?resume (cfg : C.t) prog =
+  let workers = resolve_workers cfg in
+  if workers <= 1 then P.run ?resume cfg prog
+  else
+    match cfg.C.mode with
+    | C.Dfs | C.Context_bounded _ ->
+      if not (can_fork ()) then begin
+        Printf.eprintf
+          "fairmc: process workers unavailable on this platform; running %d \
+           in-process domains instead\n%!"
+          workers;
+        P.run ?resume { cfg with C.jobs = workers; workers = 1 } prog
+      end
+      else begin
+        match resume with
+        | None -> run_systematic cfg prog ~workers
+        | Some (Checkpoint.Par pa) -> run_systematic ~resume:pa cfg prog ~workers
+        | Some (Checkpoint.Seq _ | Checkpoint.Par_sampling _) ->
+          raise
+            (Checkpoint.Mismatch
+               "checkpoint payload does not fit a supervised systematic search \
+                (resume with the jobs/workers setting that wrote it)")
+      end
+    | C.Random_walk _ | C.Priority_random _ | C.Round_robin ->
+      (* Sampling shards are cheap and crash isolation buys little there;
+         run them on in-process domains. Workers count as a jobs request. *)
+      P.run ?resume { cfg with C.jobs = max cfg.C.jobs workers; workers = 1 } prog

@@ -1,0 +1,56 @@
+(** Supervised process-level worker pool: crash-isolated parallel search.
+
+    Executes the same verified work items as {!Par_search}'s systematic
+    backend — the same {!Search.expand} frontier, per-item RNG streams,
+    min-index error resolution, merge ({!Par_search.finalize_systematic})
+    and durable checkpoint ({!Par_search.parck_note}) — but in forked worker
+    {e processes} speaking the {!Worker} pipe protocol, so a worker that
+    segfaults, is OOM-killed or wedges costs one work-item attempt instead
+    of the whole search. Policies:
+
+    - {b Timeouts}: [config.item_timeout] bounds each attempt's wall clock;
+      on expiry the worker is SIGKILLed and the item requeued. The child's
+      own deadline comes only from the remaining global [time_limit] — a
+      slow but healthy item is the parent's SIGKILL decision, never a
+      spurious [Limits_reached].
+    - {b Retries}: a crashed/timed-out/garbled attempt is requeued with
+      exponential backoff and deterministic jitter (a pure function of
+      (seed, item, attempt)), at most [config.max_retries] times.
+    - {b Quarantine}: an item that exhausts its retry budget becomes a
+      {!Report.Crash} verdict whose counterexample is the item's schedule
+      prefix, replayable to re-enter the crashing subtree.
+    - {b Degradation}: when forking is unavailable the search falls back to
+      the in-domain backend ({!Par_search.run} with [jobs = workers]); when
+      every worker slot dies unrecoverably mid-run, the remaining items
+      finish in-process.
+    - {b Checkpoints}: the supervised run shares the in-domain backend's
+      [fairmc-ckpt/1] Par payload, so an interrupted session can resume
+      under either backend.
+
+    With no injected faults, a supervised systematic run reports
+    bit-identically (verdict, counterexample, merged statistics, det event
+    slice) to the in-domain [jobs = n] run. Deterministic fault injection
+    ([config.inject_fault]) fires exactly once, on the first attempt of item
+    [fault_seed mod n_items]; retries are fault-free, so injected faults
+    leave the verdict unchanged (except with a zero retry budget, which
+    surfaces the {!Report.Crash}). See DESIGN.md, "Supervision". *)
+
+val resolve_workers : Search_config.t -> int
+(** [config.workers], with [0] and negative values resolved to
+    [Domain.recommended_domain_count ()]. *)
+
+val forking_available : bool
+(** Static platform gate ([not Sys.win32]). *)
+
+val can_fork : unit -> bool
+(** Dynamic probe: fork a trivial child and reap it. [false] means the
+    dispatcher degrades to the in-domain backend. *)
+
+val run : ?resume:Checkpoint.payload -> Search_config.t -> Program.t -> Report.t
+(** Run the configured search. With [resolve_workers config <= 1] this is
+    exactly {!Par_search.run} (no supervision layer). Otherwise systematic
+    modes run under the supervised pool; sampling modes (and round-robin)
+    run on in-process domains with [jobs] raised to the worker count —
+    crash isolation buys nothing for cheap independent samples. [resume]
+    follows {!Par_search.run}'s contract; a payload that does not fit the
+    run shape raises {!Checkpoint.Mismatch}. *)

@@ -28,10 +28,13 @@ let render (s : Progress.sample) =
   Buffer.add_string buf (Printf.sprintf "  %.1fs" s.elapsed);
   Buffer.contents buf
 
+(* The dashboard redraws from poll points while graceful-interrupt signal
+   handlers are installed, so terminal writes can land EINTR mid-flush;
+   restart them rather than tearing down the search over a progress line. *)
 let sink t s =
   Atomic.set t.drew true;
   (* \r + erase-to-end redraws in place; one write keeps it atomic. *)
-  Printf.fprintf t.out "\r\027[K%s%!" (render s)
+  Fairmc_util.Retry.eintr (fun () -> Printf.fprintf t.out "\r\027[K%s%!" (render s))
 
 let finish t =
-  if Atomic.get t.drew then Printf.fprintf t.out "\n%!"
+  if Atomic.get t.drew then Fairmc_util.Retry.eintr (fun () -> Printf.fprintf t.out "\n%!")

@@ -1,0 +1,37 @@
+(* Signal-adjacent system calls. A graceful-interrupt SIGINT (see
+   Checkpoint.install_signal_handlers) can land in the middle of any write
+   to a checkpoint file, an event sink or the dashboard; the kernel then
+   fails the call with EINTR, which must restart the call, not abort the
+   search. *)
+
+(* The stdlib surfaces interrupted channel I/O as [Sys_error] carrying the
+   strerror text — the errno itself does not survive, so match on the
+   message. *)
+let eintr_message = "Interrupted system call"
+
+let sys_error_is_eintr msg =
+  let n = String.length eintr_message and l = String.length msg in
+  let rec scan i =
+    i + n <= l && (String.sub msg i n = eintr_message || scan (i + 1))
+  in
+  scan 0
+
+let rec eintr f =
+  try f () with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+  | Sys_error msg when sys_error_is_eintr msg -> eintr f
+
+let sleepf s = if s > 0. then try eintr (fun () -> Unix.sleepf s) with _ -> ()
+
+let transient ?(attempts = 4) ?(base_delay = 0.005) ~retryable f =
+  let rec go i delay =
+    match eintr f with
+    | v -> Ok v
+    | exception e when retryable e ->
+      if i + 1 >= attempts then Error e
+      else begin
+        sleepf delay;
+        go (i + 1) (Float.min 0.5 (delay *. 2.))
+      end
+  in
+  go 0 base_delay

@@ -1,0 +1,27 @@
+(** Restart wrappers for signal-adjacent system calls.
+
+    The checker installs SIGINT/SIGTERM handlers for graceful interruption,
+    so any [Unix] call — and any channel I/O, which the stdlib surfaces as
+    [Sys_error "...: Interrupted system call"] — can fail with [EINTR]
+    mid-search. These helpers keep the checkpoint/events/dashboard paths
+    robust to that. *)
+
+val eintr : (unit -> 'a) -> 'a
+(** Run [f], restarting it as long as it fails with
+    [Unix_error (EINTR, _, _)] or an EINTR-shaped [Sys_error]. Any other
+    exception propagates. *)
+
+val sleepf : float -> unit
+(** [Unix.sleepf], restarted on EINTR; no-op for non-positive durations and
+    on platforms without it. *)
+
+val transient :
+  ?attempts:int ->
+  ?base_delay:float ->
+  retryable:(exn -> bool) ->
+  (unit -> 'a) ->
+  ('a, exn) result
+(** Run [eintr f], retrying up to [attempts] times (default 4) when it
+    raises an exception accepted by [retryable], sleeping [base_delay]
+    (default 5 ms) doubled per attempt (capped at 0.5 s) between tries.
+    Returns the last exception when every attempt failed. *)

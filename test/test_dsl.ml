@@ -21,6 +21,7 @@ let verdict_of src =
   | Report.Deadlock _ -> "deadlock"
   | Report.Divergence _ -> "divergence"
   | Report.Race _ -> "race"
+  | Report.Crash _ -> "crash"
   | Report.Limits_reached -> "limits"
 
 let expect_sema_error src =
@@ -248,6 +249,7 @@ let exec_tests =
               | Report.Safety_violation _ -> "safety"
               | Report.Deadlock _ -> "deadlock"
               | Report.Race _ -> "race"
+              | Report.Crash _ -> "crash"
             in
             Alcotest.(check string) file expected got
           in

@@ -12,6 +12,7 @@ let () =
       ("search", Test_search.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("par-search", Test_par_search.suite);
+      ("supervisor", Test_supervisor.suite);
       ("liveness", Test_liveness.suite);
       ("sleep-sets", Test_sleepsets.suite);
       ("statecap", Test_statecap.suite);
