@@ -19,14 +19,14 @@ module Metrics = Fairmc_obs.Metrics
 let full_budget = Sys.getenv_opt "FAIRMC_BENCH" = Some "full"
 
 (* Machine-readable results: every experiment appends records here and the
-   driver writes BENCH_PR7.json at the end (schema fairmc-bench/2). The
+   driver writes BENCH_PR9.json at the end (schema fairmc-bench/2). The
    printed tables stay the human-facing output; the JSON mirrors them. *)
 let bench_records : Json.t list ref = ref []
 
 let record experiment fields =
   bench_records := Json.Obj (("experiment", Json.Str experiment) :: fields) :: !bench_records
 
-let bench_out = "BENCH_PR7.json"
+let bench_out = "BENCH_PR9.json"
 
 (* A partial run (selected experiments) must not wipe the records of the
    experiments it did not run: keep those from the existing file and
@@ -874,6 +874,69 @@ let bechamel () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Static POR: visibility-based transition merging (PR 9). Thread-local  *)
+(* globals stop being scheduling points, so the interleaving explosion   *)
+(* over them collapses before sleep sets even run. The control is        *)
+(* Peterson, where every global is shared and merging must be a no-op.   *)
+
+(* Local-state-heavy: each thread drives its own cursor global; only the
+   yields interleave once the cursors merge. *)
+let spor_src_counters =
+  "var c0 = 0; var c1 = 0; var c2 = 0; var done0 = 0; var done1 = 0; var done2 = 0;\n\
+   thread t0 { local i = 0; while (i < 2) { c0 = c0 + 1; i = i + 1; yield; } done0 = 1; }\n\
+   thread t1 { local i = 0; while (i < 2) { c1 = c1 + 1; i = i + 1; yield; } done1 = 1; }\n\
+   thread t2 { local i = 0; while (i < 2) { c2 = c2 + 1; i = i + 1; yield; } done2 = 1; }"
+
+let staticpor_bench () =
+  header "Static POR: visibility-based transition merging (--static-por)";
+  line "(same verdict either way; reduction = plain executions over merged";
+  line " executions on the same complete search. peterson is the no-op control:";
+  line " every global is shared, so nothing may merge)";
+  line "%-18s %8s %12s %12s %10s %10s" "workload" "merging" "executions"
+    "transitions" "seconds" "reduction";
+  let workloads =
+    [ ("local-counters", spor_src_counters,
+       { Search_config.default with livelock_bound = Some 5_000 });
+      ("peterson-spin", vm_src_peterson,
+       { Search_config.default with
+         max_executions = Some (if full_budget then 15_000 else 3_000);
+         livelock_bound = Some 2_000 }) ]
+  in
+  List.iter
+    (fun (name, src, cfg) ->
+      let ast = Dsl.Parser.parse_string src in
+      let measure prog =
+        ignore (Search.run { cfg with max_executions = Some 5 } prog);
+        Search.run cfg prog
+      in
+      let off = measure (Dsl.compile ast) in
+      let on = measure (Fairmc_static.compile ast) in
+      if Report.verdict_name off.verdict <> Report.verdict_name on.verdict then (
+        Printf.eprintf "staticpor bench: verdicts diverged on %s\n%!" name;
+        exit 1);
+      let reduction =
+        float_of_int off.stats.executions /. float_of_int on.stats.executions
+      in
+      let show label (r : Report.t) rel =
+        line "%-18s %8s %12d %12d %10.3f %9s" name label r.stats.executions
+          r.stats.transitions r.stats.elapsed rel;
+        record "staticpor"
+          [ ("workload", Json.Str name);
+            ("merging", Json.Str label);
+            ("executions", Json.Int r.stats.executions);
+            ("transitions", Json.Int r.stats.transitions);
+            ("elapsed_seconds", Json.Float r.stats.elapsed);
+            ("verdict", Json.Str (Report.verdict_name r.verdict)) ]
+      in
+      show "off" off "";
+      show "on" on (Printf.sprintf "%.2fx" reduction);
+      record "staticpor"
+        [ ("workload", Json.Str name);
+          ("merging", Json.Str "reduction");
+          ("reduction", Json.Float reduction) ])
+    workloads
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [ ("table1", table1);
@@ -890,6 +953,7 @@ let all_experiments =
     ("telemetry", telemetry_overhead);
     ("fairsched", fair_sched_step);
     ("vm", vm_bench);
+    ("staticpor", staticpor_bench);
     ("bechamel", bechamel) ]
 
 let () =

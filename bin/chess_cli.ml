@@ -268,11 +268,24 @@ let interp_arg =
                  oracle). Both produce identical transition streams, verdicts \
                  and counterexamples; built-in native programs are unaffected.")
 
+let static_por_arg =
+  Arg.(value & opt bool true
+       & info [ "static-por" ] ~docv:"BOOL"
+           ~doc:"ChessLang files: run the static visibility analysis and merge \
+                 transitions on globals proven thread-local (they stop being \
+                 scheduling points), and feed the static conflict table to \
+                 sleep-set reduction. On by default, for both backends; \
+                 $(b,--static-por=false) compiles every shared access as a \
+                 scheduling point. Verdicts and counterexamples are unchanged \
+                 either way; the search tree is exponentially smaller on \
+                 local-state-heavy programs. Built-in native programs are \
+                 unaffected.")
+
 let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound max_execs
     time_limit seed sleep_sets coverage jobs split_depth workers item_timeout
     max_retries inject_fault metrics stats progress
     progress_interval races lockset lock_graph fail_on_race checkpoint
-    checkpoint_interval interp =
+    checkpoint_interval interp static_por =
   let analyses =
     (if races || fail_on_race then [ Fairmc_analysis.Hb_race.analysis ] else [])
     @ (if lockset then [ Fairmc_analysis.Lockset.analysis ] else [])
@@ -305,7 +318,8 @@ let build_config strategy no_fair fair_k depth_bound max_steps livelock_bound ma
     analyses;
     checkpoint;
     checkpoint_interval;
-    interp }
+    interp;
+    static_por }
 
 let config_term =
   Term.(const build_config $ strategy $ no_fair $ fair_k $ depth_bound $ max_steps
@@ -313,7 +327,8 @@ let config_term =
         $ jobs $ split_depth $ workers $ item_timeout $ max_retries
         $ inject_fault $ metrics_flag $ stats_flag $ progress_flag
         $ progress_interval $ races_flag $ lockset_flag $ lock_graph_flag
-        $ fail_on_race $ checkpoint_out $ checkpoint_interval $ interp_arg)
+        $ fail_on_race $ checkpoint_out $ checkpoint_interval $ interp_arg
+        $ static_por_arg)
 
 let list_cmd =
   let doc = "List the built-in benchmark programs." in
@@ -351,10 +366,20 @@ let check_cmd =
     let human =
       if events_out = Some "-" then Format.err_formatter else Format.std_formatter
     in
-    let program =
+    let program, lint_block =
       if Filename.check_suffix name ".chess" then begin
-        match D.load_file ~backend:(D.backend_of_interp cfg.Search_config.interp) name with
-        | prog -> prog
+        (* With --static-por (the default) the file goes through the
+           static-analysis layer: transition merging + conflict facts,
+           and a lint summary embedded in the JSON report. *)
+        let backend = D.backend_of_interp cfg.Search_config.interp in
+        match
+          let ast = D.Parser.parse_file name in
+          if cfg.Search_config.static_por then
+            ( Fairmc_static.compile ~backend ast,
+              Some (Fairmc_static.Lint.summary_json (Fairmc_static.Lint.run ast)) )
+          else (D.compile ~backend ast, None)
+        with
+        | result -> result
         | exception D.Parser.Error (msg, pos) ->
           Format.eprintf "%s: syntax error: %s (%a)@." name msg D.Ast.pp_pos pos;
           exit 2
@@ -370,7 +395,7 @@ let check_cmd =
       end
       else
         match W.Registry.find name with
-        | Some e -> e.program
+        | Some e -> (e.program, None)
         | None ->
           Format.eprintf "unknown program %S; try `chess list`@." name;
           exit 2
@@ -463,7 +488,7 @@ let check_cmd =
      | Some file ->
        Fairmc_util.Json.to_file file
          (Report.to_json ~program:program.Program.name
-            ~config:(Search_config.describe cfg) report);
+            ~config:(Search_config.describe cfg) ?lint:lint_block report);
        Format.fprintf human "report written to %s@." file);
     (match trace_out with
      | None -> ()
@@ -500,12 +525,22 @@ let check_cmd =
           $ json_out $ trace_out $ fail_on_race $ resume_arg $ events_out
           $ watch_flag $ trace_spans_out)
 
-let load_program name =
+(* Candidate programs for a repro, in preference order. Repro files do
+   not record whether the schedule was found with transition merging, so
+   .chess files yield both compilations: merging on (the default used by
+   chess check) first, plain second — replay falls through on mismatch. *)
+let load_programs name =
   if Filename.check_suffix name ".chess" then
-    match D.load_file name with
-    | prog -> Some prog
-    | exception _ -> None
-  else Option.map (fun (e : W.Registry.entry) -> e.program) (W.Registry.find name)
+    match D.Parser.parse_file name with
+    | ast ->
+      (match Fairmc_static.compile ast with
+       | merged -> [ merged; D.compile ast ]
+       | exception _ -> [ D.compile ast ])
+    | exception _ -> []
+  else
+    match W.Registry.find name with
+    | Some (e : W.Registry.entry) -> [ e.program ]
+    | None -> []
 
 let replay_cmd =
   let doc = "Replay a saved counterexample schedule deterministically." in
@@ -519,14 +554,21 @@ let replay_cmd =
       Format.eprintf "%s: %s@." file e;
       exit 2
     | Ok { Repro.program = name; decisions } ->
-      (match load_program name with
-       | None ->
+      (match load_programs name with
+       | [] ->
          Format.eprintf "cannot resolve program %S from the repro file@." name;
          exit 2
-       | Some prog ->
+       | first :: _ as progs ->
          Format.printf "replaying %d decisions against %s@." (List.length decisions)
-           prog.Program.name;
-         (match Search.replay prog decisions (fun _ -> ()) with
+           first.Program.name;
+         let rec try_replay = function
+           | [] -> assert false
+           | prog :: rest ->
+             (match Search.replay prog decisions (fun _ -> ()) with
+              | Search.Replay_mismatch _ when rest <> [] -> try_replay rest
+              | outcome -> outcome)
+         in
+         (match try_replay progs with
           | Search.Replayed_failure cex ->
             Format.printf "failure reproduced after %d steps:@.%s@." cex.length cex.rendered;
             exit 1
@@ -540,6 +582,78 @@ let replay_cmd =
             exit 2))
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg)
+
+let lint_cmd =
+  let doc = "Statically analyze ChessLang programs without running a single schedule." in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Reports static defect candidates with source positions, one line \
+          per finding ($(i,file:line:col: severity: message [rule])), sorted \
+          deterministically. Rules: $(b,double-lock), $(b,unlock-unheld), \
+          $(b,lock-inversion), $(b,never-signaled), $(b,silent-loop) \
+          (errors); $(b,race-candidate), $(b,dead-code) (warnings); \
+          $(b,unused-global), $(b,unused-local) (notes). Race candidates are \
+          advisory: lock-free algorithms (dekker, peterson) synchronize \
+          through bare shared variables by design." ]
+  in
+  let files =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"ChessLang source files (*.chess).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the findings as a fairmc-lint/1 document to FILE \
+                   ($(b,-) for stdout); one document per input file, as a \
+                   JSON array when more than one file is given.")
+  in
+  let fail_on_lint =
+    Arg.(value & flag
+         & info [ "fail-on-lint" ]
+             ~doc:"Exit with status 4 when any finding is reported (CI \
+                   gating). Without it lint always exits 0 on clean runs of \
+                   the analysis, whatever it finds.")
+  in
+  let run files json_out fail_on_lint quiet =
+    let total = ref 0 in
+    let docs =
+      List.map
+        (fun file ->
+          match Fairmc_static.lint_file file with
+          | findings ->
+            total := !total + List.length findings;
+            if not quiet then
+              List.iter
+                (fun f -> print_endline (Fairmc_static.Lint.to_string f))
+                findings;
+            Fairmc_static.Lint.to_json ~program:file findings
+          | exception D.Parser.Error (msg, pos) ->
+            Format.eprintf "%s: syntax error: %s (%a)@." file msg D.Ast.pp_pos pos;
+            exit 2
+          | exception D.Lexer.Error (msg, pos) ->
+            Format.eprintf "%s: lexical error: %s (%a)@." file msg D.Ast.pp_pos pos;
+            exit 2
+          | exception D.Sema.Error (msg, pos) ->
+            Format.eprintf "%s: error: %s (%a)@." file msg D.Ast.pp_pos pos;
+            exit 2
+          | exception Sys_error e ->
+            Format.eprintf "%s@." e;
+            exit 2)
+        files
+    in
+    let doc = match docs with [ d ] -> d | ds -> Fairmc_util.Json.Arr ds in
+    (match json_out with
+     | None -> ()
+     | Some "-" -> print_endline (Fairmc_util.Json.to_string ~pretty:true doc)
+     | Some file ->
+       Fairmc_util.Json.to_file file doc;
+       if not quiet then Format.printf "lint report written to %s@." file);
+    if not quiet then
+      Format.printf "%d finding(s) in %d file(s)@." !total (List.length files);
+    if fail_on_lint && !total > 0 then exit 4
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(const run $ files $ json_out $ fail_on_lint $ quiet)
 
 let sweep_cmd =
   let doc = "Run every built-in program with its recommended strategy and compare verdicts." in
@@ -579,6 +693,6 @@ let sweep_cmd =
 let main =
   let doc = "fair stateless model checking (Musuvathi & Qadeer, PLDI 2008)" in
   Cmd.group (Cmd.info "chess" ~doc ~version:"1.0.0")
-    [ list_cmd; check_cmd; replay_cmd; sweep_cmd ]
+    [ list_cmd; check_cmd; lint_cmd; replay_cmd; sweep_cmd ]
 
 let () = exit (Cmd.eval main)

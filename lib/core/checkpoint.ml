@@ -89,7 +89,9 @@ let fingerprint (cfg : C.t) ~program =
       "analyses=" ^ String.concat "," (List.map (fun (a : AH.t) -> a.AH.name) cfg.analyses);
       (* Backends are observably equivalent, but a resumed session must
          replay the prefix on the backend that produced the checkpoint. *)
-      "interp=" ^ C.interp_name cfg.interp ]
+      "interp=" ^ C.interp_name cfg.interp;
+      (* Transition merging changes the tree shape. *)
+      "spor=" ^ b cfg.static_por ]
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec.                                                         *)

@@ -10,6 +10,7 @@ module Objects = Objects
 module Runtime = Runtime
 module Sync = Sync
 module Sync_extras = Sync_extras
+module Static_facts = Static_facts
 module Program = Program
 module Engine = Engine
 module Trace = Trace

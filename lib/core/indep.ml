@@ -8,7 +8,7 @@ let global_effect (op : Op.t) ~fair =
   | Ev_wait _ | Ev_set _ | Ev_reset _ | Var_read _ | Var_write _ | Var_rmw _
   | Join _ | Choose _ -> false
 
-let independent ~t1 ~op1 ~t2 ~op2 ~fair =
+let independent ?facts ~t1 ~op1 ~t2 ~op2 ~fair () =
   t1 <> t2
   && (not (global_effect op1 ~fair))
   && (not (global_effect op2 ~fair))
@@ -18,10 +18,13 @@ let independent ~t1 ~op1 ~t2 ~op2 ~fair =
    | Join j, _ when j = t2 -> false
    | _, Join j when j = t1 -> false
    | _ ->
-     (match Op.obj_of op1, Op.obj_of op2 with
-      | Some o1, Some o2 when o1 = o2 ->
-        (* Same object: only two plain reads commute. *)
-        (match op1, op2 with
-         | Var_read _, Var_read _ -> true
-         | _ -> false)
-      | _ -> true))
+     (match facts with
+      | Some f -> not (Static_facts.conflict f ~t1 ~op1 ~t2 ~op2)
+      | None ->
+        (match Op.obj_of op1, Op.obj_of op2 with
+         | Some o1, Some o2 when o1 = o2 ->
+           (* Same object: only two plain reads commute. *)
+           (match op1, op2 with
+            | Var_read _, Var_read _ -> true
+            | _ -> false)
+         | _ -> true)))

@@ -8,6 +8,13 @@
     We approximate: operations of distinct threads touching distinct
     synchronization objects are independent, except for operations with
     global effect (spawn, join, and — under the fair scheduler — yields,
-    which mutate scheduler priorities). *)
+    which mutate scheduler priorities). When the program carries
+    {!Static_facts} (ChessLang programs loaded through the static-analysis
+    layer), the object comparison is replaced by a lookup in the static
+    conflict table, which sees the {e full} access footprint of each
+    statement and therefore only ever reports more conflicts than the
+    syntactic rule. *)
 
-val independent : t1:int -> op1:Op.t -> t2:int -> op2:Op.t -> fair:bool -> bool
+val independent :
+  ?facts:Static_facts.t ->
+  t1:int -> op1:Op.t -> t2:int -> op2:Op.t -> fair:bool -> unit -> bool

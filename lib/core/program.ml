@@ -3,9 +3,11 @@ type booted = {
   snapshot : (unit -> Fairmc_util.Fnv.t) option;
 }
 
-type t = { name : string; boot : unit -> booted }
+type t = { name : string; boot : unit -> booted; facts : Static_facts.t option }
 
-let make ~name boot = { name; boot }
+let make ~name ?facts boot = { name; boot; facts }
 
 let of_threads ~name ?snapshot boot =
-  { name; boot = (fun () -> { threads = boot (); snapshot }) }
+  { name; boot = (fun () -> { threads = boot (); snapshot }); facts = None }
+
+let with_facts t facts = { t with facts = Some facts }

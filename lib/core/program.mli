@@ -19,9 +19,19 @@ type booted = {
           programs; programs written in ChessLang get it for free). *)
 }
 
-type t = { name : string; boot : unit -> booted }
+type t = {
+  name : string;
+  boot : unit -> booted;
+  facts : Static_facts.t option;
+      (** Static conflict facts, attached by the static-analysis layer
+          (lib/static) for ChessLang programs; [None] for native
+          workloads. When present, {!Search} feeds them to
+          {!Indep.independent}. *)
+}
 
-val make : name:string -> (unit -> booted) -> t
+val make : name:string -> ?facts:Static_facts.t -> (unit -> booted) -> t
 
 val of_threads : name:string -> ?snapshot:(unit -> Fairmc_util.Fnv.t) -> (unit -> (unit -> unit) list) -> t
 (** Convenience wrapper when boot only builds thread bodies. *)
+
+val with_facts : t -> Static_facts.t -> t

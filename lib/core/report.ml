@@ -264,7 +264,7 @@ let analysis_to_json (a : analysis) =
    [schema_version]; nothing else in the tree spells the string out. *)
 let schema_version = "fairmc-report/2"
 
-let to_json ?program ?config t =
+let to_json ?program ?config ?lint t =
   let opt_str name v = match v with None -> [] | Some s -> [ (name, Json.Str s) ] in
   Json.Obj
     ([ ("schema", Json.Str schema_version) ]
@@ -276,4 +276,7 @@ let to_json ?program ?config t =
          ("metrics", Fairmc_obs.Metrics.Snapshot.to_json t.metrics) ]
      @ (match t.analysis with
         | None -> []
-        | Some a -> [ ("analysis", analysis_to_json a) ]))
+        | Some a -> [ ("analysis", analysis_to_json a) ])
+     (* Static-analysis summary (count + per-rule kinds), attached by the
+        CLI when a ChessLang program runs with static analysis enabled. *)
+     @ (match lint with None -> [] | Some j -> [ ("lint", j) ]))

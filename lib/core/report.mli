@@ -120,11 +120,14 @@ val schema_version : string
 (** ["fairmc-report/2"] — the single source of truth for the report schema
     tag; every emitter and test references this constant. *)
 
-val to_json : ?program:string -> ?config:string -> t -> Fairmc_util.Json.t
+val to_json :
+  ?program:string -> ?config:string -> ?lint:Fairmc_util.Json.t -> t ->
+  Fairmc_util.Json.t
 (** The machine-readable report document ([chess check --json]), schema
     {!schema_version}: schema tag, program/config labels when given, verdict
     (with the replayable decision list of the counterexample, not its
     rendering), [verdict_key], stats (including the search-phase wall time
-    and the progress-estimate fields), the metrics snapshot, and — when
-    analyses ran — the ["analysis"] object (lock-order edges and potential
-    deadlock cycles). *)
+    and the progress-estimate fields), the metrics snapshot, when
+    analyses ran the ["analysis"] object (lock-order edges and potential
+    deadlock cycles), and — for ChessLang programs checked with static
+    analysis enabled — the ["lint"] summary block the CLI passes in. *)

@@ -141,6 +141,7 @@ type state = {
   mutable nonterminating : int;
   mutable depth_bound_hits : int;
   mutable sleep_set_prunes : int;
+  mutable conflict_hits : int;  (* static conflict table reported a conflict *)
   mutable yields : int;
   mutable max_depth : int;
   mutable first_error_execution : int option;
@@ -301,6 +302,7 @@ let make_state ?(cancel = fun () -> false) ?deadline ?rng ?(prefix = [||])
     nonterminating = 0;
     depth_bound_hits = 0;
     sleep_set_prunes = 0;
+    conflict_hits = 0;
     yields = 0;
     max_depth = 0;
     first_error_execution = None;
@@ -441,13 +443,30 @@ let execute_path st ~systematic =
       match Engine.pending run a.tid with
       | None -> pending_sleep := B.empty
       | Some op_a ->
+        let facts = st.prog.Program.facts in
         pending_sleep :=
           B.filter
             (fun u ->
               match Engine.pending run u with
               | None -> false
               | Some op_u ->
-                Indep.independent ~t1:a.tid ~op1:op_a ~t2:u ~op2:op_u ~fair:cfg.fair)
+                let indep =
+                  Indep.independent ?facts ~t1:a.tid ~op1:op_a ~t2:u ~op2:op_u
+                    ~fair:cfg.fair ()
+                in
+                (* Count dependencies the static table finds beyond the
+                   syntactic rule (each fresh node is derived exactly once
+                   search-wide, so the counter sums jobs-invariantly). *)
+                (match facts with
+                 | Some f
+                   when (not indep)
+                        && Static_facts.conflict f ~t1:a.tid ~op1:op_a ~t2:u ~op2:op_u
+                        && Option.is_some (Op.obj_of op_a)
+                        && Option.is_some (Op.obj_of op_u)
+                        && Op.obj_of op_a <> Op.obj_of op_u ->
+                   st.conflict_hits <- st.conflict_hits + 1
+                 | _ -> ());
+                indep)
             fr.sleep
     end
     else pending_sleep := B.empty;
@@ -694,7 +713,13 @@ let metrics_of st =
     c "sched/priority_edges_removed" m.m_fair_obs.Fair_sched.edges_removed;
     c "sched/priority_penalties" m.m_fair_obs.Fair_sched.penalties;
     c "search/probe_mass" st.probe_mass;
+    c "static/conflict_hits" st.conflict_hits;
     let g name v = snap := M.Snapshot.with_gauge !snap name v in
+    (* A program constant, exported as a gauge (merged by max) so it stays
+       jobs- and resume-invariant. *)
+    (match st.prog.Program.facts with
+     | Some f -> g "static/invisible_merged" (Static_facts.merged_sites f)
+     | None -> ());
     g "search/max_depth" st.max_depth;
     g "search/max_threads" st.max_threads;
     g "search/states" (Hashtbl.length st.states);

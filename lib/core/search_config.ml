@@ -37,6 +37,7 @@ type t = {
   checkpoint : string option;
   checkpoint_interval : float;
   interp : interp;
+  static_por : bool;
   workers : int;
   item_timeout : float option;
   max_retries : int;
@@ -70,6 +71,7 @@ let default =
     checkpoint = None;
     checkpoint_interval = 30.0;
     interp = Vm;
+    static_por = true;
     workers = 1;
     item_timeout = None;
     max_retries = 2;
@@ -146,6 +148,7 @@ let describe t =
     (if t.fair then " fair" else " unfair")
     (match t.depth_bound with Some d -> Printf.sprintf " db=%d" d | None -> "")
     ((if t.sleep_sets then " +sleepsets" else "")
+     ^ (if t.static_por then "" else " -staticpor")
      ^ match t.interp with Vm -> "" | Ast -> " interp=ast")
     ((match t.analyses with
       | [] -> ""

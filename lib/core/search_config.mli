@@ -122,6 +122,14 @@ type t = {
       (** minimum seconds between periodic checkpoint writes; [0] writes at
           every path boundary (tests). Default 30. *)
   interp : interp;  (** DSL execution backend; default [Vm] *)
+  static_por : bool;
+      (** ChessLang programs loaded through the static-analysis layer
+          (lib/static): merge provably thread-local transitions out of the
+          scheduling-point set and attach the static conflict table
+          consulted by {!Indep}. Default [true], on both backends (so the
+          VM/AST differential contract is preserved). Native workloads
+          ignore it. Recorded in checkpoint fingerprints: merging changes
+          the tree shape, so a session must resume with the same setting. *)
   workers : int;
       (** supervised worker {e processes} for {!Supervisor}: 1 (default)
           keeps everything in-process ({!Par_search} handles [jobs]),

@@ -1,0 +1,80 @@
+(* Static conflict facts attached to a program by the static-analysis
+   layer (lib/static).
+
+   The table maps each (thread, operation) a program can perform to the
+   set of objects the underlying statement may read and write — objects
+   being the engine's sequential registration ids, which for ChessLang
+   coincide with declaration indices on both backends. [Indep] consults
+   it instead of the purely syntactic same-object rule: the footprints
+   see *every* global a statement touches (a statement reading two
+   globals is one [Var_read] of the first; a [trylock] whose result is
+   assigned to a global is a [Try_lock] op that also writes the global),
+   so the table only ever adds conflicts relative to the default rule.
+   That direction is what keeps sleep-set reduction sound. *)
+
+type footprint = { fp_reads : int list; fp_writes : int list }
+
+type t = {
+  invisible : string list; (* merged (thread-local) globals, sorted *)
+  merged_sites : int; (* SCHED sites turned silent by merging *)
+  table : (int * int, footprint) Hashtbl.t; (* (tid, op key) -> footprint *)
+}
+
+let create ~invisible ~merged_sites =
+  { invisible = List.sort compare invisible;
+    merged_sites;
+    table = Hashtbl.create 64 }
+
+let invisible t = t.invisible
+let merged_sites t = t.merged_sites
+
+(* One key per (kind, object); [Choose]/[Join] fold their payload away so
+   a runtime op always finds the footprint registered for its kind. *)
+let op_key (op : Op.t) =
+  (Op.kind_index op * 1024) + (match Op.obj_of op with Some o -> o + 1 | None -> 0)
+
+let sorted_dedup l =
+  List.sort_uniq compare l
+
+(* The op's own object joins its footprint on the conservative side, so a
+   table lookup can never declare two same-object operations independent
+   when the default rule would not. *)
+let add t ~tid ~op ~reads ~writes =
+  let reads, writes =
+    match (op : Op.t) with
+    | Var_read o -> (o :: reads, writes)
+    | _ ->
+      (match Op.obj_of op with
+       | Some o -> (reads, o :: writes)
+       | None -> (reads, writes))
+  in
+  let key = (tid, op_key op) in
+  let fp =
+    match Hashtbl.find_opt t.table key with
+    | None -> { fp_reads = sorted_dedup reads; fp_writes = sorted_dedup writes }
+    | Some fp ->
+      { fp_reads = sorted_dedup (reads @ fp.fp_reads);
+        fp_writes = sorted_dedup (writes @ fp.fp_writes) }
+  in
+  Hashtbl.replace t.table key fp
+
+let overlap a b = List.exists (fun x -> List.mem x b) a
+
+(* The default syntactic rule, for operations outside the table (native
+   workloads never register; a DSL program registers every op, but stay
+   conservative regardless). *)
+let syntactic_conflict (op1 : Op.t) (op2 : Op.t) =
+  match Op.obj_of op1, Op.obj_of op2 with
+  | Some o1, Some o2 when o1 = o2 ->
+    (match op1, op2 with Var_read _, Var_read _ -> false | _ -> true)
+  | _ -> false
+
+let conflict t ~t1 ~op1 ~t2 ~op2 =
+  match Hashtbl.find_opt t.table (t1, op_key op1),
+        Hashtbl.find_opt t.table (t2, op_key op2) with
+  | Some f1, Some f2 ->
+    overlap f1.fp_writes f2.fp_writes
+    || overlap f1.fp_writes f2.fp_reads
+    || overlap f2.fp_writes f1.fp_reads
+    || syntactic_conflict op1 op2
+  | _ -> syntactic_conflict op1 op2

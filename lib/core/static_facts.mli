@@ -1,0 +1,31 @@
+(** Static conflict facts computed by the static-analysis layer
+    ({e lib/static}) and attached to a {!Program.t}.
+
+    Per (thread, operation): the set of objects the underlying statement
+    may read and write, as engine object ids. {!Indep} consults
+    {!conflict} instead of the purely syntactic same-object rule when a
+    program carries facts. The table is constructed so it only ever
+    {e adds} conflicts relative to the syntactic rule — the op's own
+    object is always in its footprint — which keeps sleep-set reduction
+    sound and additionally captures dependencies the syntactic rule
+    misses (multi-global statements, primitives whose result is written
+    to a global). *)
+
+type t
+
+val create : invisible:string list -> merged_sites:int -> t
+(** [invisible] are the merged thread-local globals (reporting only);
+    [merged_sites] counts the SCHED sites transition merging removed. *)
+
+val invisible : t -> string list
+val merged_sites : t -> int
+
+val add : t -> tid:int -> op:Op.t -> reads:int list -> writes:int list -> unit
+(** Register (unioning with any previous registration of the same
+    (thread, op)) the object footprint of a statement performing [op].
+    The op's own object is added to the footprint automatically. *)
+
+val conflict : t -> t1:int -> op1:Op.t -> t2:int -> op2:Op.t -> bool
+(** May the two operations not commute? Falls back to the syntactic
+    same-object rule for operations outside the table, and always
+    reports at least what that rule reports. *)

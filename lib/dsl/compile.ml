@@ -107,6 +107,8 @@ type t = {
   c_init : int array; (* initial global-slot values; length = max c_nslots 1 *)
   c_globals : (string * int * int) array; (* name, base slot, size (0 = scalar) *)
   c_ops : op_template array; (* SCHED operand -> operation *)
+  c_op_stmt : int array; (* SCHED operand -> AST statement id *)
+  c_op_thread : int array; (* SCHED operand -> thread index *)
   c_pos : pos array; (* position table for runtime errors *)
   c_names : string array; (* name table for runtime errors *)
   c_msgs : string array; (* assert messages *)
@@ -157,7 +159,11 @@ module Tbl = struct
   let contents t = Array.of_list (List.rev t.items)
 end
 
-let compile (prog : program) : t =
+(* [invisible] names globals proven thread-local by the static-analysis
+   layer: statements whose derivation involves only them compile to FUEL
+   instead of SCHED (transition merging, [--static-por]). The default
+   compiles every shared access as a scheduling point. *)
+let compile ?(invisible = Stmt_op.no_invisible) (prog : program) : t =
   let info = Sema.check prog in
   (* Global layout: value slots for scalars/arrays, per-kind indices for
      scheduling objects — all in declaration order, like the AST machine. *)
@@ -223,13 +229,15 @@ let compile (prog : program) : t =
 
   (* Shared side tables. *)
   let ops : op_template Tbl.t = Tbl.create () in
+  let op_stmts : int Tbl.t = Tbl.create () in (* kept in lockstep with [ops] *)
+  let op_threads : int Tbl.t = Tbl.create () in
   let poss : pos Tbl.t = Tbl.create () in
   let names : string Tbl.t = Tbl.create () in
   let msgs : string Tbl.t = Tbl.create () in
   let pos_id p = Tbl.dedup poss p in
   let name_id n = Tbl.dedup names n in
 
-  let compile_thread (tname, body) =
+  let compile_thread tidx (tname, body) =
     let local_slot = Hashtbl.create 8 in
     let local_names =
       List.sort compare
@@ -240,80 +248,30 @@ let compile (prog : program) : t =
     List.iteri (fun i n -> Hashtbl.replace local_slot n i) local_names;
     let is_local n = Hashtbl.mem local_slot n in
 
-    (* The statement's engine operation — mirrors [Machine.op_of_stmt]. *)
-    let prim_template e =
-      match Sema.effectful e with
-      | Some (Try_lock (_, m)) -> Some (T_try_lock (Hashtbl.find mutex_idx m))
-      | Some (Timed_lock (_, m)) -> Some (T_timed_lock (Hashtbl.find mutex_idx m))
-      | Some (Timed_wait (_, ev)) -> Some (T_ev_timed_wait (Hashtbl.find event_idx ev))
-      | Some (Sem_try (_, sm)) -> Some (T_sem_timed_wait (Hashtbl.find sem_idx sm))
-      | Some (Choose (_, n)) -> Some (T_choose n)
-      | Some _ | None -> None
-    in
-    let read_template exprs =
-      match List.concat_map (fun e -> Sema.globals_read info ~thread:tname e) exprs with
-      | [] -> None
-      | g :: _ -> Some (T_var_read (Hashtbl.find var_idx g))
-    in
-    let expr_template exprs =
-      match List.find_map prim_template exprs with
-      | Some t -> Some t
-      | None -> read_template exprs
+    (* The statement's engine operation: the shared {!Stmt_op} rule (also
+       used by [Machine.op_of_stmt]), mapped to per-kind indices. *)
+    let template_of : Stmt_op.t -> op_template = function
+      | A_lock m -> T_lock (Hashtbl.find mutex_idx m)
+      | A_try_lock m -> T_try_lock (Hashtbl.find mutex_idx m)
+      | A_timed_lock m -> T_timed_lock (Hashtbl.find mutex_idx m)
+      | A_unlock m -> T_unlock (Hashtbl.find mutex_idx m)
+      | A_sem_wait s -> T_sem_wait (Hashtbl.find sem_idx s)
+      | A_sem_timed_wait s -> T_sem_timed_wait (Hashtbl.find sem_idx s)
+      | A_sem_post s -> T_sem_post (Hashtbl.find sem_idx s)
+      | A_ev_wait e -> T_ev_wait (Hashtbl.find event_idx e)
+      | A_ev_timed_wait e -> T_ev_timed_wait (Hashtbl.find event_idx e)
+      | A_ev_set e -> T_ev_set (Hashtbl.find event_idx e)
+      | A_ev_reset e -> T_ev_reset (Hashtbl.find event_idx e)
+      | A_var_read v -> T_var_read (Hashtbl.find var_idx v)
+      | A_var_write v -> T_var_write (Hashtbl.find var_idx v)
+      | A_var_rmw v -> T_var_rmw (Hashtbl.find var_idx v)
+      | A_choose n -> T_choose n
+      | A_yield -> T_yield
+      | A_sleep -> T_sleep
     in
     let stmt_template (s : stmt) : op_template option =
-      match s.kind with
-      | Local (_, e) | Assert (e, _) -> expr_template [ e ]
-      | Assign (Lname (_, n), e) when not (is_local n) ->
-        (match prim_template e with
-         | Some t -> Some t
-         | None -> Some (T_var_write (Hashtbl.find var_idx n)))
-      | Assign (Lname _, e) -> expr_template [ e ]
-      | Assign (Lindex (_, a, i), e) ->
-        (match expr_template [ e; i ] with
-         | Some (T_var_read _) | None -> Some (T_var_write (Hashtbl.find var_idx a))
-         | Some t -> Some t)
-      | If (c, _, _) | While (c, _) -> expr_template [ c ]
-      | Lock m -> Some (T_lock (Hashtbl.find mutex_idx m))
-      | Unlock m -> Some (T_unlock (Hashtbl.find mutex_idx m))
-      | Wait ev -> Some (T_ev_wait (Hashtbl.find event_idx ev))
-      | Set_event ev -> Some (T_ev_set (Hashtbl.find event_idx ev))
-      | Reset_event ev -> Some (T_ev_reset (Hashtbl.find event_idx ev))
-      | Sem_p sm -> Some (T_sem_wait (Hashtbl.find sem_idx sm))
-      | Sem_v sm -> Some (T_sem_post (Hashtbl.find sem_idx sm))
-      | Yield -> Some T_yield
-      | Sleep -> Some T_sleep
-      | Skip -> None
-      | Atomic b ->
-        let rec first_global bl =
-          List.find_map
-            (fun (s : stmt) ->
-              match s.kind with
-              | Local (_, e) | Assert (e, _) -> first_of_exprs [ e ]
-              | Assign (Lname (_, n), e) ->
-                if is_local n then first_of_exprs [ e ] else Some n
-              | Assign (Lindex (_, a, _), _) -> Some a
-              | If (c, t, f) ->
-                (match first_of_exprs [ c ] with
-                 | Some g -> Some g
-                 | None ->
-                   (match first_global t with Some g -> Some g | None -> first_global f))
-              | While (c, b) ->
-                (match first_of_exprs [ c ] with Some g -> Some g | None -> first_global b)
-              | Skip -> None
-              | Atomic b -> first_global b
-              | Lock _ | Unlock _ | Wait _ | Set_event _ | Reset_event _ | Sem_p _
-              | Sem_v _ | Yield | Sleep -> None)
-            bl
-        and first_of_exprs exprs =
-          match
-            List.concat_map (fun e -> Sema.globals_read info ~thread:tname e) exprs
-          with
-          | [] -> None
-          | g :: _ -> Some g
-        in
-        (match first_global b with
-         | Some g -> Some (T_var_rmw (Hashtbl.find var_idx g))
-         | None -> None)
+      Option.map template_of
+        (Stmt_op.of_stmt info ~thread:tname ~is_local ~invisible s)
     in
 
     let buf = Buf.create () in
@@ -416,7 +374,12 @@ let compile (prog : program) : t =
         | Some apos -> emit op_afuel [ pos_id apos ]
         | None ->
           (match stmt_template s with
-           | Some t -> emit op_sched [ Tbl.add ops t ]
+           | Some t ->
+             let idx = Tbl.add ops t in
+             let idx' = Tbl.add op_stmts s.id in
+             let idx'' = Tbl.add op_threads tidx in
+             assert (idx = idx' && idx = idx'');
+             emit op_sched [ idx ]
            | None -> emit op_fuel [ pos_id s.pos ])
       in
       match s.kind with
@@ -483,13 +446,15 @@ let compile (prog : program) : t =
       t_stack = !max_depth }
   in
 
-  let threads = List.map compile_thread (Ast.threads prog) in
+  let threads = List.mapi compile_thread (Ast.threads prog) in
   { c_name = prog.prog_name;
     c_regs = Array.of_list (List.rev !regs);
     c_nslots = !nslots;
     c_init = init;
     c_globals = Array.of_list globals;
     c_ops = Tbl.contents ops;
+    c_op_stmt = Tbl.contents op_stmts;
+    c_op_thread = Tbl.contents op_threads;
     c_pos = Tbl.contents poss;
     c_names = Tbl.contents names;
     c_msgs = Tbl.contents msgs;

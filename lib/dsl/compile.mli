@@ -53,14 +53,21 @@ type t = {
   c_globals : (string * int * int) array;
       (** name, base slot, size (0 = scalar) — for store inspection *)
   c_ops : op_template array;
+  c_op_stmt : int array;
+      (** SCHED operand -> AST statement id (for the static-analysis layer:
+          diagnostics positions, per-site visibility) *)
+  c_op_thread : int array;  (** SCHED operand -> thread index *)
   c_pos : Ast.pos array;
   c_names : string array;
   c_msgs : string array;
   c_threads : thread_code array;
 }
 
-val compile : Ast.program -> t
-(** @raise Sema.Error on static errors. *)
+val compile : ?invisible:(string -> bool) -> Ast.program -> t
+(** [invisible] names globals proven thread-local by the static-analysis
+    layer: statements whose operation involves only them compile to FUEL
+    instead of SCHED (transition merging). Defaults to nothing.
+    @raise Sema.Error on static errors. *)
 
 (** {2 Opcodes}
 

@@ -8,6 +8,7 @@ module Token = Token
 module Lexer = Lexer
 module Parser = Parser
 module Sema = Sema
+module Stmt_op = Stmt_op
 module Machine = Machine
 module Compile = Compile
 module Vm = Vm
@@ -20,8 +21,10 @@ let backend_of_interp : Fairmc_core.Search_config.interp -> backend = function
   | Fairmc_core.Search_config.Vm -> `Vm
   | Fairmc_core.Search_config.Ast -> `Ast
 
-let compile ?(backend = `Vm) ast =
-  match backend with `Vm -> Vm.compile ast | `Ast -> Machine.compile ast
+let compile ?(backend = `Vm) ?invisible ast =
+  match backend with
+  | `Vm -> Vm.compile ?invisible ast
+  | `Ast -> Machine.compile ?invisible ast
 
 (** [load_string src] parses, checks, and compiles a ChessLang program. *)
 let load_string ?name ?backend src = compile ?backend (Parser.parse_string ?name src)

@@ -145,83 +145,34 @@ and pos_of = function
   | Int _ | Binop _ | Unop _ -> { line = 0; col = 0 }
 
 (* The single engine operation a statement performs, or [None] for silent
-   statements. *)
-let op_of_stmt (info : Sema.info) o tm (s : stmt) : Op.t option =
-  let prim_op e =
-    match Sema.effectful e with
-    | Some (Try_lock (_, m)) -> Some (Op.Try_lock (Sync.Mutex.id (Hashtbl.find o.mutexes m)))
-    | Some (Timed_lock (_, m)) ->
-      Some (Op.Timed_lock (Sync.Mutex.id (Hashtbl.find o.mutexes m)))
-    | Some (Timed_wait (_, ev)) ->
-      Some (Op.Ev_timed_wait (Sync.Event.id (Hashtbl.find o.events ev)))
-    | Some (Sem_try (_, sm)) ->
-      Some (Op.Sem_timed_wait (Sync.Semaphore.id (Hashtbl.find o.sems sm)))
-    | Some (Choose (_, n)) -> Some (Op.Choose n)
-    | Some _ | None -> None
-  in
-  let read_op exprs =
-    match List.concat_map (fun e -> Sema.globals_read info ~thread:tm.tname e) exprs with
-    | [] -> None
-    | g :: _ -> Some (Op.Var_read (Hashtbl.find o.var_obj g))
-  in
-  let expr_op exprs =
-    match List.find_map prim_op exprs with
-    | Some op -> Some op
-    | None -> read_op exprs
-  in
-  match s.kind with
-  | Local (_, e) | Assert (e, _) -> expr_op [ e ]
-  | Assign (Lname (_, n), e) when not (is_local_name tm n) ->
-    (* Write to a global: one write transition (reads fold into it). *)
-    (match prim_op e with
-     | Some op -> Some op
-     | None -> Some (Op.Var_write (Hashtbl.find o.var_obj n)))
-  | Assign (Lname _, e) -> expr_op [ e ]
-  | Assign (Lindex (_, a, i), e) ->
-    (match expr_op [ e; i ] with
-     | Some (Op.Var_read _) | None -> Some (Op.Var_write (Hashtbl.find o.var_obj a))
-     | Some op -> Some op)
-  | If (c, _, _) | While (c, _) -> expr_op [ c ]
-  | Lock m -> Some (Op.Lock (Sync.Mutex.id (Hashtbl.find o.mutexes m)))
-  | Unlock m -> Some (Op.Unlock (Sync.Mutex.id (Hashtbl.find o.mutexes m)))
-  | Wait ev -> Some (Op.Ev_wait (Sync.Event.id (Hashtbl.find o.events ev)))
-  | Set_event ev -> Some (Op.Ev_set (Sync.Event.id (Hashtbl.find o.events ev)))
-  | Reset_event ev -> Some (Op.Ev_reset (Sync.Event.id (Hashtbl.find o.events ev)))
-  | Sem_p sm -> Some (Op.Sem_wait (Sync.Semaphore.id (Hashtbl.find o.sems sm)))
-  | Sem_v sm -> Some (Op.Sem_post (Sync.Semaphore.id (Hashtbl.find o.sems sm)))
-  | Yield -> Some Op.Yield
-  | Sleep -> Some Op.Sleep
-  | Skip -> None
-  | Atomic b ->
-    (* The whole block is one transition, presented to the scheduler as an
-       interlocked operation on the first global it touches. *)
-    let rec first_global bl =
-      List.find_map
-        (fun (s : stmt) ->
-          match s.kind with
-          | Local (_, e) | Assert (e, _) -> first_of_exprs [ e ]
-          | Assign (Lname (_, n), e) ->
-            if is_local_name tm n then first_of_exprs [ e ] else Some n
-          | Assign (Lindex (_, a, _), _) -> Some a
-          | If (c, t, f) ->
-            (match first_of_exprs [ c ] with
-             | Some g -> Some g
-             | None -> (match first_global t with Some g -> Some g | None -> first_global f))
-          | While (c, b) ->
-            (match first_of_exprs [ c ] with Some g -> Some g | None -> first_global b)
-          | Skip -> None
-          | Atomic b -> first_global b
-          | Lock _ | Unlock _ | Wait _ | Set_event _ | Reset_event _ | Sem_p _
-          | Sem_v _ | Yield | Sleep -> None)
-        bl
-    and first_of_exprs exprs =
-      match List.concat_map (fun e -> Sema.globals_read info ~thread:tm.tname e) exprs with
-      | [] -> None
-      | g :: _ -> Some g
-    in
-    (match first_global b with
-     | Some g -> Some (Op.Var_rmw (Hashtbl.find o.var_obj g))
-     | None -> None)
+   statements: the shared {!Stmt_op} rule (also used by the compiler),
+   mapped to this boot's runtime objects. *)
+let op_of_stmt (info : Sema.info) ~invisible o tm (s : stmt) : Op.t option =
+  match
+    Stmt_op.of_stmt info ~thread:tm.tname ~is_local:(is_local_name tm) ~invisible s
+  with
+  | None -> None
+  | Some a ->
+    Some
+      (match a with
+       | A_lock m -> Op.Lock (Sync.Mutex.id (Hashtbl.find o.mutexes m))
+       | A_try_lock m -> Op.Try_lock (Sync.Mutex.id (Hashtbl.find o.mutexes m))
+       | A_timed_lock m -> Op.Timed_lock (Sync.Mutex.id (Hashtbl.find o.mutexes m))
+       | A_unlock m -> Op.Unlock (Sync.Mutex.id (Hashtbl.find o.mutexes m))
+       | A_sem_wait sm -> Op.Sem_wait (Sync.Semaphore.id (Hashtbl.find o.sems sm))
+       | A_sem_timed_wait sm ->
+         Op.Sem_timed_wait (Sync.Semaphore.id (Hashtbl.find o.sems sm))
+       | A_sem_post sm -> Op.Sem_post (Sync.Semaphore.id (Hashtbl.find o.sems sm))
+       | A_ev_wait ev -> Op.Ev_wait (Sync.Event.id (Hashtbl.find o.events ev))
+       | A_ev_timed_wait ev -> Op.Ev_timed_wait (Sync.Event.id (Hashtbl.find o.events ev))
+       | A_ev_set ev -> Op.Ev_set (Sync.Event.id (Hashtbl.find o.events ev))
+       | A_ev_reset ev -> Op.Ev_reset (Sync.Event.id (Hashtbl.find o.events ev))
+       | A_var_read v -> Op.Var_read (Hashtbl.find o.var_obj v)
+       | A_var_write v -> Op.Var_write (Hashtbl.find o.var_obj v)
+       | A_var_rmw v -> Op.Var_rmw (Hashtbl.find o.var_obj v)
+       | A_choose n -> Op.Choose n
+       | A_yield -> Op.Yield
+       | A_sleep -> Op.Sleep)
 
 (* Execute statement [s] (already at the head of the top frame, already
    "performed" with primitive result in [prim]); updates the frame stack. *)
@@ -308,21 +259,21 @@ let stmt_has_primitive (s : stmt) =
    their engine operation first. *)
 (* [op_of_stmt] + [stmt_has_primitive], computed once per statement per
    boot (statement ids are parser-unique, so a flat array serves). *)
-let cached_op info o tm (s : stmt) =
+let cached_op info ~invisible o tm (s : stmt) =
   match tm.op_cache.(s.id) with
   | Some c -> c
   | None ->
-    let c = (op_of_stmt info o tm s, stmt_has_primitive s) in
+    let c = (op_of_stmt info ~invisible o tm s, stmt_has_primitive s) in
     tm.op_cache.(s.id) <- Some c;
     c
 
-let thread_body (info : Sema.info) o tm () =
+let thread_body (info : Sema.info) ~invisible o tm () =
   let fuel = ref silent_fuel in
   let rec go () =
     match current tm with
     | None -> ()
     | Some (s, rest, parents) -> (
-      match cached_op info o tm s with
+      match cached_op info ~invisible o tm s with
       | None, _ ->
         decr fuel;
         if !fuel <= 0 then
@@ -376,7 +327,7 @@ let max_stmt_id (prog : program) =
   List.iter (fun (_, b) -> go_block b) (Ast.threads prog);
   !m
 
-let boot (prog : program) (info : Sema.info) () =
+let boot ?(invisible = Stmt_op.no_invisible) (prog : program) (info : Sema.info) () =
   let o = build_objects info in
   init_slots prog o;
   let cache_len = max_stmt_id prog + 1 in
@@ -400,21 +351,21 @@ let boot (prog : program) (info : Sema.info) () =
       (Ast.threads prog)
   in
   ( (o, tms),
-    { Program.threads = List.map (fun tm -> thread_body info o tm) tms;
+    { Program.threads = List.map (fun tm -> thread_body info ~invisible o tm) tms;
       snapshot = Some (snapshot o tms) } )
 
-let compile (prog : program) =
+let compile ?invisible (prog : program) =
   let info = Sema.check prog in
-  Program.make ~name:prog.prog_name (fun () -> snd (boot prog info ()))
+  Program.make ~name:prog.prog_name (fun () -> snd (boot ?invisible prog info ()))
 
 (* Final-store dump of the most recent boot, mirroring [Vm.compile_inspect]:
    globals (array cells as "a[i]") then initialized locals ("thread.name"). *)
-let compile_inspect (prog : program) =
+let compile_inspect ?invisible (prog : program) =
   let info = Sema.check prog in
   let last = ref None in
   let p =
     Program.make ~name:prog.prog_name (fun () ->
-        let st, booted = boot prog info () in
+        let st, booted = boot ?invisible prog info () in
         last := Some st;
         booted)
   in

@@ -14,10 +14,14 @@
     get precise state-coverage measurement for free, where native workloads
     need manual abstraction (paper §4.2.1). *)
 
-val compile : Ast.program -> Fairmc_core.Program.t
-(** @raise Sema.Error on static errors. *)
+val compile : ?invisible:(string -> bool) -> Ast.program -> Fairmc_core.Program.t
+(** [invisible] names globals proven thread-local by the static-analysis
+    layer; statements touching only them run silently (transition
+    merging) — the same rule the bytecode backend applies, via
+    {!Stmt_op}. @raise Sema.Error on static errors. *)
 
 val compile_inspect :
+  ?invisible:(string -> bool) ->
   Ast.program -> Fairmc_core.Program.t * (unit -> (string * int) list)
 (** [compile_inspect prog] also returns a dump of the most recent boot's
     final store — globals (array cells as ["a\[i\]"]) then initialized

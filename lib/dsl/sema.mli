@@ -28,5 +28,10 @@ val effectful : Ast.expr -> Ast.expr option
 (** The unique effectful primitive of an expression, if any (post-[check]
     there is at most one per statement). *)
 
+val effectful_list : Ast.expr -> Ast.expr list
+(** Every effectful primitive of an expression, in evaluation order
+    (pre-[check] there may be several; [check] rejects more than one per
+    statement). *)
+
 val globals_read : info -> thread:string -> Ast.expr -> string list
 (** Global scalars/arrays read by an expression, in evaluation order. *)

@@ -281,13 +281,13 @@ let boot (c : C.t) () =
 let program_of (c : C.t) =
   Program.make ~name:c.C.c_name (fun () -> snd (boot c ()))
 
-let compile (prog : Ast.program) = program_of (Compile.compile prog)
+let compile ?invisible (prog : Ast.program) = program_of (Compile.compile ?invisible prog)
 
 (* [compile_inspect] additionally returns a dump of the most recent boot's
    store — globals (array cells as "a[i]") then initialized locals
    ("thread.name") — for differential final-state comparison in tests. *)
-let compile_inspect (prog : Ast.program) =
-  let c = Compile.compile prog in
+let compile_inspect ?invisible (prog : Ast.program) =
+  let c = Compile.compile ?invisible prog in
   let last = ref None in
   let p =
     Program.make ~name:c.C.c_name (fun () ->

@@ -14,10 +14,13 @@
     state partition: a bytecode pc determines the whole continuation, as
     control flow is structured. *)
 
-val compile : Ast.program -> Fairmc_core.Program.t
-(** @raise Sema.Error on static errors. *)
+val compile : ?invisible:(string -> bool) -> Ast.program -> Fairmc_core.Program.t
+(** [invisible] names globals proven thread-local by the static-analysis
+    layer; statements touching only them compile to FUEL instead of SCHED
+    (transition merging). @raise Sema.Error on static errors. *)
 
 val compile_inspect :
+  ?invisible:(string -> bool) ->
   Ast.program -> Fairmc_core.Program.t * (unit -> (string * int) list)
 (** [compile_inspect prog] also returns a dump of the most recent boot's
     final store — globals (array cells as ["a\[i\]"]) then initialized

@@ -1,0 +1,131 @@
+(* Per-thread control-flow graph over compiled bytecode.
+
+   Nodes are instruction start pcs of one thread's [t_code] array;
+   edges follow [Compile]'s fixed instruction widths. Conditional
+   branches whose operand is a literal ([PUSH c] immediately before a
+   [JZ]/[JNZ]) are folded to their decided successor, so [while (1)]
+   has no exit edge and [if (0)] has no then-edge — this is what lets
+   the lint pass see dead code behind constant guards and lets the
+   visibility pass see that a silent loop never exits. *)
+
+module C = Fairmc_dsl.Compile
+
+type t = {
+  code : int array;
+  starts : int array;  (* instruction start pcs, ascending *)
+  succs : int list array;  (* indexed by pc; [] for non-start cells *)
+}
+
+let build (code : int array) : t =
+  let n = Array.length code in
+  (* Jump targets: a conditional branch that is itself a target may be
+     reached with a value produced on another path, so the PUSH that
+     linearly precedes it does not decide it. *)
+  let is_target = Array.make (max n 1) false in
+  let pc = ref 0 in
+  while !pc < n do
+    let op = code.(!pc) in
+    if op = C.op_jmp || op = C.op_jz || op = C.op_jnz then
+      is_target.(code.(!pc + 1)) <- true;
+    pc := !pc + C.width op
+  done;
+  let starts = ref [] in
+  let succs = Array.make (max n 1) [] in
+  let prev = ref (-1) in
+  let pc = ref 0 in
+  while !pc < n do
+    let p = !pc in
+    let op = code.(p) in
+    let next = p + C.width op in
+    starts := p :: !starts;
+    let folded_const =
+      (* The value a JZ/JNZ at [p] tests, when decided at compile time:
+         the linearly preceding instruction pushes a literal and no jump
+         can land on [p] with a different value. *)
+      if !prev >= 0 && code.(!prev) = C.op_push && not (is_target.(p)) then
+        Some code.(!prev + 1)
+      else None
+    in
+    succs.(p) <-
+      (if op = C.op_halt then []
+       else if op = C.op_jmp then [ code.(p + 1) ]
+       else if op = C.op_jz then
+         (match folded_const with
+          | Some c -> if c = 0 then [ code.(p + 1) ] else [ next ]
+          | None -> [ next; code.(p + 1) ])
+       else if op = C.op_jnz then
+         (match folded_const with
+          | Some c -> if c <> 0 then [ code.(p + 1) ] else [ next ]
+          | None -> [ next; code.(p + 1) ])
+       else [ next ]);
+    prev := p;
+    pc := next
+  done;
+  { code; starts = Array.of_list (List.rev !starts); succs }
+
+let succ t pc = t.succs.(pc)
+
+let reachable t : bool array =
+  let seen = Array.make (max (Array.length t.code) 1) false in
+  let rec go pc =
+    if not seen.(pc) then begin
+      seen.(pc) <- true;
+      List.iter go t.succs.(pc)
+    end
+  in
+  if Array.length t.code > 0 then go 0;
+  seen
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan's strongly-connected components, generic over int nodes.
+   Returned components are those that contain a cycle: more than one
+   node, or a single node with a self-edge. *)
+
+let cyclic_sccs ~(nodes : int list) ~(succ : int -> int list) : int list list =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succ v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      let is_cycle =
+        match comp with
+        | [ w ] -> List.mem w (succ w)
+        | _ :: _ :: _ -> true
+        | [] -> false
+      in
+      if is_cycle then out := List.sort compare comp :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) nodes;
+  List.rev !out
+
+let cycles t =
+  cyclic_sccs ~nodes:(Array.to_list t.starts) ~succ:(fun pc -> t.succs.(pc))

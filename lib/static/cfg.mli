@@ -1,0 +1,27 @@
+(** Per-thread control-flow graph over compiled ChessLang bytecode.
+
+    Nodes are instruction start pcs of one thread's code array; edges
+    follow {!Compile}'s fixed instruction widths, with conditional
+    branches on compile-time constants ([PUSH c; JZ]/[JNZ]) folded to
+    their decided successor. Feeds the dead-code and silent-loop lint
+    rules and the visibility pass's merging veto. *)
+
+type t
+
+val build : int array -> t
+
+val succ : t -> int -> int list
+(** Successor pcs of the instruction starting at [pc]. *)
+
+val reachable : t -> bool array
+(** [reachable g].(pc) — is the instruction at [pc] reachable from the
+    thread entry (pc 0)? Indexed by code position; false on non-start
+    cells. *)
+
+val cycles : t -> int list list
+(** The strongly-connected components that contain a cycle (more than
+    one instruction, or a self-loop), as ascending pc lists. *)
+
+val cyclic_sccs : nodes:int list -> succ:(int -> int list) -> int list list
+(** Generic Tarjan over an arbitrary int-node graph (used for the
+    static lock-order graph); same cycle-only filtering as {!cycles}. *)

@@ -1,0 +1,469 @@
+(* `chess lint`: static diagnostics over a checked ChessLang program.
+
+   Rules (severities in brackets):
+     double-lock      [error]   mutex acquired while provably already held
+     unlock-unheld    [error]   mutex released where it cannot be held
+     lock-inversion   [error]   cycle in the static lock-order graph
+     never-signaled   [error]   blocking wait on an event no thread sets /
+                                a 0-initial semaphore no thread posts
+     silent-loop      [error]   reachable loop with no scheduling point and
+                                no exit edge: burns the engine's silent fuel
+     race-candidate   [warning] shared global written without a common
+                                protecting lock across its access sites
+     dead-code        [warning] statements unreachable in the bytecode CFG
+                                (constant guards folded)
+     unused-global    [note]    declaration never referenced by any thread
+     unused-local     [note]    thread local never read
+
+   Locksets come from a per-thread forward dataflow over the statement
+   tree: must-held (set intersection at joins) drives double-lock,
+   lock-order edges, and race candidates; may-held (union at joins)
+   drives unlock-unheld. try/timed acquisitions only ever enter
+   may-held — holding them is conditional on success, so they protect
+   nothing and release nowhere. While loops iterate to a fixpoint
+   before one reporting pass over the body.
+
+   Everything is conservative in the advisory direction: a finding
+   means "the engine can be driven into this" only up to the usual
+   static over-approximation — which is why dekker/peterson flag
+   race-candidate (they synchronize through bare shared variables by
+   design), and why the rule is a warning, not an error. *)
+
+module SSet = Set.Make (String)
+module Json = Fairmc_util.Json
+module Ast = Fairmc_dsl.Ast
+module Sema = Fairmc_dsl.Sema
+module Stmt_op = Fairmc_dsl.Stmt_op
+module Compile = Fairmc_dsl.Compile
+
+type severity = Error | Warning | Note
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Note -> "note"
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: %s: %s [%s]" f.file f.line f.col
+    (severity_name f.severity) f.message f.rule
+
+let compare_finding a b =
+  compare
+    (a.file, a.line, a.col, a.rule, a.message)
+    (b.file, b.line, b.col, b.rule, b.message)
+
+(* ------------------------------------------------------------------ *)
+
+let stmt_exprs (s : Ast.stmt) =
+  match s.kind with
+  | Local (_, e) | Assert (e, _) | Assign (Lname (_, _), e) -> [ e ]
+  | Assign (Lindex (_, _, i), e) -> [ i; e ]
+  | If (c, _, _) | While (c, _) -> [ c ]
+  | Lock _ | Unlock _ | Wait _ | Set_event _ | Reset_event _ | Sem_p _ | Sem_v _
+  | Yield | Sleep | Skip | Atomic _ -> []
+
+let rec expr_reads acc (e : Ast.expr) =
+  match e with
+  | Name (_, n) -> n :: acc
+  | Index (_, a, i) -> expr_reads (a :: acc) i
+  | Binop (_, x, y) -> expr_reads (expr_reads acc x) y
+  | Unop (_, x) -> expr_reads acc x
+  | Int _ | Try_lock _ | Timed_lock _ | Timed_wait _ | Sem_try _ | Choose _ -> acc
+
+let run ?file (prog : Ast.program) : finding list =
+  let info = Sema.check prog in
+  let threads = Ast.threads prog in
+  let file = Option.value ~default:prog.prog_name file in
+  let out = ref [] in
+  let add ~rule ~severity ~(pos : Ast.pos) fmt =
+    Format.kasprintf
+      (fun message ->
+        out :=
+          { rule; severity; file; line = pos.line; col = pos.col; message } :: !out)
+      fmt
+  in
+  let pos_le (a : Ast.pos) (b : Ast.pos) = (a.line, a.col) <= (b.line, b.col) in
+
+  (* ---------------- lockset dataflow ---------------- *)
+  let must_at : (int, SSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let lock_edges = ref [] in (* held mutex, acquired mutex, acquisition pos *)
+  let silent_depth = ref 0 in
+  let emitting () = !silent_depth = 0 in
+  let rec walk (must, may) (s : Ast.stmt) : SSet.t * SSet.t =
+    Hashtbl.replace must_at s.id must;
+    (* try/timed acquisitions inside expressions: conditionally held. *)
+    let may =
+      List.fold_left
+        (fun may e ->
+          List.fold_left
+            (fun may p ->
+              match (p : Ast.expr) with
+              | Try_lock (pp, m) | Timed_lock (pp, m) ->
+                if emitting () then
+                  SSet.iter
+                    (fun h ->
+                      if h <> m then lock_edges := (h, m, pp) :: !lock_edges)
+                    must;
+                SSet.add m may
+              | _ -> may)
+            may (Sema.effectful_list e))
+        may (stmt_exprs s)
+    in
+    let st = (must, may) in
+    match s.kind with
+    | Lock m ->
+      if SSet.mem m must && emitting () then
+        add ~rule:"double-lock" ~severity:Error ~pos:s.pos
+          "mutex '%s' is acquired while already held: self-deadlock" m;
+      if emitting () then
+        SSet.iter
+          (fun h -> if h <> m then lock_edges := (h, m, s.pos) :: !lock_edges)
+          must;
+      (SSet.add m must, SSet.add m may)
+    | Unlock m ->
+      if (not (SSet.mem m may)) && emitting () then
+        add ~rule:"unlock-unheld" ~severity:Error ~pos:s.pos
+          "mutex '%s' is released but cannot be held here" m;
+      (SSet.remove m must, SSet.remove m may)
+    | If (_, t, f) ->
+      let mt, yt = walk_block st t in
+      let mf, yf = walk_block st f in
+      (SSet.inter mt mf, SSet.union yt yf)
+    | While (_, b) ->
+      (* Head state = meet of the entry state and every back edge. *)
+      let rec iter head =
+        incr silent_depth;
+        let am, ay = walk_block head b in
+        decr silent_depth;
+        let head' = (SSet.inter (fst head) am, SSet.union (snd head) ay) in
+        if SSet.equal (fst head') (fst head) && SSet.equal (snd head') (snd head)
+        then head
+        else iter head'
+      in
+      let head = iter st in
+      Hashtbl.replace must_at s.id (fst head);
+      ignore (walk_block head b);
+      head
+    | _ -> st
+  and walk_block st b = List.fold_left walk st b
+  in
+  List.iter
+    (fun (_, body) -> ignore (walk_block (SSet.empty, SSet.empty) body))
+    threads;
+
+  (* ---------------- lock-order inversion ---------------- *)
+  let mutex_idx = Hashtbl.create 8 in
+  let midx = ref 0 in
+  List.iter
+    (fun (n, k) ->
+      match (k : Sema.gkind) with
+      | Mutex ->
+        Hashtbl.replace mutex_idx n !midx;
+        incr midx
+      | _ -> ())
+    info.Sema.kinds;
+  let mutex_of_idx = Array.make (max !midx 1) "" in
+  Hashtbl.iter (fun n i -> mutex_of_idx.(i) <- n) mutex_idx;
+  let succs = Array.make (max !midx 1) [] in
+  List.iter
+    (fun (h, m, _) ->
+      let i = Hashtbl.find mutex_idx h and j = Hashtbl.find mutex_idx m in
+      if not (List.mem j succs.(i)) then succs.(i) <- j :: succs.(i))
+    !lock_edges;
+  List.iter
+    (fun comp ->
+      let names = List.sort compare (List.map (fun i -> mutex_of_idx.(i)) comp) in
+      let in_comp m = List.mem (Hashtbl.find mutex_idx m) comp in
+      let pos =
+        List.fold_left
+          (fun best (h, m, p) ->
+            if in_comp h && in_comp m then
+              match best with
+              | Some b when pos_le b p -> best
+              | _ -> Some p
+            else best)
+          None !lock_edges
+      in
+      match pos with
+      | Some pos ->
+        add ~rule:"lock-inversion" ~severity:Error ~pos
+          "mutexes %s are acquired in conflicting orders (potential deadlock cycle)"
+          (String.concat ", " (List.map (fun n -> "'" ^ n ^ "'") names))
+      | None -> ())
+    (Cfg.cyclic_sccs
+       ~nodes:(List.init !midx Fun.id)
+       ~succ:(fun i -> succs.(i)));
+
+  (* ---------------- race candidates ---------------- *)
+  let var_sites : (string, (string * bool * Ast.pos * SSet.t) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (tname, body) ->
+      List.iter
+        (fun (s : Ast.stmt) ->
+          let fp = Stmt_op.footprint info ~thread:tname s in
+          let must = Option.value ~default:SSet.empty (Hashtbl.find_opt must_at s.id) in
+          let site write n =
+            let cur = Option.value ~default:[] (Hashtbl.find_opt var_sites n) in
+            Hashtbl.replace var_sites n ((tname, write, s.pos, must) :: cur)
+          in
+          List.iter (site false) fp.Stmt_op.fp_reads;
+          List.iter (site true) fp.Stmt_op.fp_writes)
+        (Visibility.transitions body))
+    threads;
+  List.iter
+    (fun (n, k) ->
+      match (k : Sema.gkind) with
+      | Scalar | Array _ ->
+        let sites = Option.value ~default:[] (Hashtbl.find_opt var_sites n) in
+        let threads_touching =
+          SSet.elements (SSet.of_list (List.map (fun (t, _, _, _) -> t) sites))
+        in
+        let writes = List.exists (fun (_, w, _, _) -> w) sites in
+        let common =
+          match sites with
+          | [] -> SSet.empty
+          | (_, _, _, m0) :: rest ->
+            List.fold_left (fun acc (_, _, _, m) -> SSet.inter acc m) m0 rest
+        in
+        if List.length threads_touching >= 2 && writes && SSet.is_empty common
+        then begin
+          let pos =
+            List.fold_left
+              (fun best (_, _, p, _) ->
+                match best with Some b when pos_le b p -> best | _ -> Some p)
+              None sites
+          in
+          match pos with
+          | Some pos ->
+            add ~rule:"race-candidate" ~severity:Warning ~pos
+              "global '%s' is accessed by threads %s with no common protecting lock"
+              n
+              (String.concat ", "
+                 (List.map (fun t -> "'" ^ t ^ "'") threads_touching))
+          | None -> ()
+        end
+      | _ -> ())
+    info.Sema.kinds;
+
+  (* ---------------- never-signaled waits ---------------- *)
+  let waited = Hashtbl.create 8 (* event/sem -> first blocking-wait pos *) in
+  let signaled = Hashtbl.create 8 in
+  let note_wait n pos =
+    match Hashtbl.find_opt waited n with
+    | Some p when pos_le p pos -> ()
+    | _ -> Hashtbl.replace waited n pos
+  in
+  let rec scan_stmt (s : Ast.stmt) =
+    (match s.kind with
+     | Wait ev -> note_wait ev s.pos
+     | Sem_p sm -> note_wait sm s.pos
+     | Set_event ev -> Hashtbl.replace signaled ev ()
+     | Sem_v sm -> Hashtbl.replace signaled sm ()
+     | _ -> ());
+    match s.kind with
+    | If (_, t, f) ->
+      List.iter scan_stmt t;
+      List.iter scan_stmt f
+    | While (_, b) | Atomic b -> List.iter scan_stmt b
+    | _ -> ()
+  in
+  List.iter (fun (_, body) -> List.iter scan_stmt body) threads;
+  List.iter
+    (fun (n, k) ->
+      match (k : Sema.gkind), Hashtbl.find_opt waited n with
+      | Event _, Some pos when not (Hashtbl.mem signaled n) ->
+        add ~rule:"never-signaled" ~severity:Error ~pos
+          "event '%s' is waited on but never set: waiters block forever" n
+      | Sem 0, Some pos when not (Hashtbl.mem signaled n) ->
+        add ~rule:"never-signaled" ~severity:Error ~pos
+          "semaphore '%s' starts at 0 and is never posted: waiters block forever"
+          n
+      | _ -> ())
+    info.Sema.kinds;
+
+  (* ---------------- silent loops and dead code (bytecode CFG) ------- *)
+  let stmt_by_id : (int, Ast.stmt) Hashtbl.t = Hashtbl.create 64 in
+  let rec index_stmt (s : Ast.stmt) =
+    Hashtbl.replace stmt_by_id s.id s;
+    match s.kind with
+    | If (_, t, f) ->
+      List.iter index_stmt t;
+      List.iter index_stmt f
+    | While (_, b) | Atomic b -> List.iter index_stmt b
+    | _ -> ()
+  in
+  List.iter (fun (_, b) -> List.iter index_stmt b) threads;
+  let compiled = Compile.compile prog in
+  Array.iter
+    (fun (tc : Compile.thread_code) ->
+      let g = Cfg.build tc.t_code in
+      let reach = Cfg.reachable g in
+      List.iter
+        (fun comp ->
+          let reachable = List.exists (fun p -> reach.(p)) comp in
+          let has_sched =
+            List.exists (fun p -> tc.t_code.(p) = Compile.op_sched) comp
+          in
+          let escapes =
+            List.exists
+              (fun p -> List.exists (fun q -> not (List.mem q comp)) (Cfg.succ g p))
+              comp
+          in
+          if reachable && (not has_sched) && not escapes then begin
+            let pos =
+              match
+                List.find_opt (fun p -> tc.t_code.(p) = Compile.op_fuel) comp
+              with
+              | Some p -> compiled.Compile.c_pos.(tc.t_code.(p + 1))
+              | None -> { Ast.line = 0; col = 0 }
+            in
+            add ~rule:"silent-loop" ~severity:Error ~pos
+              "thread '%s': loop has no scheduling point and never exits (burns silent fuel)"
+              tc.t_name
+          end)
+        (Cfg.cycles g);
+      (* Statement boundaries (SCHED/FUEL/AFUEL) the CFG cannot reach. *)
+      let dead = ref [] in
+      let pc = ref 0 in
+      let n = Array.length tc.t_code in
+      while !pc < n do
+        let op = tc.t_code.(!pc) in
+        if (not reach.(!pc))
+           && (op = Compile.op_sched || op = Compile.op_fuel || op = Compile.op_afuel)
+        then begin
+          let pos =
+            if op = Compile.op_sched then
+              let sid = compiled.Compile.c_op_stmt.(tc.t_code.(!pc + 1)) in
+              (Hashtbl.find stmt_by_id sid).Ast.pos
+            else compiled.Compile.c_pos.(tc.t_code.(!pc + 1))
+          in
+          dead := pos :: !dead
+        end;
+        pc := !pc + Compile.width op
+      done;
+      match List.sort compare (List.map (fun (p : Ast.pos) -> (p.line, p.col)) !dead) with
+      | [] -> ()
+      | (line, col) :: _ ->
+        add ~rule:"dead-code" ~severity:Warning ~pos:{ Ast.line; col }
+          "thread '%s': %d unreachable statement(s)" tc.t_name
+          (List.length !dead))
+    compiled.Compile.c_threads;
+
+  (* ---------------- unused declarations ---------------- *)
+  let accessors = Visibility.access_map info threads in
+  let decl_pos = function
+    | Ast.Dvar (p, n, _) | Darray (p, n, _, _) | Dmutex (p, n) | Dsem (p, n, _)
+    | Devent (p, n, _) -> Some (p, n)
+    | Dthread _ -> None
+  in
+  List.iter
+    (fun d ->
+      match decl_pos d with
+      | Some (pos, n)
+        when (match Hashtbl.find_opt accessors n with
+              | None -> true
+              | Some s -> SSet.is_empty s) ->
+        let kind_name =
+          match List.assoc n info.Sema.kinds with
+          | Sema.Scalar -> "variable"
+          | Array _ -> "array"
+          | Mutex -> "mutex"
+          | Sem _ -> "semaphore"
+          | Event _ -> "event"
+        in
+        add ~rule:"unused-global" ~severity:Note ~pos "%s '%s' is never used"
+          kind_name n
+      | _ -> ())
+    prog.Ast.decls;
+  List.iter
+    (fun (tname, body) ->
+      let locals =
+        Option.value ~default:[] (List.assoc_opt tname info.Sema.thread_locals)
+      in
+      let reads = ref SSet.empty in
+      let rec scan (s : Ast.stmt) =
+        List.iter
+          (fun e -> List.iter (fun n -> reads := SSet.add n !reads) (expr_reads [] e))
+          (stmt_exprs s);
+        match s.kind with
+        | If (_, t, f) ->
+          List.iter scan t;
+          List.iter scan f
+        | While (_, b) | Atomic b -> List.iter scan b
+        | _ -> ()
+      in
+      List.iter scan body;
+      List.iter
+        (fun n ->
+          if not (SSet.mem n !reads) then begin
+            (* Anchor at the local's first declaration. *)
+            let rec find_decl stmts =
+              List.find_map
+                (fun (s : Ast.stmt) ->
+                  match s.kind with
+                  | Local (m, _) when m = n -> Some s.pos
+                  | If (_, t, f) ->
+                    (match find_decl t with Some p -> Some p | None -> find_decl f)
+                  | While (_, b) | Atomic b -> find_decl b
+                  | _ -> None)
+                stmts
+            in
+            match find_decl body with
+            | Some pos ->
+              add ~rule:"unused-local" ~severity:Note ~pos
+                "local '%s' of thread '%s' is never read" n tname
+            | None -> ()
+          end)
+        (List.sort compare locals))
+    threads;
+
+  List.sort compare_finding !out
+
+(* ------------------------------------------------------------------ *)
+
+let by_rule findings =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace tbl f.rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.rule)))
+    findings;
+  List.sort compare (Hashtbl.fold (fun r n acc -> (r, n) :: acc) tbl [])
+
+let count_severity sev findings =
+  List.length (List.filter (fun f -> f.severity = sev) findings)
+
+let finding_to_json f =
+  Json.Obj
+    [ ("rule", Json.Str f.rule);
+      ("severity", Json.Str (severity_name f.severity));
+      ("file", Json.Str f.file);
+      ("line", Json.Int f.line);
+      ("col", Json.Int f.col);
+      ("message", Json.Str f.message) ]
+
+let to_json ~program findings =
+  Json.Obj
+    [ ("schema", Json.Str "fairmc-lint/1");
+      ("program", Json.Str program);
+      ("count", Json.Int (List.length findings));
+      ("errors", Json.Int (count_severity Error findings));
+      ("warnings", Json.Int (count_severity Warning findings));
+      ("notes", Json.Int (count_severity Note findings));
+      ( "by_rule",
+        Json.Obj (List.map (fun (r, n) -> (r, Json.Int n)) (by_rule findings)) );
+      ("findings", Json.Arr (List.map finding_to_json findings)) ]
+
+let summary_json findings =
+  Json.Obj
+    [ ("count", Json.Int (List.length findings));
+      ( "by_rule",
+        Json.Obj (List.map (fun (r, n) -> (r, Json.Int n)) (by_rule findings)) ) ]

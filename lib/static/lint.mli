@@ -1,0 +1,38 @@
+(** `chess lint`: static diagnostics over a ChessLang program.
+
+    Nine rules across three severities; see the implementation header
+    for the table. Findings are deterministic: sorted by
+    (file, line, col, rule, message). *)
+
+type severity = Error | Warning | Note
+
+val severity_name : severity -> string
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;  (** the program's name (its source path) *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+val compare_finding : finding -> finding -> int
+(** The (file, line, col, rule, message) order {!run} sorts by. *)
+
+val run : ?file:string -> Fairmc_dsl.Ast.program -> finding list
+(** All findings, sorted. [file] overrides the name findings carry
+    (default: the program's declared name); the CLI passes the source
+    path. @raise Fairmc_dsl.Sema.Error on static errors (lint runs
+    after the sema gate, like every other consumer). *)
+
+val to_string : finding -> string
+(** ["file:line:col: severity: message \[rule\]"]. *)
+
+val to_json : program:string -> finding list -> Fairmc_util.Json.t
+(** The [fairmc-lint/1] document: schema, program, count, per-severity
+    counts, by-rule counts, findings. *)
+
+val summary_json : finding list -> Fairmc_util.Json.t
+(** The compact [lint] block embedded in fairmc-report: count +
+    by-rule. *)

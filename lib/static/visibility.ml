@@ -1,0 +1,233 @@
+(* Visibility analysis: which globals can stop being scheduling points.
+
+   A global accessed by exactly one thread is thread-local in effect:
+   its reads and writes commute with every transition of every other
+   thread, so the SCHED suspension guarding them proves nothing — the
+   compiler can merge such transitions into their neighbors (emit FUEL
+   instead of SCHED), which shrinks the search tree exponentially on
+   local-state-heavy workloads without changing the set of reachable
+   states or verdicts.
+
+   One caveat keeps this an *analysis* rather than a filter: merging
+   must not create a cycle of silent transitions that was not silent
+   before. A loop whose every transition becomes silent burns the
+   engine's silent fuel — under the fair scheduler the unmerged program
+   livelocks (or terminates), the merged one would instead die with a
+   fuel-exhaustion runtime error, changing the verdict. So after
+   choosing a candidate set we compile, build each thread's bytecode
+   CFG, and veto candidates until no cycle both (a) contains a merged
+   site and (b) contains no remaining SCHED instruction. Cycles that
+   were already fully silent in the unmerged program are untouched —
+   they behave identically with the analysis on or off. *)
+
+module SSet = Set.Make (String)
+module Static_facts = Fairmc_core.Static_facts
+module Op = Fairmc_core.Op
+module Ast = Fairmc_dsl.Ast
+module Sema = Fairmc_dsl.Sema
+module Stmt_op = Fairmc_dsl.Stmt_op
+module Compile = Fairmc_dsl.Compile
+
+type result = {
+  invisible : string list;  (* merged globals, sorted *)
+  vetoed : string list;  (* candidates kept visible by the silent-loop veto *)
+  merged_sites : int;  (* SCHED sites removed by merging *)
+  facts : Static_facts.t;
+}
+
+exception Anomaly
+(* Internal: the veto could not make progress (no candidate to remove
+   from a vetoed cycle). Cannot happen by construction — a merged site
+   is silent only because some candidate made it so — but if it does,
+   we fall back to no merging rather than risk soundness. *)
+
+(* Every statement that is its own transition: If/While branch bodies
+   recursed into (their statements run later, separately), Atomic
+   blocks not (the whole block is one transition and
+   [Stmt_op.footprint] already covers it). *)
+let rec trans_stmts acc (s : Ast.stmt) =
+  let acc = s :: acc in
+  match s.kind with
+  | If (_, t, f) -> List.fold_left trans_stmts (List.fold_left trans_stmts acc t) f
+  | While (_, b) -> List.fold_left trans_stmts acc b
+  | _ -> acc
+
+let transitions body = List.rev (List.fold_left trans_stmts [] body)
+
+(* name -> set of thread names whose transitions may touch it. *)
+let access_map (info : Sema.info) threads =
+  let accessors : (string, SSet.t) Hashtbl.t = Hashtbl.create 16 in
+  let note tname n =
+    let cur = Option.value ~default:SSet.empty (Hashtbl.find_opt accessors n) in
+    Hashtbl.replace accessors n (SSet.add tname cur)
+  in
+  List.iter
+    (fun (tname, body) ->
+      List.iter
+        (fun s ->
+          let fp = Stmt_op.footprint info ~thread:tname s in
+          List.iter (note tname)
+            (fp.Stmt_op.fp_reads @ fp.Stmt_op.fp_writes @ fp.Stmt_op.fp_syncs))
+        (transitions body))
+    threads;
+  accessors
+
+let analyze (prog : Ast.program) : result =
+  let info = Sema.check prog in
+  let threads = Ast.threads prog in
+  let decl_idx = Hashtbl.create 16 in
+  List.iteri (fun i (n, _) -> Hashtbl.replace decl_idx n i) info.Sema.kinds;
+  let accessors = access_map info threads in
+  let candidates =
+    (* Scalars and arrays only: sync-object operations block and carry
+       state, so they stay scheduling points even when single-threaded. *)
+    List.filter_map
+      (fun (n, k) ->
+        match (k : Sema.gkind) with
+        | Scalar | Array _ ->
+          let nacc =
+            match Hashtbl.find_opt accessors n with
+            | Some s -> SSet.cardinal s
+            | None -> 0
+          in
+          if nacc <= 1 then Some n else None
+        | Mutex | Sem _ | Event _ -> None)
+      info.Sema.kinds
+  in
+  let stmt_by_id : (int, Ast.stmt) Hashtbl.t = Hashtbl.create 64 in
+  let rec index_stmt (s : Ast.stmt) =
+    Hashtbl.replace stmt_by_id s.id s;
+    match s.kind with
+    | If (_, t, f) ->
+      List.iter index_stmt t;
+      List.iter index_stmt f
+    | While (_, b) | Atomic b -> List.iter index_stmt b
+    | _ -> ()
+  in
+  List.iter (fun (_, b) -> List.iter index_stmt b) threads;
+  let plain = Compile.compile prog in
+  (* Merged sites of one thread: pcs where the plain compile has SCHED
+     and the merged compile has FUEL. Both opcodes are width 2, so the
+     two code arrays stay aligned instruction for instruction. *)
+  let merged_pcs (ptc : Compile.thread_code) (tc : Compile.thread_code) =
+    let n = Array.length tc.t_code in
+    assert (Array.length ptc.t_code = n);
+    let sites = ref [] in
+    let pc = ref 0 in
+    while !pc < n do
+      let op = tc.t_code.(!pc) in
+      if op = Compile.op_fuel && ptc.t_code.(!pc) = Compile.op_sched then
+        sites := !pc :: !sites;
+      pc := !pc + Compile.width op
+    done;
+    !sites
+  in
+  let rec fix v vetoed =
+    let merged = Compile.compile ~invisible:(fun n -> SSet.mem n v) prog in
+    let removals = ref SSet.empty in
+    Array.iteri
+      (fun ti (tc : Compile.thread_code) ->
+        let ptc = plain.Compile.c_threads.(ti) in
+        let msites = merged_pcs ptc tc in
+        if msites <> [] then
+          List.iter
+            (fun comp ->
+              let silent =
+                not (List.exists (fun p -> tc.t_code.(p) = Compile.op_sched) comp)
+              in
+              let has_merged = List.exists (fun p -> List.mem p msites) comp in
+              if silent && has_merged then begin
+                let names =
+                  List.concat_map
+                    (fun p ->
+                      if not (List.mem p msites) then []
+                      else begin
+                        let opidx = ptc.t_code.(p + 1) in
+                        let sid = plain.Compile.c_op_stmt.(opidx) in
+                        let s = Hashtbl.find stmt_by_id sid in
+                        let fp = Stmt_op.footprint info ~thread:tc.t_name s in
+                        List.filter
+                          (fun n -> SSet.mem n v)
+                          (fp.Stmt_op.fp_reads @ fp.Stmt_op.fp_writes)
+                      end)
+                    comp
+                in
+                match List.sort_uniq compare names with
+                | [] -> raise Anomaly
+                | x :: _ -> removals := SSet.add x !removals
+              end)
+            (Cfg.cycles (Cfg.build tc.t_code)))
+      merged.Compile.c_threads;
+    if SSet.is_empty !removals then (v, vetoed, merged)
+    else fix (SSet.diff v !removals) (SSet.union vetoed !removals)
+  in
+  let v, vetoed, merged =
+    try fix (SSet.of_list candidates) SSet.empty
+    with Anomaly -> (SSet.empty, SSet.empty, plain)
+  in
+  (* Every SCHED site appends one entry to [c_ops], so the table-length
+     difference is exactly the number of merged sites. *)
+  let merged_sites = Array.length plain.Compile.c_ops - Array.length merged.Compile.c_ops in
+  let facts =
+    Static_facts.create ~invisible:(SSet.elements v) ~merged_sites
+  in
+  (* The conflict table: engine object ids are declaration indices
+     (both backends register every declaration, in declaration order,
+     in one object store), so [decl_idx] is exactly the id the search
+     will see in each [Op.t]. *)
+  let op_of_action (a : Stmt_op.t) : Op.t =
+    let id n = Hashtbl.find decl_idx n in
+    match a with
+    | A_lock m -> Lock (id m)
+    | A_try_lock m -> Try_lock (id m)
+    | A_timed_lock m -> Timed_lock (id m)
+    | A_unlock m -> Unlock (id m)
+    | A_sem_wait s -> Sem_wait (id s)
+    | A_sem_timed_wait s -> Sem_timed_wait (id s)
+    | A_sem_post s -> Sem_post (id s)
+    | A_ev_wait e -> Ev_wait (id e)
+    | A_ev_timed_wait e -> Ev_timed_wait (id e)
+    | A_ev_set e -> Ev_set (id e)
+    | A_ev_reset e -> Ev_reset (id e)
+    | A_var_read g -> Var_read (id g)
+    | A_var_write g -> Var_write (id g)
+    | A_var_rmw g -> Var_rmw (id g)
+    | A_choose n -> Choose n
+    | A_yield -> Yield
+    | A_sleep -> Sleep
+  in
+  List.iteri
+    (fun tid (tname, body) ->
+      let locals =
+        Option.value ~default:[] (List.assoc_opt tname info.Sema.thread_locals)
+      in
+      let is_local n = List.mem n locals in
+      List.iter
+        (fun s ->
+          match
+            Stmt_op.of_stmt info ~thread:tname ~is_local
+              ~invisible:(fun n -> SSet.mem n v)
+              s
+          with
+          | None -> ()
+          | Some a ->
+            let fp = Stmt_op.footprint info ~thread:tname s in
+            (* Invisible globals cannot overlap across threads (single
+               accessor), so they are dropped; sync objects count as
+               writes (no sync op commutes with another on the same
+               object). *)
+            let ids l =
+              List.filter_map
+                (fun n ->
+                  if SSet.mem n v then None else Hashtbl.find_opt decl_idx n)
+                l
+            in
+            Static_facts.add facts ~tid ~op:(op_of_action a)
+              ~reads:(ids fp.Stmt_op.fp_reads)
+              ~writes:(ids (fp.Stmt_op.fp_writes @ fp.Stmt_op.fp_syncs)))
+        (transitions body))
+    threads;
+  { invisible = SSet.elements v;
+    vetoed = SSet.elements vetoed;
+    merged_sites;
+    facts }

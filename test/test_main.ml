@@ -19,6 +19,7 @@ let () =
       ("ltl", Test_ltl.suite);
       ("theorems", Test_theorems.suite);
       ("dsl", Test_dsl.suite);
+      ("static", Test_static.suite);
       ("checker", Test_checker.suite);
       ("extras", Test_extras.suite);
       ("analysis", Test_analysis.suite);

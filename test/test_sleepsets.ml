@@ -33,37 +33,37 @@ let qprops =
   [ QCheck.Test.make ~name:"independence is symmetric" ~count:500
       QCheck.(pair op_arb op_arb)
       (fun (a, b) ->
-        Indep.independent ~t1:0 ~op1:a ~t2:1 ~op2:b ~fair:false
-        = Indep.independent ~t1:1 ~op1:b ~t2:0 ~op2:a ~fair:false);
+        Indep.independent ~t1:0 ~op1:a ~t2:1 ~op2:b ~fair:false ()
+        = Indep.independent ~t1:1 ~op1:b ~t2:0 ~op2:a ~fair:false ());
     QCheck.Test.make ~name:"same thread is never independent" ~count:200
       QCheck.(pair op_arb op_arb)
-      (fun (a, b) -> not (Indep.independent ~t1:2 ~op1:a ~t2:2 ~op2:b ~fair:false));
+      (fun (a, b) -> not (Indep.independent ~t1:2 ~op1:a ~t2:2 ~op2:b ~fair:false ()));
     QCheck.Test.make ~name:"writes conflict with everything on the same object" ~count:500
       op_arb
       (fun a ->
         match Op.obj_of a with
         | Some o ->
-          not (Indep.independent ~t1:0 ~op1:a ~t2:1 ~op2:(Op.Var_write o) ~fair:false)
+          not (Indep.independent ~t1:0 ~op1:a ~t2:1 ~op2:(Op.Var_write o) ~fair:false ())
         | None -> true);
     QCheck.Test.make ~name:"fair mode makes yields dependent" ~count:200 op_arb
-      (fun a -> not (Indep.independent ~t1:0 ~op1:Op.Yield ~t2:1 ~op2:a ~fair:true)) ]
+      (fun a -> not (Indep.independent ~t1:0 ~op1:Op.Yield ~t2:1 ~op2:a ~fair:true ())) ]
 
 let unit_tests =
   [ Alcotest.test_case "reads of the same variable commute" `Quick (fun () ->
         check "read/read independent" true
           (Indep.independent ~t1:0 ~op1:(Op.Var_read 5) ~t2:1 ~op2:(Op.Var_read 5)
-             ~fair:false);
+             ~fair:false ());
         check "read/write dependent" false
           (Indep.independent ~t1:0 ~op1:(Op.Var_read 5) ~t2:1 ~op2:(Op.Var_write 5)
-             ~fair:false);
+             ~fair:false ());
         check "distinct vars independent" true
           (Indep.independent ~t1:0 ~op1:(Op.Var_write 5) ~t2:1 ~op2:(Op.Var_write 6)
-             ~fair:false));
+             ~fair:false ()));
     Alcotest.test_case "join depends on the joined thread" `Quick (fun () ->
         check "join vs its thread" false
-          (Indep.independent ~t1:0 ~op1:(Op.Join 1) ~t2:1 ~op2:Op.Yield ~fair:false);
+          (Indep.independent ~t1:0 ~op1:(Op.Join 1) ~t2:1 ~op2:Op.Yield ~fair:false ());
         check "join vs another thread" true
-          (Indep.independent ~t1:0 ~op1:(Op.Join 2) ~t2:1 ~op2:(Op.Var_read 0) ~fair:false));
+          (Indep.independent ~t1:0 ~op1:(Op.Join 2) ~t2:1 ~op2:(Op.Var_read 0) ~fair:false ()));
     Alcotest.test_case "sleep sets preserve verdicts and save executions" `Quick (fun () ->
         (* On independent-thread programs the reduction is dramatic: one
            maximal schedule instead of C(2s, s). *)
