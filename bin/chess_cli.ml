@@ -690,9 +690,190 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Checking as a service: clients of the chessd daemon (bin/chessd.ml,
+   protocol fairmc-jobs/1). *)
+
+module Serve = Fairmc_serve
+module SP = Serve.Protocol
+
+let socket_arg =
+  Arg.(value & opt string Serve.Daemon.default_config.socket
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"chessd Unix-domain socket (see $(b,chessd --socket)).")
+
+let daemon_error e =
+  Format.eprintf "%s@." e;
+  exit 1
+
+let run_client socket f =
+  match Serve.Client.with_daemon socket f with
+  | v -> v
+  | exception Serve.Client.Error e -> daemon_error e
+
+(* Watch [job] to completion on [fd]: forward its event stream, then print
+   the report exactly as `chess check` would and mirror its exit status
+   (the daemon never applies --fail-on-race; a race stays advisory). *)
+let watch_to_completion fd job ~events_out ~json_out ~quiet =
+  let human =
+    if events_out = Some "-" then Format.err_formatter else Format.std_formatter
+  in
+  let events_oc =
+    match events_out with
+    | None -> None
+    | Some "-" -> Some (stdout, false)
+    | Some file -> Some (open_out file, true)
+  in
+  let finish_events () =
+    match events_oc with
+    | Some (oc, close) -> if close then close_out oc else flush oc
+    | None -> ()
+  in
+  Serve.Client.request fd (SP.Watch { job; events = events_oc <> None });
+  let rec go () =
+    match Serve.Client.next fd with
+    | SP.Watching { state; _ } ->
+      (match state with
+       | SP.Queued | SP.Running ->
+         Format.fprintf human "watching %s (%s)@." job (SP.state_name state)
+       | SP.Done | SP.Failed -> ());
+      go ()
+    | SP.Event line ->
+      (match events_oc with
+       | Some (oc, _) ->
+         output_string oc line;
+         output_char oc '\n'
+       | None -> ());
+      go ()
+    | SP.Job_done d ->
+      finish_events ();
+      if quiet then Format.fprintf human "%s: %s@." d.job d.verdict
+      else Format.fprintf human "%s@." d.rendered;
+      (match json_out with
+       | None -> ()
+       | Some file ->
+         Fairmc_util.Json.to_file file d.report;
+         Format.fprintf human "report written to %s@." file);
+      if d.found_error then exit 1
+    | SP.Error_msg e ->
+      finish_events ();
+      daemon_error e
+    | SP.Cancelled _ ->
+      finish_events ();
+      daemon_error (Printf.sprintf "job %s cancelled" job)
+    | SP.Bye ->
+      finish_events ();
+      daemon_error "daemon shut down before the job finished"
+    | _ -> go ()
+  in
+  go ()
+
+let submit_cmd =
+  let doc = "Submit a check job to a chessd daemon." in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Builds the same search configuration as $(b,chess check), ships it \
+          to the daemon at $(b,--socket), and prints the job id. Job \
+          identity is the configuration fingerprint also used by checkpoint \
+          resume: submitting the same program and strategy twice — even with \
+          different budgets — attaches to the running (or finished) search \
+          instead of starting another, and every watcher receives the same \
+          final report.";
+      `P "With $(b,--wait) the command then behaves like \
+          $(b,chess watch-job): it streams the job to completion, prints the \
+          report $(b,chess check) would print, and exits with its status." ]
+  in
+  let prog_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM"
+             ~doc:"Built-in program name (see $(b,chess list)) or a ChessLang \
+                   $(i,file.chess). File paths are resolved by the daemon, so \
+                   they must be readable from its working directory.")
+  in
+  let priority =
+    Arg.(value & opt int 0
+         & info [ "priority" ] ~docv:"N"
+             ~doc:"Queue priority: higher runs first, FIFO within a band.")
+  in
+  let wait =
+    Arg.(value & flag
+         & info [ "wait" ]
+             ~doc:"Watch the job to completion after submitting (see \
+                   $(b,chess watch-job)); $(b,--events) and $(b,--json) apply \
+                   to the watched job.")
+  in
+  let run name cfg socket priority wait json_out events_out quiet =
+    let spec = Serve.Jobspec.of_config ~program:name cfg in
+    run_client socket @@ fun fd ->
+    Serve.Client.request fd (SP.Submit { spec; priority });
+    match Serve.Client.next fd with
+    | SP.Submitted { job; state; deduped } ->
+      let human =
+        if wait && events_out = Some "-" then Format.err_formatter
+        else Format.std_formatter
+      in
+      Format.fprintf human "job %s: %s%s@." job (SP.state_name state)
+        (if deduped then " (deduped)" else "");
+      if wait then watch_to_completion fd job ~events_out ~json_out ~quiet
+    | SP.Error_msg e -> daemon_error e
+    | _ -> daemon_error "unexpected reply to submit"
+  in
+  Cmd.v (Cmd.info "submit" ~doc ~man)
+    Term.(const run $ prog_arg $ config_term $ socket_arg $ priority $ wait
+          $ json_out $ events_out $ quiet)
+
+let jobs_cmd =
+  let doc = "List the jobs known to a chessd daemon." in
+  let run socket =
+    run_client socket @@ fun fd ->
+    Serve.Client.request fd SP.Jobs;
+    match Serve.Client.next fd with
+    | SP.Job_list jobs ->
+      Format.printf "%-22s %-8s %4s %4s %4s %-14s %s@." "ID" "STATE" "PRIO"
+        "TRY" "SUBS" "VERDICT" "PROGRAM";
+      List.iter
+        (fun (i : SP.job_info) ->
+          Format.printf "%-22s %-8s %4d %4d %4d %-14s %s@." i.ji_id
+            (SP.state_name i.ji_state) i.ji_priority i.ji_attempts
+            i.ji_subscribers
+            (Option.value i.ji_verdict ~default:"-")
+            i.ji_program)
+        jobs
+    | SP.Error_msg e -> daemon_error e
+    | _ -> daemon_error "unexpected reply to jobs"
+  in
+  Cmd.v (Cmd.info "jobs" ~doc) Term.(const run $ socket_arg)
+
+let watch_job_cmd =
+  let doc = "Stream a submitted job's progress events and final report." in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Subscribes to a job by the id $(b,chess submit) printed, forwards \
+          its fairmc-events/1 stream to $(b,--events) (one NDJSON line per \
+          event, $(b,-) for stdout), and when the job finishes prints the \
+          report exactly as $(b,chess check) would — same rendering, same \
+          $(b,--json) document (timing fields aside), same exit status. \
+          Attaching to an already-finished job returns its stored report \
+          immediately.";
+      `S Manpage.s_exit_status;
+      `P "0 when the search verified the program or hit its budget; 1 when \
+          it found an error; 1 also on daemon/connection failures." ]
+  in
+  let job_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"JOB" ~doc:"Job id printed by $(b,chess submit).")
+  in
+  let run job socket json_out events_out quiet =
+    run_client socket @@ fun fd ->
+    watch_to_completion fd job ~events_out ~json_out ~quiet
+  in
+  Cmd.v (Cmd.info "watch-job" ~doc ~man)
+    Term.(const run $ job_arg $ socket_arg $ json_out $ events_out $ quiet)
+
 let main =
   let doc = "fair stateless model checking (Musuvathi & Qadeer, PLDI 2008)" in
   Cmd.group (Cmd.info "chess" ~doc ~version:"1.0.0")
-    [ list_cmd; check_cmd; lint_cmd; replay_cmd; sweep_cmd ]
+    [ list_cmd; check_cmd; lint_cmd; replay_cmd; sweep_cmd; submit_cmd;
+      jobs_cmd; watch_job_cmd ]
 
 let () = exit (Cmd.eval main)

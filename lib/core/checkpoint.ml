@@ -355,18 +355,45 @@ let of_json j =
    unhappy. Tests and CI use it to drive the retry path below. *)
 let inject_save_failures = ref 0
 
+(* fsync a directory so a just-renamed entry survives a crash. Some
+   filesystems refuse fsync on a directory fd (EINVAL et al.); durability
+   then degrades to the rename's own guarantees, which is the best
+   available. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Fairmc_util.Retry.eintr (fun () -> Unix.fsync fd)
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let save_result path t =
   (* Serialize once, outside the retry loop: an encoding bug is not
      transient and must propagate, not be retried. *)
   let doc = to_json t in
-  let tmp = path ^ ".tmp" in
+  (* The temp suffix is pid-unique: two processes spooling checkpoints into
+     the same directory (chessd runners, a supervised run next to a manual
+     one) must never truncate each other's in-flight temp file. *)
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let attempt () =
     if !inject_save_failures > 0 then begin
       decr inject_save_failures;
       raise (Sys_error (tmp ^ ": injected transient save failure"))
     end;
-    Json.to_file tmp doc;
-    Sys.rename tmp path
+    (* Write, flush, fsync, then rename: without the fsync a crash shortly
+       after "success" can leave [path] pointing at a truncated or empty
+       file — rename orders metadata, not data. *)
+    let oc = Out_channel.open_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> try Out_channel.close oc with Sys_error _ -> ())
+      (fun () ->
+        Out_channel.output_string oc (Json.to_string ~pretty:true doc);
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc;
+        Fairmc_util.Retry.eintr (fun () ->
+            Unix.fsync (Unix.descr_of_out_channel oc)));
+    Sys.rename tmp path;
+    fsync_dir (Filename.dirname path)
   in
   let retryable = function Sys_error _ | Unix.Unix_error _ -> true | _ -> false in
   match Fairmc_util.Retry.transient ~attempts:4 ~base_delay:0.005 ~retryable attempt with

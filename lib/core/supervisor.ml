@@ -311,8 +311,13 @@ let run_systematic ?resume (cfg : C.t) prog ~workers =
     | None -> false
   in
   (* Workers can die mid-write; the parent must get EPIPE from its request
-     writes, not be killed. Restored on the way out. *)
+     writes, not be killed. Restored on every way out — a long-running host
+     (chessd supervises many jobs per process lifetime) must not have
+     [Signal_ignore] leak into it when supervision raises mid-flight. *)
   let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev_sigpipe)
+  @@ fun () ->
   (* All parent-side pipe ends, so each newly forked child can close its
      inherited copies of the *other* slots' fds. Without this, a respawned
      worker would hold the old workers' request pipes open and EOF-based
@@ -616,10 +621,24 @@ let run_systematic ?resume (cfg : C.t) prog ~workers =
           in
           let readable =
             if fds = [] then (Retry.sleepf timeout; [])
-            else
-              match Unix.select fds [] [] timeout with
-              | r, _, _ -> r
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+            else begin
+              (* Re-arm after EINTR with the *remaining* wait against a
+                 monotonic deadline — re-arming the full timeout would let a
+                 stream of signals postpone per-item deadlines forever. An
+                 interrupt request still breaks out immediately so graceful
+                 teardown is not delayed by the residual wait. *)
+              let wake = Clock.now () +. timeout in
+              let rec poll () =
+                let remaining = wake -. Clock.now () in
+                if remaining <= 0. then []
+                else
+                  match Unix.select fds [] [] remaining with
+                  | r, _, _ -> r
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                    if Checkpoint.interrupted () then [] else poll ()
+              in
+              poll ()
+            end
           in
           List.iter
             (fun fd ->
@@ -725,7 +744,6 @@ let run_systematic ?resume (cfg : C.t) prog ~workers =
         end)
       slots
   end;
-  Sys.set_signal Sys.sigpipe prev_sigpipe;
   let elapsed = prior_elapsed +. (Clock.now () -. t0) in
   let search_elapsed = elapsed -. (float_of_int expand_us /. 1e6) in
   (match progress with

@@ -1,0 +1,48 @@
+(* Client side of the fairmc-jobs/1 protocol. See client.mli. *)
+
+module Worker = Fairmc_core.Worker
+module CK = Fairmc_core.Checkpoint.Codec
+module P = Protocol
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let next fd =
+  match Worker.recv fd with
+  | Ok (Some frame) ->
+    (match P.message_of_json frame with
+     | msg -> msg
+     | exception CK.Parse e -> fail "bad frame from daemon: %s" e)
+  | Ok None -> fail "daemon closed the connection"
+  | Error e -> fail "%s" e
+
+let request fd req =
+  try Worker.send fd (P.request_to_json req)
+  with Unix.Unix_error (e, _, _) -> fail "cannot reach daemon: %s" (Unix.error_message e)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+   | () -> ()
+   | exception Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot connect to %s: %s (is chessd running?)" path (Unix.error_message e));
+  match
+    request fd P.Hello;
+    next fd
+  with
+  | P.Hello_ok _ -> fd
+  | msg ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    fail "unexpected greeting: %s"
+      (Fairmc_util.Json.to_string (P.message_to_json msg))
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let with_daemon path f =
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> close fd) (fun () -> f fd)

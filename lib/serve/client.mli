@@ -1,0 +1,22 @@
+(** Client side of the [fairmc-jobs/1] protocol: connect to a running
+    {!Daemon} over its Unix-domain socket, exchange {!Protocol} frames.
+    Used by [chess submit] / [chess jobs] / [chess watch-job] and by the
+    tests. *)
+
+exception Error of string
+(** Connection refusal, daemon EOF, framing or codec violations. *)
+
+val connect : string -> Unix.file_descr
+(** Connect to the socket at the given path and complete the
+    [Hello]/[Hello_ok] handshake. Raises {!Error}. *)
+
+val request : Unix.file_descr -> Protocol.request -> unit
+
+val next : Unix.file_descr -> Protocol.message
+(** Blocking read of the next server message. Raises {!Error} on EOF or a
+    malformed frame. *)
+
+val close : Unix.file_descr -> unit
+
+val with_daemon : string -> (Unix.file_descr -> 'a) -> 'a
+(** [connect], run, always [close]. *)

@@ -1,0 +1,13 @@
+(** Checking as a service: the [chessd] daemon and its wire protocol.
+
+    {!Jobspec} is the serializable description of a check job and its
+    fingerprint-based identity; {!Protocol} the [fairmc-jobs/1] frame
+    vocabulary (over the fairmc-ipc/1 framing of {!Fairmc_core.Worker});
+    {!Daemon} the select-loop server behind the [chessd] binary; {!Client}
+    the connection helpers behind [chess submit] / [chess jobs] /
+    [chess watch-job]. See DESIGN.md, "Checking as a service". *)
+
+module Jobspec = Jobspec
+module Protocol = Protocol
+module Daemon = Daemon
+module Client = Client

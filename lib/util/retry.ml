@@ -21,7 +21,24 @@ let rec eintr f =
   | Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
   | Sys_error msg when sys_error_is_eintr msg -> eintr f
 
-let sleepf s = if s > 0. then try eintr (fun () -> Unix.sleepf s) with _ -> ()
+(* Deadline-based, not duration-based: restarting the full [Unix.sleepf]
+   after every EINTR would let a stream of signals postpone the wakeup
+   indefinitely (the supervisor's retry/backoff waits ride on this). Each
+   restart sleeps only the remaining time; a clock that jumps backwards ends
+   the sleep early rather than extending it. *)
+let sleepf s =
+  if s > 0. then begin
+    let wake = Unix.gettimeofday () +. s in
+    let rec go () =
+      let remaining = wake -. Unix.gettimeofday () in
+      if remaining > 0. then
+        match Unix.sleepf remaining with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Sys_error msg when sys_error_is_eintr msg -> go ()
+    in
+    try go () with _ -> ()
+  end
 
 let transient ?(attempts = 4) ?(base_delay = 0.005) ~retryable f =
   let rec go i delay =

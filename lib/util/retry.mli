@@ -12,8 +12,9 @@ val eintr : (unit -> 'a) -> 'a
     exception propagates. *)
 
 val sleepf : float -> unit
-(** [Unix.sleepf], restarted on EINTR; no-op for non-positive durations and
-    on platforms without it. *)
+(** [Unix.sleepf], restarted on EINTR with the wait recomputed against the
+    original deadline (a signal storm cannot postpone the wakeup); no-op for
+    non-positive durations and on platforms without it. *)
 
 val transient :
   ?attempts:int ->

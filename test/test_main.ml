@@ -13,6 +13,7 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("par-search", Test_par_search.suite);
       ("supervisor", Test_supervisor.suite);
+      ("serve", Test_serve.suite);
       ("liveness", Test_liveness.suite);
       ("sleep-sets", Test_sleepsets.suite);
       ("statecap", Test_statecap.suite);
